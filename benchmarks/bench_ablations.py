@@ -1,0 +1,100 @@
+"""Ablation benches: tile size, theta, queue policy, host/device overlap.
+
+Each ablation prints its paper-style table and benchmarks the piece of
+machinery whose design choice it studies.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.experiments import (
+    ablation_overlap,
+    ablation_queue,
+    ablation_theta,
+    ablation_tile,
+)
+from repro.core import PlanConfig, WParallelPlan
+from repro.core.scheduler import schedule_walks
+from repro.nbody import plummer
+from repro.tree import build_octree, generate_walks
+
+
+class TestTileAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        res = ablation_tile(n_values=(4096, 16384), wg_sizes=(64, 128, 256))
+        emit(res.render())
+        return res
+
+    def test_bench_tile_points(self, result, benchmark):
+        from repro.bench.runner import run_plan_point
+
+        def point():
+            return run_plan_point("jw", 4096, config=PlanConfig(wg_size=128))
+
+        benchmark.pedantic(point, rounds=3, iterations=1, warmup_rounds=1)
+        assert len(result.data["points"]) == 6
+
+
+class TestThetaAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        res = ablation_theta(n=2048)
+        emit(res.render())
+        return res
+
+    def test_bench_theta_point(self, result, benchmark):
+        particles = plummer(2048, seed=4)
+        from repro.core import JwParallelPlan
+
+        plan = JwParallelPlan(PlanConfig(theta=0.6))
+
+        def functional_step():
+            return plan.compute_step(particles.positions, particles.masses)
+
+        benchmark.pedantic(functional_step, rounds=3, iterations=1, warmup_rounds=1)
+        errs = result.data["errors"]
+        assert errs == sorted(errs)  # error grows with theta
+
+
+class TestQueueAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        res = ablation_queue(n=32768)
+        emit(res.render())
+        return res
+
+    def test_bench_scheduling(self, result, benchmark):
+        particles = plummer(16384, seed=5)
+        plan = WParallelPlan(PlanConfig())
+        walks = plan.prepare(particles.positions, particles.masses)
+        costs = walks.interactions_per_walk().astype(float)
+
+        def schedule_all():
+            return [schedule_walks(costs, 18, p) for p in ("static", "dynamic", "dynamic-lpt")]
+
+        outs = benchmark.pedantic(schedule_all, rounds=3, iterations=2, warmup_rounds=1)
+        assert outs[1].makespan <= outs[0].makespan
+
+
+class TestOverlapAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        res = ablation_overlap(n_values=(4096, 16384, 65536))
+        emit(res.render())
+        return res
+
+    def test_overlap_gains(self, result, benchmark):
+        from repro.core.pipeline import overlapped_pipeline3, split_batches
+
+        rng = np.random.default_rng(6)
+        cpu = list(rng.uniform(1e-4, 1e-3, 64))
+        pcie = list(rng.uniform(1e-5, 1e-4, 64))
+        gpu = list(rng.uniform(1e-4, 1e-3, 64))
+
+        def pipeline():
+            return overlapped_pipeline3(cpu, pcie, gpu)
+
+        benchmark.pedantic(pipeline, rounds=5, iterations=10, warmup_rounds=1)
+        assert all(g > 1.0 for g in result.data["gains"])

@@ -1,0 +1,89 @@
+"""Extension benches: quadrupole moments, multi-GPU projection, validation.
+
+These cover the beyond-the-paper features: the higher-order treecode, the
+multi-device scaling projection, and the plan x workload accuracy sweep.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.experiments import (
+    ablation_quadrupole,
+    extension_multigpu,
+    validation_accuracy,
+)
+from repro.nbody import plummer
+from repro.tree import build_octree
+from repro.tree.quadrupole import bh_accelerations_quadrupole, quadrupole_moments
+
+
+class TestQuadrupoleExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        res = ablation_quadrupole(n=2048, thetas=(0.6, 1.0))
+        emit(res.render())
+        return res
+
+    @pytest.fixture(scope="class")
+    def tree(self):
+        p = plummer(4096, seed=21)
+        return build_octree(p.positions, p.masses, leaf_size=16)
+
+    def test_bench_moment_computation(self, result, tree, benchmark):
+        q = benchmark.pedantic(
+            lambda: quadrupole_moments(tree), rounds=5, iterations=1, warmup_rounds=1
+        )
+        assert q.shape == (tree.n_nodes, 3, 3)
+
+    def test_bench_quadrupole_force(self, result, tree, benchmark):
+        quads = quadrupole_moments(tree)
+
+        def force():
+            return bh_accelerations_quadrupole(
+                tree, theta=0.6, softening=1e-2, quads=quads
+            )
+
+        acc = benchmark.pedantic(force, rounds=3, iterations=1, warmup_rounds=1)
+        assert acc.shape == (4096, 3)
+        assert all(i > 1.0 for i in result.data["improvements"])
+
+
+class TestMultiGpuExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        res = extension_multigpu(n=32768, devices=(1, 2, 4, 8))
+        emit(res.render())
+        return res
+
+    def test_bench_multigpu_point(self, result, benchmark):
+        from repro.core import MultiDeviceJwPlan, PlanConfig
+
+        p = plummer(16384, seed=22)
+        plan = MultiDeviceJwPlan(PlanConfig(), n_devices=4)
+
+        def point():
+            return plan.step_breakdown(p.positions, p.masses)
+
+        benchmark.pedantic(point, rounds=3, iterations=1, warmup_rounds=1)
+        totals = result.data["totals"]
+        assert totals[0] > totals[-1]  # more devices never slower
+        # saturation: 8 devices nowhere near 8x
+        assert totals[0] / totals[-1] < 4.0
+
+
+class TestValidationSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        res = validation_accuracy(n=1024)
+        emit(res.render())
+        return res
+
+    def test_bench_validation_cell(self, result, benchmark):
+        from repro.bench.validation import accuracy_matrix
+
+        def one_cell():
+            return accuracy_matrix(plans=("jw",), workloads=("plummer",), n=512)
+
+        cells = benchmark.pedantic(one_cell, rounds=3, iterations=1, warmup_rounds=1)
+        assert cells[0].passed
+        assert result.data["all_passed"]

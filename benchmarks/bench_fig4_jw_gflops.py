@@ -1,0 +1,44 @@
+"""Fig. 4 — jw-parallel GFLOPS vs N.
+
+Regenerates the paper's Fig. 4 series (printed below the pytest-benchmark
+table) and times the jw plan's full per-step cost computation — tree
+build, walk generation, and simulated-device timing — which is the
+harness work behind every figure point.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_N_SWEEP, emit
+from repro.bench.experiments import fig4
+from repro.core import JwParallelPlan, PlanConfig
+from repro.nbody import plummer
+
+
+@pytest.fixture(scope="module")
+def figure():
+    result = fig4(n_values=BENCH_N_SWEEP)
+    emit(result.render())
+    return result
+
+
+def test_fig4_regenerates(figure, benchmark):
+    rows = figure.data["rows"]
+    # paper shape: substantial already at small N, near-sustained at large N
+    assert rows[0].kernel_gflops > 100
+    assert rows[-1].kernel_gflops > 250
+
+    particles = plummer(16384, seed=1)
+    plan = JwParallelPlan(PlanConfig())
+
+    def point():
+        return plan.step_breakdown(particles.positions, particles.masses)
+
+    b = benchmark.pedantic(point, rounds=3, iterations=1, warmup_rounds=1)
+    assert b.kernel_gflops() > 200
+
+
+def test_fig4_peak_convention(figure):
+    """The 38-flop convention column reproduces the paper's 431-style peak."""
+    rows = figure.data["rows"]
+    peak_rsqrt = max(r.kernel_gflops_rsqrt for r in rows)
+    assert 400 < peak_rsqrt < 700

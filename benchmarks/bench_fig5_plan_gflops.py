@@ -1,0 +1,44 @@
+"""Fig. 5 — kernel GFLOPS of all four plans vs N.
+
+Prints the regenerated figure and times each plan's per-step cost
+computation at N = 4096 so the four plans' harness costs are directly
+comparable in the pytest-benchmark table.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_N_SWEEP, emit
+from repro.bench.experiments import fig5
+from repro.core import PlanConfig, plan_by_name
+from repro.nbody import plummer
+
+
+@pytest.fixture(scope="module")
+def figure():
+    result = fig5(n_values=BENCH_N_SWEEP)
+    emit(result.render())
+    return result
+
+
+@pytest.fixture(scope="module")
+def particles():
+    return plummer(4096, seed=2)
+
+
+@pytest.mark.parametrize("plan_name", ["i", "j", "w", "jw"])
+def test_fig5_plan_point(figure, particles, benchmark, plan_name):
+    plan = plan_by_name(plan_name, PlanConfig())
+
+    def point():
+        return plan.step_breakdown(particles.positions, particles.masses)
+
+    b = benchmark.pedantic(point, rounds=3, iterations=1, warmup_rounds=1)
+    assert b.kernel_gflops() > 0
+
+
+def test_fig5_shapes(figure):
+    rows = figure.data["rows"]
+    small = {r.plan: r.kernel_gflops for r in rows if r.n_bodies == BENCH_N_SWEEP[0]}
+    # the paper's small-N ordering: jw > j > i, and w dragged down by lanes
+    assert small["jw"] > small["j"] > small["i"]
+    assert small["jw"] > small["w"]

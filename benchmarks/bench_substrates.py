@@ -1,0 +1,90 @@
+"""Substrate micro-benchmarks: real wall-time of the building blocks.
+
+These measure the actual Python/NumPy performance of the library's hot
+paths on this machine — octree build, walk generation, traversal, direct
+summation, functional device kernels — the numbers a downstream user
+needs to size their own runs.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.tables import format_table, fmt_seconds
+from repro.core import JwParallelPlan, PlanConfig
+from repro.nbody import direct_forces, plummer
+from repro.tree import build_octree, generate_walks
+from repro.tree.traversal import bh_accelerations
+
+
+@pytest.fixture(scope="module")
+def p16k():
+    return plummer(16384, seed=7)
+
+
+@pytest.fixture(scope="module")
+def p2k():
+    return plummer(2048, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tree16k(p16k):
+    return build_octree(p16k.positions, p16k.masses, leaf_size=32)
+
+
+def test_bench_octree_build(p16k, benchmark):
+    def build():
+        return build_octree(p16k.positions, p16k.masses, leaf_size=32)
+
+    tree = benchmark.pedantic(build, rounds=5, iterations=1, warmup_rounds=1)
+    assert tree.n_bodies == 16384
+
+
+def test_bench_walk_generation(tree16k, benchmark):
+    def walks():
+        return generate_walks(tree16k, theta=0.6, group_size=256)
+
+    ws = benchmark.pedantic(walks, rounds=5, iterations=1, warmup_rounds=1)
+    assert ws.total_interactions > 0
+
+
+def test_bench_point_traversal(tree16k, benchmark):
+    def traverse():
+        return bh_accelerations(tree16k, theta=0.6, softening=1e-2)
+
+    acc = benchmark.pedantic(traverse, rounds=3, iterations=1, warmup_rounds=1)
+    assert acc.shape == (16384, 3)
+
+
+def test_bench_direct_forces_2k(p2k, benchmark):
+    def direct():
+        return direct_forces(p2k.positions, p2k.masses, softening=1e-2)
+
+    benchmark.pedantic(direct, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_bench_jw_functional_2k(p2k, benchmark):
+    plan = JwParallelPlan(PlanConfig(softening=1e-2))
+
+    def functional():
+        return plan.accelerations(p2k.positions, p2k.masses)
+
+    benchmark.pedantic(functional, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_substrate_summary(p16k):
+    """Emit a one-shot substrate summary table alongside the benches."""
+    import time
+
+    rows = []
+    t0 = time.perf_counter()
+    tree = build_octree(p16k.positions, p16k.masses, leaf_size=32)
+    rows.append(["octree build (N=16384)", fmt_seconds(time.perf_counter() - t0)])
+    t0 = time.perf_counter()
+    ws = generate_walks(tree, theta=0.6, group_size=256)
+    rows.append(["walk generation (N=16384)", fmt_seconds(time.perf_counter() - t0)])
+    rows.append(["walks", str(len(ws))])
+    rows.append(["interactions per step", f"{ws.total_interactions:,}"])
+    emit(format_table("Substrate summary (real wall time on this machine)",
+                      ["stage", "value"], rows))
+    yield

@@ -1,0 +1,53 @@
+"""Table 1 — CPU vs GPU (jw-parallel) running time, 100 steps.
+
+Prints the regenerated table (modelled Pentium vs simulated HD 5850) and
+benchmarks the *real* arithmetic behind both columns at N = 2048: the
+blocked float64 direct-summation CPU reference against the float32
+walk-list evaluation the device kernels perform — the actual work ratio
+on this machine, next to the modelled one.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_N_SWEEP, emit
+from repro.bench.experiments import table1
+from repro.core import JwParallelPlan, PlanConfig
+from repro.nbody import direct_forces, plummer
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = table1(n_values=BENCH_N_SWEEP)
+    emit(result.render())
+    return result
+
+
+@pytest.fixture(scope="module")
+def particles():
+    return plummer(2048, seed=3)
+
+
+def test_table1_cpu_reference(table, particles, benchmark):
+    pos, m = particles.positions, particles.masses
+
+    def cpu():
+        return direct_forces(pos, m, softening=1e-2, include_self=False)
+
+    benchmark.pedantic(cpu, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_table1_gpu_functional(table, particles, benchmark):
+    plan = JwParallelPlan(PlanConfig(softening=1e-2))
+    pos, m = particles.positions, particles.masses
+
+    def gpu():
+        return plan.accelerations(pos, m)
+
+    benchmark.pedantic(gpu, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_table1_speedup_shape(table):
+    speedups = table.data["speedups"]
+    # "about 400x" at large N, monotone growth over the sweep
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 250

@@ -1,0 +1,38 @@
+"""Table 2 — total time of the four GPU plans, 100 steps.
+
+Prints the regenerated table and benchmarks the full sweep computation
+(all four plans over the reduced N grid), i.e. the cost of regenerating
+the table itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_N_SWEEP, emit
+from repro.bench.experiments import table2
+from repro.bench.runner import run_sweep
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = table2(n_values=BENCH_N_SWEEP)
+    emit(result.render())
+    return result
+
+
+def test_table2_sweep(table, benchmark):
+    def sweep():
+        return run_sweep(["i", "j", "w", "jw"], (1024, 4096))
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(rows) == 8
+
+
+def test_table2_jw_wins(table):
+    rows = table.data["rows"]
+    by_n: dict[int, dict[str, float]] = {}
+    for r in rows:
+        by_n.setdefault(r.n_bodies, {})[r.plan] = r.total_seconds
+    for n, plans in by_n.items():
+        assert plans["jw"] == min(plans.values()), f"jw not fastest at N={n}"
+        # the headline 2-5x over the prior tree plan
+        assert 1.5 <= plans["w"] / plans["jw"] <= 5.0

@@ -1,0 +1,50 @@
+"""Table 3 — running (kernel-only) time of the four GPU plans, 100 steps.
+
+Prints the regenerated table and benchmarks the timing engine itself:
+scheduling a large realistic launch (1000+ work-groups) onto the modelled
+device, which is the per-point cost of every kernel-time column.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_N_SWEEP, emit
+from repro.bench.experiments import table3
+from repro.gpu import KernelLaunch, RADEON_HD_5850, tile_loop_work, time_kernel
+
+
+@pytest.fixture(scope="module")
+def table():
+    result = table3(n_values=BENCH_N_SWEEP)
+    emit(result.render())
+    return result
+
+
+@pytest.fixture(scope="module")
+def big_launch():
+    wgs = [
+        tile_loop_work(
+            f"wg{i}",
+            active_threads=64 + (i * 37) % 192,
+            n_sources=512 + (i * 211) % 2048,
+            wg_size=256,
+            wavefront_size=64,
+        )
+        for i in range(1200)
+    ]
+    return KernelLaunch("bench", 256, wgs)
+
+
+def test_table3_timing_engine(table, big_launch, benchmark):
+    def schedule():
+        return time_kernel(RADEON_HD_5850, big_launch)
+
+    t = benchmark.pedantic(schedule, rounds=5, iterations=2, warmup_rounds=1)
+    assert t.seconds > 0
+
+
+def test_table3_kernel_ordering(table):
+    rows = table.data["rows"]
+    for n in BENCH_N_SWEEP:
+        k = {r.plan: r.kernel_seconds for r in rows if r.n_bodies == n}
+        # jw kernels beat w kernels at every N (lane packing + queue)
+        assert k["jw"] < k["w"], f"jw kernel not fastest vs w at N={n}"

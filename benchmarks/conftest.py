@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper and
+prints it through :func:`emit`, while pytest-benchmark times the
+computational core that produces it.  ``emit`` suspends pytest's
+fd-level capture so the tables appear in the live run output (and in any
+``tee`` log), and additionally appends them to ``benchmarks/paper_tables.txt``
+so the regenerated tables survive as an artifact.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+#: Reduced sweep used by the benchmark tables so a full
+#: ``pytest benchmarks/ --benchmark-only`` stays minutes, not hours.
+BENCH_N_SWEEP = (1024, 4096, 16384, 65536)
+
+#: File the emitted tables are appended to (truncated per session).
+TABLES_PATH = Path(__file__).parent / "paper_tables.txt"
+
+_capmanager = None
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _capture_manager_hook(request):
+    """Expose pytest's capture manager to :func:`emit` and reset the
+    tables artifact once per session."""
+    global _capmanager
+    _capmanager = request.config.pluginmanager.getplugin("capturemanager")
+    TABLES_PATH.write_text("", encoding="utf-8")
+    yield
+    _capmanager = None
+
+
+def emit(text: str) -> None:
+    """Print a paper table to the real stdout and append it to the artifact."""
+    block = "\n" + text + "\n"
+    with TABLES_PATH.open("a", encoding="utf-8") as fh:
+        fh.write(block)
+    if _capmanager is not None:
+        with _capmanager.global_and_fixture_disabled():
+            sys.stdout.write(block)
+            sys.stdout.flush()
+    else:  # pragma: no cover - emit outside a pytest session
+        sys.stdout.write(block)
+        sys.stdout.flush()
+
+
+@pytest.fixture(scope="session")
+def bench_sweep() -> tuple[int, ...]:
+    return BENCH_N_SWEEP

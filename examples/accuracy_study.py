@@ -1,0 +1,52 @@
+"""Accuracy study: the Barnes-Hut theta / cost trade-off, measured.
+
+Sweeps the opening angle on several workloads and prints measured RMS
+force error against float64 direct summation next to the interaction
+counts and simulated device time — the practical guide for choosing
+theta that the paper's "about 1% accuracy" remark summarises.
+
+Run:  python examples/accuracy_study.py
+"""
+
+from repro.core import JwParallelPlan, PlanConfig
+from repro.nbody import cold_disc, direct_forces, plummer, uniform_sphere
+from repro.tree import max_relative_error, rms_relative_error
+
+SOFTENING = 1e-2
+N = 2048
+THETAS = (0.3, 0.45, 0.6, 0.8, 1.0)
+WORKLOADS = {
+    "plummer": lambda: plummer(N, seed=3),
+    "uniform": lambda: uniform_sphere(N, seed=3),
+    "disc": lambda: cold_disc(N, seed=3),
+}
+
+
+def main() -> None:
+    for name, factory in WORKLOADS.items():
+        particles = factory()
+        ref = direct_forces(
+            particles.positions, particles.masses, softening=SOFTENING,
+            include_self=False,
+        )
+        pp_interactions = N * N
+        print(f"\n=== {name} (N = {N}) ===")
+        print(f"{'theta':>6} {'rms err':>10} {'max err':>10} "
+              f"{'interactions':>13} {'vs PP':>7} {'step ms':>9}")
+        for theta in THETAS:
+            plan = JwParallelPlan(PlanConfig(softening=SOFTENING, theta=theta))
+            acc, step = plan.compute_step(particles.positions, particles.masses)
+            print(
+                f"{theta:6.2f} {rms_relative_error(acc, ref):10.2e} "
+                f"{max_relative_error(acc, ref):10.2e} "
+                f"{step.interactions:13,} "
+                f"{step.interactions / pp_interactions:6.1%} "
+                f"{step.total_seconds * 1e3:9.3f}"
+            )
+    print("\nreading: theta = 0.6 delivers the classic <1% RMS error at a "
+          "fraction of the all-pairs work; anisotropic workloads (disc) "
+          "need slightly tighter theta for the same accuracy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access,
+so PEP 660 editable installs (which must build a wheel) fail.  This shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` fall back to
+the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

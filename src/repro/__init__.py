@@ -1,0 +1,22 @@
+"""repro — reproduction of "Parallel Time-Space Processing Model Based
+Fast N-body Simulation on GPUs" (Wang, Zeng, Wang, Fu & Zeng).
+
+Public API layout:
+
+* :mod:`repro.nbody` — particle/physics substrate (ParticleSet, forces,
+  integrators, initial conditions, flop accounting).
+* :mod:`repro.tree` — Barnes-Hut substrate (Morton keys, octree, MAC,
+  traversal, walks).
+* :mod:`repro.gpu` — simulated SIMT GPU device (device specs, kernels,
+  timing engine).
+* :mod:`repro.core` — the paper's contribution: the PTPM model, the four
+  parallel plans (i/j/w/jw), the host-device pipeline and the high-level
+  :class:`~repro.core.simulation.Simulation`.
+* :mod:`repro.perfmodel` — analytic performance model and metrics.
+* :mod:`repro.bench` — benchmark harness regenerating the paper's tables
+  and figures.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,33 @@
+"""Benchmark harness: workloads, sweep runner, paper tables and figures."""
+
+from repro.bench.workloads import PAPER_N_SWEEP, QUICK_N_SWEEP, WORKLOADS, make_workload
+from repro.bench.runner import PAPER_N_STEPS, SweepRow, run_plan_point, run_sweep
+from repro.bench.tables import fmt_gflops, fmt_int, fmt_ratio, fmt_seconds, format_table
+from repro.bench.figures import ascii_chart
+from repro.bench.experiments import (
+    ALL_PLANS,
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+
+__all__ = [
+    "PAPER_N_SWEEP",
+    "QUICK_N_SWEEP",
+    "WORKLOADS",
+    "make_workload",
+    "PAPER_N_STEPS",
+    "SweepRow",
+    "run_plan_point",
+    "run_sweep",
+    "fmt_gflops",
+    "fmt_int",
+    "fmt_ratio",
+    "fmt_seconds",
+    "format_table",
+    "ascii_chart",
+    "ALL_PLANS",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+]

@@ -1,0 +1,74 @@
+"""Terminal line charts for regenerating the paper's figures.
+
+The harness runs offline without a plotting stack, so figures render as
+ASCII charts: series of markers over a log-x grid — enough to read the
+shapes (who wins, where curves flatten, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    width: int = 72,
+    height: int = 18,
+    log_x: bool = True,
+    y_label: str = "",
+) -> str:
+    """Render named series over a shared x grid as an ASCII chart."""
+    if not series:
+        raise ValueError("at least one series required")
+    if width < 16 or height < 4:
+        raise ValueError("chart must be at least 16x4")
+    x_values = list(map(float, x_values))
+    if len(x_values) < 2:
+        raise ValueError("need at least two x points")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series '{name}' length does not match x grid")
+
+    def xt(v: float) -> float:
+        return math.log(v) if log_x else v
+
+    x0, x1 = xt(x_values[0]), xt(x_values[-1])
+    all_y = [y for ys in series.values() for y in ys]
+    y0, y1 = min(all_y), max(all_y)
+    if y1 == y0:
+        y1 = y0 + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for xv, yv in zip(x_values, ys):
+            col = round((xt(xv) - x0) / (x1 - x0) * (width - 1))
+            row = round((yv - y0) / (y1 - y0) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y1:10.1f} +" + "-" * width)
+    for r, row in enumerate(grid):
+        label = " " * 10
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(f"{y0:10.1f} +" + "-" * width)
+    lines.append(
+        " " * 12
+        + f"N = {int(x_values[0])} ... {int(x_values[-1])}"
+        + ("  (log scale)" if log_x else "")
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Paper-style ASCII table and number formatting."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "fmt_seconds", "fmt_gflops", "fmt_ratio", "fmt_int"]
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Human-scaled time: us / ms / s."""
+    if seconds < 0:
+        raise ValueError(f"seconds must be >= 0, got {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def fmt_gflops(gflops: float) -> str:
+    """GFLOPS with one decimal."""
+    return f"{gflops:.1f}"
+
+
+def fmt_ratio(ratio: float) -> str:
+    """Speedup ratio, e.g. '2.3x'."""
+    return f"{ratio:.2f}x" if ratio < 100 else f"{ratio:.0f}x"
+
+
+def fmt_int(value: int | float) -> str:
+    """Integer with thousands separators."""
+    return f"{int(value):,}"
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    *,
+    notes: Sequence[str] = (),
+) -> str:
+    """Render an aligned ASCII table with a title and optional footnotes."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    for r in rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"row width {len(r)} does not match header width {len(headers)}"
+            )
+    cells = [list(map(str, headers))] + [list(map(str, r)) for r in rows]
+    widths = [max(len(row[c]) for row in cells) for c in range(len(headers))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * max(len(title), len(sep))]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    for note in notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Named workloads and the paper's particle-count sweeps."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.nbody.ic import cold_disc, plummer, two_clusters, uniform_sphere
+from repro.nbody.particles import ParticleSet
+
+__all__ = ["WORKLOADS", "make_workload", "PAPER_N_SWEEP", "QUICK_N_SWEEP"]
+
+#: The N values swept in the evaluation (powers of two from 1K to 128K, the
+#: range the paper's figures cover: performance saturates within it).
+PAPER_N_SWEEP: tuple[int, ...] = (1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072)
+
+#: A short sweep for smoke runs and CI.
+QUICK_N_SWEEP: tuple[int, ...] = (1024, 4096, 16384)
+
+WORKLOADS: dict[str, Callable[..., ParticleSet]] = {
+    "plummer": plummer,
+    "uniform": uniform_sphere,
+    "two_clusters": two_clusters,
+    "disc": cold_disc,
+}
+
+
+def make_workload(name: str, n: int, *, seed: int = 0) -> ParticleSet:
+    """Instantiate a named workload with ``n`` bodies."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload '{name}'; choose from {sorted(WORKLOADS)}"
+        ) from None
+    return factory(n, seed=seed)

@@ -1,0 +1,101 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro fig5
+    python -m repro table2 --quick
+    python -m repro all --workload uniform
+    repro-nbody table1 --steps 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.workloads import PAPER_N_SWEEP, QUICK_N_SWEEP, WORKLOADS
+
+__all__ = ["main", "build_parser"]
+
+#: Experiments that accept sweep-style options.
+_SWEEP_EXPERIMENTS = {"fig4", "fig5", "table1", "table2", "table3"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-nbody",
+        description=(
+            "Reproduce the evaluation of 'Parallel Time-Space Processing "
+            "Model Based Fast N-body Simulation on GPUs'"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "report"],
+        help="experiment id (table/figure of the paper), 'all', or "
+        "'report' (write every experiment to a markdown file)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="output path for the 'report' command (default: repro_report.md)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"use the short N sweep {QUICK_N_SWEEP} instead of {PAPER_N_SWEEP}",
+    )
+    parser.add_argument(
+        "--workload",
+        default="plummer",
+        choices=sorted(WORKLOADS),
+        help="initial-condition generator (default: plummer)",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="steps per run for the timed tables (default: 100, as in the paper)",
+    )
+    return parser
+
+
+def _experiment_kwargs(exp_id: str, args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
+    if exp_id in _SWEEP_EXPERIMENTS:
+        kwargs["workload"] = args.workload
+        if args.quick:
+            kwargs["n_values"] = QUICK_N_SWEEP
+        if args.steps is not None and exp_id in ("table1", "table2", "table3"):
+            kwargs["n_steps"] = args.steps
+    return kwargs
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "report":
+        from repro.bench.report import DEFAULT_REPORT_PATH, generate_report
+
+        out = generate_report(
+            args.output or DEFAULT_REPORT_PATH,
+            quick=args.quick,
+            workload=args.workload,
+        )
+        print(f"report written to {out}")
+        return 0
+    exp_ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp_id in exp_ids:
+        result = run_experiment(exp_id, **_experiment_kwargs(exp_id, args))
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

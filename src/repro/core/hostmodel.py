@@ -1,0 +1,105 @@
+"""Host CPU cost model — the paper's Intel Pentium 2.60 GHz testbed.
+
+The paper's host does four things whose time matters to Tables 1-3:
+
+1. the **CPU baseline force computation** (Table 1's CPU column) — a
+   scalar O(N^2) / treecode inner loop;
+2. **tree construction** each step (w/jw plans);
+3. **walk (interaction-list) generation** each step (w/jw plans) — the
+   work the jw plan overlaps with GPU execution;
+4. **integration** (drift/kick updates).
+
+Rates are calibrated to a ~2008-era dual-core desktop CPU running an
+optimised scalar C implementation; see ``repro.perfmodel.calibration`` for
+the derivation and knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nbody.flops import DEFAULT_FLOPS_PER_INTERACTION
+
+__all__ = ["HostCpuModel", "PENTIUM_E5300"]
+
+
+@dataclass(frozen=True)
+class HostCpuModel:
+    """Throughput model of the host CPU.
+
+    Parameters
+    ----------
+    effective_force_flops:
+        Sustained flops of the scalar body-body inner loop (divide + sqrt
+        heavy, non-vectorised: a fraction of clock x 1 flop/cycle).
+    tree_ns_per_body:
+        Tree construction cost per body (Morton keys + sort + node build,
+        amortised).
+    walk_ns_per_list_item:
+        Walk generation cost per emitted interaction-list entry (the MAC
+        tests and list appends of the group traversal).
+    walk_ns_per_walk:
+        Fixed per-walk overhead (group setup, bounding box).
+    integrate_ns_per_body:
+        Leapfrog update cost per body per step.
+    """
+
+    name: str = "Intel Pentium Dual-Core 2.60 GHz"
+    clock_hz: float = 2.6e9
+    effective_force_flops: float = 0.45e9
+    tree_ns_per_body: float = 50.0
+    walk_ns_per_list_item: float = 3.0
+    walk_ns_per_walk: float = 1500.0
+    integrate_ns_per_body: float = 30.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "clock_hz",
+            "effective_force_flops",
+            "tree_ns_per_body",
+            "walk_ns_per_list_item",
+            "walk_ns_per_walk",
+            "integrate_ns_per_body",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    # ------------------------------------------------------------------
+    def force_seconds(
+        self,
+        n_interactions: int,
+        flops_per_interaction: int = DEFAULT_FLOPS_PER_INTERACTION,
+    ) -> float:
+        """CPU time to evaluate ``n_interactions`` body-source interactions."""
+        if n_interactions < 0:
+            raise ValueError(f"n_interactions must be >= 0, got {n_interactions}")
+        return n_interactions * flops_per_interaction / self.effective_force_flops
+
+    def tree_build_seconds(self, n_bodies: int) -> float:
+        """CPU time to build the octree over ``n_bodies``."""
+        if n_bodies < 0:
+            raise ValueError(f"n_bodies must be >= 0, got {n_bodies}")
+        return n_bodies * self.tree_ns_per_body * 1e-9
+
+    def walk_generation_seconds(self, n_walks: int, total_list_items: int) -> float:
+        """CPU time to generate ``n_walks`` walks with the given total list size."""
+        if n_walks < 0 or total_list_items < 0:
+            raise ValueError("walk counts must be >= 0")
+        return (
+            n_walks * self.walk_ns_per_walk + total_list_items * self.walk_ns_per_list_item
+        ) * 1e-9
+
+    def integration_seconds(self, n_bodies: int) -> float:
+        """CPU time for one leapfrog update of ``n_bodies``."""
+        if n_bodies < 0:
+            raise ValueError(f"n_bodies must be >= 0, got {n_bodies}")
+        return n_bodies * self.integrate_ns_per_body * 1e-9
+
+    @property
+    def effective_gflops(self) -> float:
+        """Sustained force-loop rate in GFLOPS (for speedup reporting)."""
+        return self.effective_force_flops / 1e9
+
+
+#: The paper's host CPU.
+PENTIUM_E5300 = HostCpuModel()

@@ -1,0 +1,141 @@
+"""Host/device pipelining — the *time* axis of the PTPM model.
+
+The jw plan's headline mechanism (section 4.3): while the GPU evaluates
+the interaction lists of walk batch ``i``, the CPU generates the lists of
+batch ``i+1``.  This module models that as a classic two-stage pipeline:
+
+    host_done[0]   = host[0]
+    host_done[i]   = host_done[i-1] + host[i]
+    device_done[0] = host_done[0] + device[0]
+    device_done[i] = max(host_done[i], device_done[i-1]) + device[i]
+
+The total is ``device_done[-1]``; with many batches it approaches
+``startup + max(sum(host), sum(device))`` — the overlap ideal — while the
+serial (w-parallel) composition is ``sum(host) + sum(device)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "PipelineResult",
+    "overlapped_pipeline",
+    "overlapped_pipeline3",
+    "serial_pipeline",
+    "split_batches",
+]
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of composing host and device stage times."""
+
+    total_seconds: float
+    host_seconds: float
+    device_seconds: float
+    overlapped: bool
+
+    @property
+    def hidden_seconds(self) -> float:
+        """Host+device time hidden by overlap (0 for a serial composition)."""
+        return self.host_seconds + self.device_seconds - self.total_seconds
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """1.0 when the shorter stage is fully hidden, 0.0 when serial."""
+        shorter = min(self.host_seconds, self.device_seconds)
+        if shorter == 0.0:
+            return 1.0
+        return self.hidden_seconds / shorter
+
+
+def overlapped_pipeline(
+    host_batches: Sequence[float], device_batches: Sequence[float]
+) -> PipelineResult:
+    """Two-stage pipeline total for per-batch host and device times.
+
+    ``host_batches[i]`` must be ready before ``device_batches[i]`` can run;
+    stages within themselves are serial (one CPU, one GPU queue).
+    """
+    if len(host_batches) != len(device_batches):
+        raise ValueError(
+            f"batch count mismatch: {len(host_batches)} host vs "
+            f"{len(device_batches)} device"
+        )
+    if not host_batches:
+        return PipelineResult(0.0, 0.0, 0.0, overlapped=True)
+    if any(h < 0 for h in host_batches) or any(d < 0 for d in device_batches):
+        raise ValueError("batch times must be non-negative")
+    host_done = 0.0
+    device_done = 0.0
+    for h, d in zip(host_batches, device_batches):
+        host_done += h
+        device_done = max(host_done, device_done) + d
+    return PipelineResult(
+        total_seconds=device_done,
+        host_seconds=float(sum(host_batches)),
+        device_seconds=float(sum(device_batches)),
+        overlapped=True,
+    )
+
+
+def overlapped_pipeline3(
+    cpu_batches: Sequence[float],
+    pcie_batches: Sequence[float],
+    gpu_batches: Sequence[float],
+) -> PipelineResult:
+    """Three-stage pipeline: CPU walk generation -> PCIe upload -> GPU kernel.
+
+    Models the jw plan's fully-asynchronous feed: batch ``i`` must be
+    generated, then uploaded, then executed; each resource (CPU, PCIe DMA,
+    GPU) is serial within itself.  With many batches the total approaches
+    ``startup + max(sum(cpu), sum(pcie), sum(gpu))``.
+
+    The returned ``host_seconds`` aggregates the two feed stages
+    (CPU + PCIe) for reporting; ``device_seconds`` is the GPU stage.
+    """
+    if not (len(cpu_batches) == len(pcie_batches) == len(gpu_batches)):
+        raise ValueError("all three stages need the same batch count")
+    if not cpu_batches:
+        return PipelineResult(0.0, 0.0, 0.0, overlapped=True)
+    for seq in (cpu_batches, pcie_batches, gpu_batches):
+        if any(t < 0 for t in seq):
+            raise ValueError("batch times must be non-negative")
+    cpu_done = 0.0
+    pcie_done = 0.0
+    gpu_done = 0.0
+    for c, x, g in zip(cpu_batches, pcie_batches, gpu_batches):
+        cpu_done += c
+        pcie_done = max(cpu_done, pcie_done) + x
+        gpu_done = max(pcie_done, gpu_done) + g
+    return PipelineResult(
+        total_seconds=gpu_done,
+        host_seconds=float(sum(cpu_batches) + sum(pcie_batches)),
+        device_seconds=float(sum(gpu_batches)),
+        overlapped=True,
+    )
+
+
+def serial_pipeline(
+    host_seconds: float, device_seconds: float
+) -> PipelineResult:
+    """No overlap: the w-parallel composition (host fully precedes device)."""
+    if host_seconds < 0 or device_seconds < 0:
+        raise ValueError("stage times must be non-negative")
+    return PipelineResult(
+        total_seconds=host_seconds + device_seconds,
+        host_seconds=host_seconds,
+        device_seconds=device_seconds,
+        overlapped=False,
+    )
+
+
+def split_batches(total: float, n_batches: int) -> list[float]:
+    """Split a stage time into ``n_batches`` equal batch times."""
+    if n_batches < 1:
+        raise ValueError(f"n_batches must be >= 1, got {n_batches}")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    return [total / n_batches] * n_batches

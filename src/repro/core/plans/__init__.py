@@ -1,0 +1,38 @@
+"""The four PTPM plans: i-parallel, j-parallel, w-parallel, jw-parallel."""
+
+from repro.core.plans.base import Plan, PlanConfig, RunTiming, StepBreakdown
+from repro.core.plans.i_parallel import IParallelPlan
+from repro.core.plans.j_parallel import JParallelPlan
+from repro.core.plans.tree_base import TreePlanBase
+from repro.core.plans.w_parallel import WParallelPlan
+from repro.core.plans.jw_parallel import DEFAULT_PIPELINE_BATCHES, JwParallelPlan
+from repro.core.plans.multi_jw import MultiDeviceJwPlan
+
+__all__ = [
+    "Plan",
+    "PlanConfig",
+    "RunTiming",
+    "StepBreakdown",
+    "IParallelPlan",
+    "JParallelPlan",
+    "TreePlanBase",
+    "WParallelPlan",
+    "JwParallelPlan",
+    "MultiDeviceJwPlan",
+    "DEFAULT_PIPELINE_BATCHES",
+]
+
+
+def plan_by_name(name: str, config: PlanConfig | None = None) -> Plan:
+    """Instantiate a plan from its short name ("i", "j", "w", "jw")."""
+    classes = {
+        "i": IParallelPlan,
+        "j": JParallelPlan,
+        "w": WParallelPlan,
+        "jw": JwParallelPlan,
+    }
+    try:
+        cls = classes[name]
+    except KeyError:
+        raise ValueError(f"unknown plan '{name}'; choose from {sorted(classes)}") from None
+    return cls(config)

@@ -1,0 +1,105 @@
+"""i-parallel plan: Nyland et al.'s GPU Gems 3 all-pairs kernel.
+
+Space mapping (Fig. 3 of the paper): one thread per target body i, one
+work-group of ``p`` threads per ``p`` consecutive targets; every work-group
+serially walks all N source bodies in ``p``-wide tiles staged through
+local memory.  The grid therefore has ``ceil(N/p)`` work-groups — at small
+N far fewer than the device's compute units, which is exactly the
+occupancy starvation the paper's Fig. 4/5 analysis attributes to this
+plan.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.plans.base import Plan, StepBreakdown
+from repro.gpu.counters import CostCounters
+from repro.gpu.kernel import tile_loop_forces, tile_loop_work
+from repro.gpu.launch import KernelLaunch
+from repro.gpu.memory import BYTES_PER_ACCEL, BYTES_PER_BODY, TransferLog
+from repro.gpu.timing import time_kernel
+
+__all__ = ["IParallelPlan"]
+
+
+class IParallelPlan(Plan):
+    """All-pairs, thread-per-target-body (GPU Gems 3)."""
+
+    name = "i"
+    method = "pp"
+
+    # -- work enumeration (shared by functional and timing paths) --------
+    def _workgroup_ranges(self, n: int) -> list[tuple[int, int]]:
+        p = self.config.wg_size
+        return [(i0, min(i0 + p, n)) for i0 in range(0, n, p)]
+
+    def _launch(self, n: int) -> KernelLaunch:
+        p = self.config.wg_size
+        dev = self.config.device
+        wgs = [
+            tile_loop_work(
+                f"i[{i0}:{i1}]",
+                active_threads=i1 - i0,
+                n_sources=n,
+                wg_size=p,
+                wavefront_size=dev.wavefront_size,
+            )
+            for i0, i1 in self._workgroup_ranges(n)
+        ]
+        return KernelLaunch("i_parallel_forces", p, wgs)
+
+    def _transfers(self, n: int) -> TransferLog:
+        log = TransferLog()
+        log.host_to_device(n * BYTES_PER_BODY)  # positions+masses up
+        log.device_to_host(n * BYTES_PER_ACCEL)  # accelerations down
+        return log
+
+    # -- functional -------------------------------------------------------
+    def accelerations(self, positions: np.ndarray, masses: np.ndarray) -> np.ndarray:
+        positions, masses = self._validate_bodies(positions, masses)
+        n = positions.shape[0]
+        cfg = self.config
+        acc = np.empty((n, 3), dtype=np.float32)
+        counters = CostCounters()
+        for i0, i1 in self._workgroup_ranges(n):
+            acc[i0:i1] = tile_loop_forces(
+                positions[i0:i1],
+                positions,
+                masses,
+                wg_size=cfg.wg_size,
+                softening=cfg.softening,
+                G=cfg.G,
+                device=cfg.device,
+                counters=counters,
+            )
+        expected = self._launch(n).total_interactions
+        assert counters.interactions == expected, "functional/timing drift"
+        return acc.astype(np.float64)
+
+    # -- timing -------------------------------------------------------------
+    def step_breakdown(self, positions: np.ndarray, masses: np.ndarray) -> StepBreakdown:
+        positions, masses = self._validate_bodies(positions, masses)
+        n = positions.shape[0]
+        cfg = self.config
+        launch = self._launch(n)
+        timing = time_kernel(cfg.device, launch)
+        return StepBreakdown(
+            plan=self.name,
+            n_bodies=n,
+            kernel_seconds=timing.seconds,
+            host_seconds=0.0,
+            transfer_seconds=self._transfers(n).total_time(cfg.device),
+            serial_seconds=cfg.host.integration_seconds(n),
+            overlapped=False,
+            interactions=launch.total_interactions,
+            issued_interactions=launch.total_issued_interactions,
+            kernels=[timing],
+            meta={
+                "n_workgroups": launch.n_workgroups,
+                "tiles_per_workgroup": math.ceil(n / cfg.wg_size),
+                "occupancy_efficiency": timing.occupancy.latency_efficiency,
+            },
+        )

@@ -1,0 +1,158 @@
+"""j-parallel plan: Hamada & Iitaka's "chamomile scheme".
+
+Space mapping: the source (j) dimension is split into ``s`` segments, so
+the grid has ``ceil(N/p) * s`` work-groups — enough to occupy every
+compute unit even when N is small.  Each work-group accumulates *partial*
+forces for its ``p`` targets over its source segment; a second,
+memory-bound kernel reduces the ``s`` partials per target.
+
+The split factor is chosen adaptively: just enough work-groups to fill
+the machine with latency-hiding concurrency, never more (each extra split
+adds partial-force traffic and reduction work).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.plans.base import Plan, StepBreakdown
+from repro.gpu.counters import CostCounters
+from repro.gpu.kernel import reduction_work, tile_loop_forces, tile_loop_work
+from repro.gpu.launch import KernelLaunch
+from repro.gpu.memory import BYTES_PER_ACCEL, BYTES_PER_BODY, TransferLog
+from repro.gpu.occupancy import MAX_WORKGROUPS_PER_CU
+from repro.gpu.timing import time_kernel
+
+__all__ = ["JParallelPlan"]
+
+#: Work-groups per compute unit the split targets (fills the resident slots).
+_TARGET_WGS_PER_CU = 4
+
+
+class JParallelPlan(Plan):
+    """All-pairs with source-dimension splitting (chamomile scheme)."""
+
+    name = "j"
+    method = "pp"
+
+    def split_factor(self, n: int) -> int:
+        """Number of j-segments for an N-body launch.
+
+        Grows the grid to ``_TARGET_WGS_PER_CU`` work-groups per CU when
+        the plain i-parallel grid would underfill the device; capped so a
+        segment never gets smaller than one tile.
+        """
+        p = self.config.wg_size
+        dev = self.config.device
+        i_blocks = math.ceil(n / p)
+        target = dev.compute_units * min(_TARGET_WGS_PER_CU, MAX_WORKGROUPS_PER_CU)
+        s = max(1, math.ceil(target / i_blocks))
+        max_s = max(1, math.ceil(n / p))  # at least one tile per segment
+        return min(s, max_s)
+
+    # -- work enumeration -------------------------------------------------
+    def _segments(self, n: int, s: int) -> list[tuple[int, int]]:
+        seg = math.ceil(n / s)
+        return [(j0, min(j0 + seg, n)) for j0 in range(0, n, seg)]
+
+    def _force_launch(self, n: int) -> tuple[KernelLaunch, int]:
+        p = self.config.wg_size
+        dev = self.config.device
+        s = self.split_factor(n)
+        wgs = []
+        for i0 in range(0, n, p):
+            i1 = min(i0 + p, n)
+            for j0, j1 in self._segments(n, s):
+                wgs.append(
+                    tile_loop_work(
+                        f"i[{i0}:{i1}]xj[{j0}:{j1}]",
+                        active_threads=i1 - i0,
+                        n_sources=j1 - j0,
+                        wg_size=p,
+                        wavefront_size=dev.wavefront_size,
+                    )
+                )
+        return KernelLaunch("j_parallel_forces", p, wgs), s
+
+    def _reduction_launch(self, n: int, s: int) -> KernelLaunch | None:
+        if s <= 1:
+            return None
+        p = self.config.wg_size
+        dev = self.config.device
+        wgs = [
+            reduction_work(
+                f"reduce[{i0}:{min(i0 + p, n)}]",
+                n_outputs=min(i0 + p, n) - i0,
+                n_partials_per_output=s,
+                wg_size=p,
+                wavefront_size=dev.wavefront_size,
+            )
+            for i0 in range(0, n, p)
+        ]
+        return KernelLaunch("j_parallel_reduce", p, wgs)
+
+    def _transfers(self, n: int) -> TransferLog:
+        log = TransferLog()
+        log.host_to_device(n * BYTES_PER_BODY)
+        log.device_to_host(n * BYTES_PER_ACCEL)
+        return log
+
+    # -- functional -------------------------------------------------------
+    def accelerations(self, positions: np.ndarray, masses: np.ndarray) -> np.ndarray:
+        positions, masses = self._validate_bodies(positions, masses)
+        n = positions.shape[0]
+        cfg = self.config
+        s = self.split_factor(n)
+        p = cfg.wg_size
+        counters = CostCounters()
+        # partial forces per (i-block, j-segment), then a float32 reduction,
+        # matching the two-kernel structure
+        partials = np.zeros((s, n, 3), dtype=np.float32)
+        for i0 in range(0, n, p):
+            i1 = min(i0 + p, n)
+            for k, (j0, j1) in enumerate(self._segments(n, s)):
+                partials[k, i0:i1] = tile_loop_forces(
+                    positions[i0:i1],
+                    positions[j0:j1],
+                    masses[j0:j1],
+                    wg_size=p,
+                    softening=cfg.softening,
+                    G=cfg.G,
+                    device=cfg.device,
+                    counters=counters,
+                )
+        launch, _ = self._force_launch(n)
+        assert counters.interactions == launch.total_interactions, "functional/timing drift"
+        acc = partials.sum(axis=0, dtype=np.float32)
+        return acc.astype(np.float64)
+
+    # -- timing -------------------------------------------------------------
+    def step_breakdown(self, positions: np.ndarray, masses: np.ndarray) -> StepBreakdown:
+        positions, masses = self._validate_bodies(positions, masses)
+        n = positions.shape[0]
+        cfg = self.config
+        force_launch, s = self._force_launch(n)
+        timings = [time_kernel(cfg.device, force_launch)]
+        reduce_launch = self._reduction_launch(n, s)
+        if reduce_launch is not None:
+            timings.append(time_kernel(cfg.device, reduce_launch))
+        kernel_seconds = sum(t.seconds for t in timings)
+        return StepBreakdown(
+            plan=self.name,
+            n_bodies=n,
+            kernel_seconds=kernel_seconds,
+            host_seconds=0.0,
+            transfer_seconds=self._transfers(n).total_time(cfg.device),
+            serial_seconds=cfg.host.integration_seconds(n),
+            overlapped=False,
+            interactions=force_launch.total_interactions,
+            issued_interactions=force_launch.total_issued_interactions,
+            kernels=timings,
+            meta={
+                "split_factor": s,
+                "n_workgroups": force_launch.n_workgroups,
+                "occupancy_efficiency": timings[0].occupancy.latency_efficiency,
+            },
+        )

@@ -1,0 +1,221 @@
+"""jw-parallel plan — the paper's contribution (section 4.3).
+
+Combines the j- and w-parallel ideas under the PTPM analysis:
+
+* **Space — walks**: the same tree-cell walks as w-parallel (identical
+  interaction lists), so every gain below is attributable to the mapping,
+  the queue and the overlap rather than to different physics work.
+* **Space — j-split**: each walk's interaction list is additionally split
+  into segments assigned to *different* work-groups (the j-parallel idea),
+  so even a handful of walks yields enough blocks to occupy every compute
+  unit at small N; partial forces are combined by a reduction pass.
+  Within a work-group the ``group x segment`` rectangle is flattened
+  across all ``p`` threads, keeping lanes full regardless of group size —
+  repairing w-parallel's lane-utilisation loss.
+* **Scheduling**: persistent work-groups drain (walk, segment) items from
+  a dynamic queue (greedy earliest-free-CU scheduling).
+* **Time**: walk generation on the CPU is pipelined with kernel execution
+  on the GPU, hiding the host cost that dominates w-parallel's total time.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.plans.base import StepBreakdown
+from repro.core.plans.tree_base import TreePlanBase
+from repro.core.pipeline import overlapped_pipeline3, split_batches
+from repro.gpu.counters import CostCounters
+from repro.gpu.kernel import packed_tile_loop_work, reduction_work, tile_loop_forces
+from repro.gpu.launch import KernelLaunch
+from repro.gpu.timing import time_kernel
+from repro.tree.bh_force import walk_sources
+from repro.tree.octree import Octree
+from repro.tree.walks import WalkSet, cell_groups
+
+__all__ = ["JwParallelPlan", "DEFAULT_PIPELINE_BATCHES"]
+
+#: Walk batches the host streams to the device queue per step.
+DEFAULT_PIPELINE_BATCHES = 16
+
+#: Queue items per compute unit the j-split targets.
+_TARGET_ITEMS_PER_CU = 4
+
+
+class JwParallelPlan(TreePlanBase):
+    """Barnes-Hut with packed walks, j-split work items, dynamic queue, overlap."""
+
+    name = "jw"
+
+    def __init__(
+        self,
+        config=None,
+        *,
+        pipeline_batches: int = DEFAULT_PIPELINE_BATCHES,
+        overlap: bool = True,
+        schedule: str = "hardware",
+    ) -> None:
+        super().__init__(config)
+        if pipeline_batches < 1:
+            raise ValueError(f"pipeline_batches must be >= 1, got {pipeline_batches}")
+        self.pipeline_batches = pipeline_batches
+        self.overlap = overlap
+        self.schedule = schedule
+
+    def _make_groups(self, tree: Octree) -> np.ndarray:
+        # Same tree-cell walks as w-parallel: the jw plan's gains come from
+        # the thread mapping, the dynamic queue and host/device overlap —
+        # not from different interaction lists.
+        return cell_groups(tree, self.config.wg_size)
+
+    # -- j-split policy ----------------------------------------------------
+    def split_counts(self, walks: WalkSet) -> list[int]:
+        """Segments per walk: work-proportional splitting.
+
+        The queue should hold at least ``_TARGET_ITEMS_PER_CU`` items per
+        compute unit *and* no single item should exceed a fair share of
+        the total work (otherwise one heavy walk sets the makespan — the
+        tail effect that hurts w-parallel).  Each walk is therefore split
+        in proportion to its interaction count, bounded below by one
+        wavefront of sources per segment.
+        """
+        dev = self.config.device
+        target = dev.compute_units * _TARGET_ITEMS_PER_CU
+        total = walks.total_interactions
+        if total == 0:
+            return [1] * len(walks)
+        fair_share = max(1.0, total / target)
+        counts = []
+        for w in walks:
+            s = max(1, math.ceil(w.interactions / fair_share))
+            s_max = max(1, w.list_length // dev.wavefront_size)
+            counts.append(min(s, s_max))
+        return counts
+
+    @staticmethod
+    def _segments(length: int, s: int) -> list[tuple[int, int]]:
+        seg = math.ceil(length / s) if length else 0
+        if seg == 0:
+            return [(0, 0)]
+        return [(a, min(a + seg, length)) for a in range(0, length, seg)]
+
+    # -- launches ------------------------------------------------------------
+    def _launches(self, walks: WalkSet) -> tuple[KernelLaunch, KernelLaunch | None]:
+        cfg = self.config
+        splits = self.split_counts(walks)
+        wgs = []
+        needs_reduce = False
+        for w, s in zip(walks, splits):
+            for k, (a, b) in enumerate(self._segments(w.list_length, s)):
+                wgs.append(
+                    packed_tile_loop_work(
+                        f"walk{w.index}.seg{k}",
+                        n_targets=w.n_bodies,
+                        n_sources=b - a,
+                        wg_size=cfg.wg_size,
+                        wavefront_size=cfg.device.wavefront_size,
+                    )
+                )
+            if s > 1:
+                needs_reduce = True
+        force = KernelLaunch("jw_parallel_forces", cfg.wg_size, wgs)
+        reduce_launch = None
+        if needs_reduce:
+            rwgs = [
+                reduction_work(
+                    f"reduce.walk{w.index}",
+                    n_outputs=w.n_bodies,
+                    n_partials_per_output=s,
+                    wg_size=cfg.wg_size,
+                    wavefront_size=cfg.device.wavefront_size,
+                )
+                for w, s in zip(walks, splits)
+                if s > 1
+            ]
+            reduce_launch = KernelLaunch("jw_parallel_reduce", cfg.wg_size, rwgs)
+        return force, reduce_launch
+
+    # -- functional -------------------------------------------------------
+    def accelerations_from_walks(self, walks: WalkSet) -> np.ndarray:
+        cfg = self.config
+        tree = walks.tree
+        splits = self.split_counts(walks)
+        counters = CostCounters()
+        acc_sorted = np.empty((tree.n_bodies, 3), dtype=np.float32)
+        for w, s in zip(walks, splits):
+            src_pos, src_mass = walk_sources(tree, w)
+            targets = tree.positions[w.start : w.end]
+            partial = np.zeros((w.n_bodies, 3), dtype=np.float32)
+            for a, b in self._segments(w.list_length, s):
+                partial += tile_loop_forces(
+                    targets,
+                    src_pos[a:b],
+                    src_mass[a:b],
+                    wg_size=cfg.wg_size,
+                    softening=cfg.softening,
+                    G=cfg.G,
+                    device=cfg.device,
+                    counters=counters,
+                )
+            acc_sorted[w.start : w.end] = partial
+        assert counters.interactions == walks.total_interactions, (
+            "functional/timing drift"
+        )
+        return tree.unsort(acc_sorted.astype(np.float64))
+
+    # -- timing -------------------------------------------------------------
+    def step_breakdown(self, positions: np.ndarray, masses: np.ndarray) -> StepBreakdown:
+        walks = self.prepare(positions, masses)
+        return self.breakdown_from_walks(walks)
+
+    def breakdown_from_walks(self, walks: WalkSet) -> StepBreakdown:
+        """Timing of one force step given prepared walks."""
+        cfg = self.config
+        force, reduce_launch = self._launches(walks)
+        timings = [time_kernel(cfg.device, force, schedule=self.schedule)]
+        if reduce_launch is not None:
+            timings.append(time_kernel(cfg.device, reduce_launch))
+        kernel_seconds = sum(t.seconds for t in timings)
+        tree_s, walk_s = self._host_seconds(walks)
+        list_xfer_s = self._list_transfers(walks).total_time(cfg.device)
+
+        if self.overlap:
+            # Tree build precedes all walk generation; walk batches then
+            # stream through PCIe into the device's work queue
+            # (CPU -> DMA -> GPU, three overlapping resources).
+            b = min(self.pipeline_batches, len(walks))
+            cpu_batches = split_batches(walk_s, b)
+            cpu_batches[0] += tree_s
+            pcie_batches = split_batches(list_xfer_s, b)
+            gpu_batches = split_batches(kernel_seconds, b)
+            pipe = overlapped_pipeline3(cpu_batches, pcie_batches, gpu_batches)
+            pipeline_total = pipe.total_seconds
+        else:
+            pipeline_total = tree_s + walk_s + list_xfer_s + kernel_seconds
+
+        meta = self._walk_meta(walks)
+        meta["lane_utilization"] = (
+            force.total_interactions / force.total_issued_interactions
+            if force.total_issued_interactions
+            else 1.0
+        )
+        meta["pipeline_batches"] = self.pipeline_batches
+        meta["schedule"] = self.schedule
+        meta["n_queue_items"] = force.n_workgroups
+        meta["mean_split"] = float(np.mean(self.split_counts(walks)))
+        return StepBreakdown(
+            plan=self.name,
+            n_bodies=walks.tree.n_bodies,
+            kernel_seconds=kernel_seconds,
+            host_seconds=tree_s + walk_s,
+            transfer_seconds=self._body_transfers(walks).total_time(cfg.device),
+            serial_seconds=cfg.host.integration_seconds(walks.tree.n_bodies),
+            overlapped=self.overlap,
+            interactions=force.total_interactions,
+            issued_interactions=force.total_issued_interactions,
+            kernels=timings,
+            pipeline_total=pipeline_total,
+            meta=meta,
+        )

@@ -1,0 +1,67 @@
+"""Multi-device jw-parallel — the paper's natural extension, projected.
+
+The jw plan's dynamic walk queue generalises directly to several GPUs:
+one host generates walks, every device drains the same queue.  This plan
+models ``n_devices`` identical GPUs sharing the queue:
+
+* force work schedules over ``n_devices x compute_units`` workers;
+* each device has its own memory system and PCIe link (aggregate
+  bandwidth scales), while the **single host** walk generator does not —
+  so scaling saturates when walk generation becomes the critical path,
+  the ceiling :func:`repro.perfmodel.analytic.predict_multi_device_scaling`
+  writes down analytically.
+
+Functionally the forces are identical to single-device jw (the queue only
+changes *where* walks execute), so :meth:`accelerations` is inherited.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.plans.base import PlanConfig
+from repro.core.plans.jw_parallel import JwParallelPlan
+from repro.errors import ConfigurationError
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["MultiDeviceJwPlan"]
+
+
+def _aggregate_device(base: DeviceSpec, n_devices: int) -> DeviceSpec:
+    """A virtual device equivalent to ``n_devices`` copies of ``base``.
+
+    CU count, global bandwidth and PCIe bandwidth all scale (each physical
+    device owns its memory and link); per-CU quantities are unchanged, so
+    occupancy and work-group costs behave as on one physical device.
+    """
+    return dataclasses.replace(
+        base,
+        name=f"{base.name} x{n_devices}",
+        compute_units=base.compute_units * n_devices,
+        global_bandwidth_bytes_s=base.global_bandwidth_bytes_s * n_devices,
+        pcie_bandwidth_bytes_s=base.pcie_bandwidth_bytes_s * n_devices,
+    )
+
+
+class MultiDeviceJwPlan(JwParallelPlan):
+    """jw-parallel across ``n_devices`` GPUs sharing one walk queue."""
+
+    name = "jw-multi"
+
+    def __init__(self, config: PlanConfig | None = None, *, n_devices: int = 2,
+                 **kwargs) -> None:
+        if n_devices < 1:
+            raise ConfigurationError(f"n_devices must be >= 1, got {n_devices}")
+        config = config or PlanConfig()
+        self.n_devices = n_devices
+        self.base_device = config.device
+        timed = dataclasses.replace(
+            config, device=_aggregate_device(config.device, n_devices)
+        )
+        super().__init__(timed, **kwargs)
+
+    def breakdown_from_walks(self, walks):
+        b = super().breakdown_from_walks(walks)
+        b.plan = self.name
+        b.meta["n_devices"] = self.n_devices
+        return b

@@ -1,0 +1,127 @@
+"""Shared machinery for the tree-based (w / jw) plans.
+
+Both plans do the same host-side preparation — build the octree, generate
+walks — and evaluate the same per-walk interaction lists on the device;
+they differ in how walks are *grouped*, how threads map onto a walk's
+interaction rectangle, and whether host work overlaps the kernel.  This
+base class owns the shared parts so the two plans express only their
+differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plans.base import Plan
+from repro.gpu.counters import CostCounters
+from repro.gpu.kernel import tile_loop_forces
+from repro.gpu.memory import BYTES_PER_ACCEL, BYTES_PER_BODY, TransferLog
+from repro.tree.bh_force import walk_sources
+from repro.tree.octree import Octree, build_octree
+from repro.tree.walks import WalkSet, generate_walks
+
+__all__ = ["TreePlanBase"]
+
+
+class TreePlanBase(Plan):
+    """Common prepare / functional / transfer logic for tree plans."""
+
+    method = "bh"
+
+    # -- hooks the concrete plans override --------------------------------
+    def _make_groups(self, tree: Octree) -> np.ndarray:
+        """Return the ``(k, 2)`` body groups this plan forms walks from."""
+        raise NotImplementedError
+
+    # -- shared preparation -------------------------------------------------
+    def prepare(self, positions: np.ndarray, masses: np.ndarray) -> WalkSet:
+        """Host-side step: octree build + walk generation."""
+        positions, masses = self._validate_bodies(positions, masses)
+        tree = build_octree(positions, masses, leaf_size=self.config.leaf_size)
+        return generate_walks(
+            tree, theta=self.config.theta, groups=self._make_groups(tree)
+        )
+
+    # -- shared functional execution --------------------------------------
+    def accelerations(self, positions: np.ndarray, masses: np.ndarray) -> np.ndarray:
+        walks = self.prepare(positions, masses)
+        return self.accelerations_from_walks(walks)
+
+    def accelerations_from_walks(self, walks: WalkSet) -> np.ndarray:
+        """Device-kernel evaluation of prepared walks (float32 tiles)."""
+        cfg = self.config
+        tree = walks.tree
+        counters = CostCounters()
+        acc_sorted = np.empty((tree.n_bodies, 3), dtype=np.float32)
+        for w in walks:
+            src_pos, src_mass = walk_sources(tree, w)
+            acc_sorted[w.start : w.end] = tile_loop_forces(
+                tree.positions[w.start : w.end],
+                src_pos,
+                src_mass,
+                wg_size=cfg.wg_size,
+                softening=cfg.softening,
+                G=cfg.G,
+                device=cfg.device,
+                counters=counters,
+            )
+        assert counters.interactions == walks.total_interactions, (
+            "functional/timing drift"
+        )
+        return tree.unsort(acc_sorted.astype(np.float64))
+
+    def breakdown_from_walks(self, walks: WalkSet):
+        """Timing of one force step given prepared walks (plan-specific)."""
+        raise NotImplementedError
+
+    def compute_step(self, positions: np.ndarray, masses: np.ndarray):
+        """One force step sharing a single tree/walk preparation."""
+        walks = self.prepare(positions, masses)
+        return self.accelerations_from_walks(walks), self.breakdown_from_walks(walks)
+
+    # -- shared cost pieces -------------------------------------------------
+    def _host_seconds(self, walks: WalkSet) -> tuple[float, float]:
+        """(tree build, walk generation) CPU seconds for this snapshot."""
+        host = self.config.host
+        tree_s = host.tree_build_seconds(walks.tree.n_bodies)
+        walk_s = host.walk_generation_seconds(
+            len(walks), int(walks.list_lengths().sum())
+        )
+        return tree_s, walk_s
+
+    def _body_transfers(self, walks: WalkSet) -> TransferLog:
+        """Per-step body upload + acceleration download."""
+        n = walks.tree.n_bodies
+        log = TransferLog()
+        log.host_to_device(n * BYTES_PER_BODY)
+        log.device_to_host(n * BYTES_PER_ACCEL)
+        return log
+
+    def _list_transfers(self, walks: WalkSet) -> TransferLog:
+        """Interaction-list upload: cell monopoles ship as float4 bodies,
+        particle-list entries as 4-byte indices into the body array."""
+        cells = sum(int(w.cell_list.size) for w in walks)
+        parts = sum(int(w.particle_list.size) for w in walks)
+        log = TransferLog()
+        log.host_to_device(cells * BYTES_PER_BODY + parts * 4)
+        return log
+
+    def _transfers(self, walks: WalkSet) -> TransferLog:
+        """All PCIe traffic of one step (bodies, lists, accelerations)."""
+        log = self._body_transfers(walks)
+        other = self._list_transfers(walks)
+        log.h2d_bytes += other.h2d_bytes
+        log.n_transfers += other.n_transfers
+        return log
+
+    def _walk_meta(self, walks: WalkSet) -> dict:
+        """Diagnostic statistics shared by both plans' breakdowns."""
+        sizes = walks.group_sizes()
+        lists = walks.list_lengths()
+        return {
+            "n_walks": len(walks),
+            "mean_group_size": float(sizes.mean()),
+            "mean_list_length": float(lists.mean()),
+            "load_imbalance": walks.load_imbalance(),
+            "theta": walks.theta,
+        }

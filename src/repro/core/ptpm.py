@@ -1,0 +1,167 @@
+"""PTPM — the Parallel Time-Space Processing Model.
+
+The paper's conceptual contribution: describe any GPU N-body
+implementation by *where* each problem dimension is mapped (the space
+axis) and *how host and device work are sequenced* (the time axis), then
+read the performance failure modes straight off the description:
+
+* i-bodies on threads with nothing else parallel  -> occupancy starvation
+  at small N (i-parallel);
+* the j-dimension split across blocks              -> full occupancy but
+  reduction overhead (j-parallel);
+* walks on blocks, bodies on threads               -> lane
+  under-utilisation + serial host walk generation (w-parallel);
+* walks on a dynamic queue, (i x j) on threads,
+  host pipelined with device                       -> jw-parallel.
+
+:class:`PlanDescriptor` encodes the mapping; :func:`describe` returns the
+canonical descriptor of each of the four plans; the ``predicts_*``
+properties express the qualitative analysis above, which the test suite
+checks against the *measured* behaviour of the simulated plans — the
+model is falsifiable, not decorative.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Mapping", "PlanDescriptor", "describe", "PLAN_NAMES", "comparison_table"]
+
+PLAN_NAMES = ("i", "j", "w", "jw")
+
+
+class Mapping(enum.Enum):
+    """Where a problem dimension is processed."""
+
+    #: across work-groups (grid dimension)
+    BLOCK = "block"
+    #: across threads of a work-group
+    THREAD = "thread"
+    #: across both — flattened over all threads of a block
+    BLOCK_THREAD = "block+thread"
+    #: sequentially inside a thread (a loop)
+    SEQUENTIAL = "sequential"
+    #: on the host CPU
+    HOST = "host"
+    #: not applicable for this plan
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class PlanDescriptor:
+    """A point in the PTPM design space.
+
+    Space axis: ``i_mapping`` (target bodies), ``j_mapping`` (source
+    bodies / interaction-list entries), ``walk_mapping`` (tree walks).
+    Time axis: ``walk_generation`` (where lists are built) and
+    ``host_device_overlap`` (whether that host work is pipelined with the
+    kernel).  ``dynamic_queue`` marks work-stealing walk dispatch.
+    """
+
+    name: str
+    method: str  # "pp" or "bh"
+    i_mapping: Mapping
+    j_mapping: Mapping
+    walk_mapping: Mapping
+    walk_generation: Mapping
+    host_device_overlap: bool
+    dynamic_queue: bool
+
+    # -- the model's qualitative predictions -----------------------------
+    @property
+    def predicts_occupancy_starvation_at_small_n(self) -> bool:
+        """Too few blocks at small N? (only i-bodies generate blocks)."""
+        return (
+            self.i_mapping in (Mapping.BLOCK, Mapping.THREAD)
+            and self.j_mapping == Mapping.SEQUENTIAL
+            and self.walk_mapping == Mapping.NONE
+        )
+
+    @property
+    def predicts_lane_underutilization(self) -> bool:
+        """Idle lanes when walks don't fill the block? (thread = i-body only)."""
+        return self.walk_mapping == Mapping.BLOCK and self.i_mapping == Mapping.THREAD
+
+    @property
+    def predicts_reduction_overhead(self) -> bool:
+        """Partial forces needing a combine pass? (j split across blocks/threads)."""
+        return self.j_mapping in (Mapping.BLOCK, Mapping.BLOCK_THREAD)
+
+    @property
+    def predicts_serial_host_bottleneck(self) -> bool:
+        """Host walk generation on the critical path?"""
+        return self.walk_generation == Mapping.HOST and not self.host_device_overlap
+
+    def row(self) -> dict[str, str]:
+        """One row of the PTPM comparison table."""
+        return {
+            "plan": self.name,
+            "method": self.method,
+            "i": self.i_mapping.value,
+            "j": self.j_mapping.value,
+            "walk": self.walk_mapping.value,
+            "overlap": "yes" if self.host_device_overlap else "no",
+            "queue": "dynamic" if self.dynamic_queue else "static",
+        }
+
+
+_DESCRIPTORS: dict[str, PlanDescriptor] = {
+    "i": PlanDescriptor(
+        name="i",
+        method="pp",
+        i_mapping=Mapping.THREAD,
+        j_mapping=Mapping.SEQUENTIAL,
+        walk_mapping=Mapping.NONE,
+        walk_generation=Mapping.NONE,
+        host_device_overlap=False,
+        dynamic_queue=False,
+    ),
+    "j": PlanDescriptor(
+        name="j",
+        method="pp",
+        i_mapping=Mapping.THREAD,
+        j_mapping=Mapping.BLOCK,
+        walk_mapping=Mapping.NONE,
+        walk_generation=Mapping.NONE,
+        host_device_overlap=False,
+        dynamic_queue=False,
+    ),
+    "w": PlanDescriptor(
+        name="w",
+        method="bh",
+        i_mapping=Mapping.THREAD,
+        j_mapping=Mapping.SEQUENTIAL,
+        walk_mapping=Mapping.BLOCK,
+        walk_generation=Mapping.HOST,
+        host_device_overlap=False,
+        dynamic_queue=False,
+    ),
+    "jw": PlanDescriptor(
+        name="jw",
+        method="bh",
+        i_mapping=Mapping.BLOCK_THREAD,
+        j_mapping=Mapping.BLOCK_THREAD,
+        walk_mapping=Mapping.BLOCK,
+        walk_generation=Mapping.HOST,
+        host_device_overlap=True,
+        dynamic_queue=True,
+    ),
+}
+
+
+def describe(plan_name: str) -> PlanDescriptor:
+    """The canonical PTPM descriptor of one of the four plans."""
+    try:
+        return _DESCRIPTORS[plan_name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown plan '{plan_name}'; choose from {PLAN_NAMES}"
+        ) from None
+
+
+def comparison_table() -> list[dict[str, str]]:
+    """The PTPM table of all four plans (Fig. 3 / section 4.2 in rows)."""
+    return [describe(name).row() for name in PLAN_NAMES]

@@ -1,0 +1,84 @@
+"""Walk-to-block scheduling policies — the *space* axis load balancer.
+
+The jw plan replaces the grid's implicit walk->block binding with a
+dynamic work queue drained by persistent blocks; this module provides the
+queue policies and makespan evaluation the plans and the queue ablation
+use.  Policies:
+
+* ``"static"`` — round-robin pre-assignment (no queue; the strawman).
+* ``"dynamic"`` — FIFO queue, earliest-free worker (the jw mechanism and
+  also how hardware dispatches grid blocks).
+* ``"dynamic-lpt"`` — longest-processing-time-first queue ordering, a
+  classic refinement the paper's future-work discussion motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpu.timing import greedy_schedule, round_robin_schedule
+
+__all__ = ["ScheduleOutcome", "schedule_walks", "POLICIES"]
+
+POLICIES = ("static", "dynamic", "dynamic-lpt")
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Makespan and balance statistics of one scheduling decision."""
+
+    policy: str
+    makespan: float
+    worker_busy: np.ndarray
+    n_items: int
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all item costs."""
+        return float(self.worker_busy.sum())
+
+    @property
+    def balance_efficiency(self) -> float:
+        """Total work over (makespan x workers); 1.0 is a perfect schedule."""
+        denom = self.makespan * self.worker_busy.size
+        if denom == 0.0:
+            return 1.0
+        return self.total_work / denom
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of worker-time spent idle before the makespan."""
+        return 1.0 - self.balance_efficiency
+
+
+def schedule_walks(
+    costs: np.ndarray, n_workers: int, policy: str = "dynamic"
+) -> ScheduleOutcome:
+    """Schedule per-walk costs onto ``n_workers`` persistent blocks.
+
+    ``costs`` is any per-item cost measure (cycles, interactions); the
+    outcome's makespan is in the same unit.
+    """
+    if policy not in POLICIES:
+        raise ConfigurationError(
+            f"unknown scheduling policy '{policy}'; choose from {POLICIES}"
+        )
+    costs = np.asarray(costs, dtype=np.float64)
+    if np.any(costs < 0):
+        raise ConfigurationError("walk costs must be non-negative")
+    if policy == "static":
+        makespan, busy = round_robin_schedule(costs, n_workers)
+    elif policy == "dynamic":
+        makespan, busy = greedy_schedule(costs, n_workers)
+    else:  # dynamic-lpt
+        order = np.argsort(costs)[::-1]
+        makespan, busy = greedy_schedule(costs[order], n_workers)
+    return ScheduleOutcome(
+        policy=policy,
+        makespan=float(makespan),
+        worker_busy=busy,
+        n_items=int(costs.size),
+    )

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures without also
+catching programming errors (``TypeError`` etc. are still raised where the
+caller violates an API contract in a way NumPy would surface anyway).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A device, plan, or simulation was configured inconsistently."""
+
+
+class LaunchError(ReproError):
+    """A kernel launch was specified with an invalid geometry."""
+
+
+class DeviceError(ReproError):
+    """A device specification is invalid or an operation exceeds device limits."""
+
+
+class TreeError(ReproError):
+    """Octree construction or traversal failed an internal invariant."""
+
+
+class WorkloadError(ReproError):
+    """An initial-condition or workload generator was given invalid parameters."""

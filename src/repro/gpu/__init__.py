@@ -1,0 +1,82 @@
+"""Simulated SIMT GPU substrate.
+
+Replaces the paper's AMD Radeon HD 5850 with a parameterised device model:
+functional tiled-kernel execution (real float32 arithmetic) plus a
+calibrated timing engine (occupancy, divergence, memory, scheduling).
+"""
+
+from repro.gpu.device import RADEON_HD_5850, DeviceSpec, scaled_device
+from repro.gpu.counters import CostCounters
+from repro.gpu.wavefront import active_wavefronts, divergent_cycles, lane_utilization
+from repro.gpu.memory import (
+    BYTES_PER_ACCEL,
+    BYTES_PER_BODY,
+    TransferLog,
+    body_transfer_time,
+    check_lds_fit,
+    lds_tile_capacity,
+    transfer_time,
+)
+from repro.gpu.occupancy import OccupancyInfo, kernel_occupancy
+from repro.gpu.launch import KernelLaunch, NDRange, WorkGroupWork
+from repro.gpu.kernel import (
+    packed_tile_loop_work,
+    reduction_work,
+    tile_loop_forces,
+    tile_loop_work,
+)
+from repro.gpu.events import Command, CommandRecord, EventGraph
+from repro.gpu.roofline import RooflinePoint, ridge_intensity, roofline_point
+from repro.gpu.trace import ExecutionTrace, Interval, trace_costs, trace_launch
+from repro.gpu.timing import (
+    BARRIER_CYCLES,
+    WG_DISPATCH_CYCLES,
+    KernelTiming,
+    greedy_schedule,
+    round_robin_schedule,
+    time_kernel,
+    workgroup_cycles,
+)
+
+__all__ = [
+    "RADEON_HD_5850",
+    "DeviceSpec",
+    "scaled_device",
+    "CostCounters",
+    "active_wavefronts",
+    "divergent_cycles",
+    "lane_utilization",
+    "BYTES_PER_ACCEL",
+    "BYTES_PER_BODY",
+    "TransferLog",
+    "body_transfer_time",
+    "check_lds_fit",
+    "lds_tile_capacity",
+    "transfer_time",
+    "OccupancyInfo",
+    "kernel_occupancy",
+    "KernelLaunch",
+    "NDRange",
+    "WorkGroupWork",
+    "packed_tile_loop_work",
+    "reduction_work",
+    "tile_loop_forces",
+    "tile_loop_work",
+    "Command",
+    "CommandRecord",
+    "EventGraph",
+    "RooflinePoint",
+    "ridge_intensity",
+    "roofline_point",
+    "ExecutionTrace",
+    "Interval",
+    "trace_costs",
+    "trace_launch",
+    "BARRIER_CYCLES",
+    "WG_DISPATCH_CYCLES",
+    "KernelTiming",
+    "greedy_schedule",
+    "round_robin_schedule",
+    "time_kernel",
+    "workgroup_cycles",
+]

@@ -1,0 +1,61 @@
+"""Cost counters accumulated by functional kernel execution.
+
+Every simulated kernel records the work it actually performed —
+interactions, bytes moved, barriers — into a :class:`CostCounters`.  The
+timing engine consumes the same quantities, so the functional and timing
+paths cannot silently disagree about how much work a kernel did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostCounters"]
+
+
+@dataclass
+class CostCounters:
+    """Work performed by (part of) a kernel.
+
+    Attributes
+    ----------
+    interactions:
+        Body-body (or body-cell) force evaluations.
+    global_bytes:
+        Bytes moved between global memory and the compute units.
+    lds_bytes:
+        Bytes staged through local memory (tiles).
+    barriers:
+        Work-group barrier synchronisations executed.
+    reductions:
+        Scalar reduction operations (j-parallel partial-force combines).
+    """
+
+    interactions: int = 0
+    global_bytes: int = 0
+    lds_bytes: int = 0
+    barriers: int = 0
+    reductions: int = 0
+
+    def add(self, other: "CostCounters") -> "CostCounters":
+        """Accumulate ``other`` into ``self`` (returns self for chaining)."""
+        self.interactions += other.interactions
+        self.global_bytes += other.global_bytes
+        self.lds_bytes += other.lds_bytes
+        self.barriers += other.barriers
+        self.reductions += other.reductions
+        return self
+
+    def copy(self) -> "CostCounters":
+        """An independent copy."""
+        return CostCounters(
+            interactions=self.interactions,
+            global_bytes=self.global_bytes,
+            lds_bytes=self.lds_bytes,
+            barriers=self.barriers,
+            reductions=self.reductions,
+        )
+
+    def flops(self, flops_per_interaction: int = 20) -> float:
+        """Arithmetic work under a flops-per-interaction convention."""
+        return float(self.interactions) * flops_per_interaction

@@ -1,0 +1,205 @@
+"""Functional work-group execution and matching work accounting.
+
+The simulated kernels are *real*: they evaluate the same arithmetic the
+OpenCL kernels in the paper perform, in ``float32``, staging source tiles
+through an emulated local memory.  For every functional helper there is a
+sibling ``*_work`` helper returning the :class:`WorkGroupWork` record the
+timing engine consumes — both derive their counts from the same tile
+geometry, so physics and timing describe one computation.
+
+Tile structure (section 4.1 / Fig. 1-2 of the paper): a work-group of
+``p`` threads processes the source dimension in tiles of ``p`` bodies;
+each tile is loaded cooperatively into local memory behind a barrier, each
+thread accumulates ``p`` interactions from the tile, and a second barrier
+precedes the next load.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpu.counters import CostCounters
+from repro.gpu.device import DeviceSpec
+from repro.gpu.launch import WorkGroupWork
+from repro.gpu.memory import BYTES_PER_ACCEL, BYTES_PER_BODY, check_lds_fit
+from repro.gpu.wavefront import active_wavefronts
+
+__all__ = [
+    "tile_loop_forces",
+    "tile_loop_work",
+    "packed_tile_loop_work",
+    "reduction_work",
+]
+
+
+def tile_loop_forces(
+    targets: np.ndarray,
+    src_pos: np.ndarray,
+    src_mass: np.ndarray,
+    *,
+    wg_size: int,
+    softening: float,
+    G: float = 1.0,
+    device: DeviceSpec | None = None,
+    counters: CostCounters | None = None,
+    dtype: np.dtype | type = np.float32,
+) -> np.ndarray:
+    """Functionally execute one work-group's tiled force loop.
+
+    ``targets`` are the work-group's i-bodies (one per active thread for
+    the i/w plans; the whole walk group for jw).  Sources are staged
+    through an emulated LDS tile of ``wg_size`` bodies at a time and the
+    partial accelerations accumulate in ``dtype`` precision, reproducing
+    device rounding behaviour.
+    """
+    if wg_size < 1:
+        raise ValueError(f"wg_size must be >= 1, got {wg_size}")
+    if device is not None:
+        check_lds_fit(device, wg_size * BYTES_PER_BODY)
+    targets = np.asarray(targets, dtype=dtype)
+    src_pos = np.asarray(src_pos, dtype=dtype)
+    src_mass = np.asarray(src_mass, dtype=dtype)
+    nt = targets.shape[0]
+    ns = src_pos.shape[0]
+    acc = np.zeros((nt, 3), dtype=dtype)
+    eps2 = dtype(softening) ** 2
+
+    lds_pos = np.empty((wg_size, 3), dtype=dtype)
+    lds_mass = np.empty(wg_size, dtype=dtype)
+    n_tiles = 0
+    for t0 in range(0, ns, wg_size):
+        t1 = min(t0 + wg_size, ns)
+        k = t1 - t0
+        # cooperative load into local memory (barrier), then the tile loop
+        lds_pos[:k] = src_pos[t0:t1]
+        lds_mass[:k] = src_mass[t0:t1]
+        d = lds_pos[np.newaxis, :k, :] - targets[:, np.newaxis, :]
+        r2 = np.einsum("ijk,ijk->ij", d, d) + eps2
+        inv_r3 = r2 ** dtype(-1.5)
+        w = inv_r3 * lds_mass[np.newaxis, :k]
+        acc += np.einsum("ij,ijk->ik", w, d).astype(dtype)
+        n_tiles += 1
+
+    if counters is not None:
+        counters.interactions += nt * ns
+        counters.lds_bytes += n_tiles * wg_size * BYTES_PER_BODY
+        counters.global_bytes += (
+            n_tiles * wg_size * BYTES_PER_BODY  # tile loads
+            + nt * BYTES_PER_BODY  # own-body loads
+            + nt * BYTES_PER_ACCEL  # acceleration stores
+        )
+        counters.barriers += 2 * n_tiles
+    if G != 1.0:
+        acc *= dtype(G)
+    return acc
+
+
+def tile_loop_work(
+    label: str,
+    *,
+    active_threads: int,
+    n_sources: int,
+    wg_size: int,
+    wavefront_size: int,
+) -> WorkGroupWork:
+    """Work record for a *thread-per-body* tiled loop (i, j and w plans).
+
+    Each of the ``active_threads`` i-threads serially processes all
+    ``n_sources`` tile entries.  Partially-filled wavefronts issue at full
+    width, so idle lanes are charged — this is the w-parallel efficiency
+    loss the paper identifies.
+    """
+    if active_threads < 1:
+        raise ValueError(f"active_threads must be >= 1, got {active_threads}")
+    if n_sources < 0:
+        raise ValueError(f"n_sources must be >= 0, got {n_sources}")
+    wf = active_wavefronts(active_threads, wavefront_size)
+    tiles = math.ceil(n_sources / wg_size) if n_sources else 0
+    return WorkGroupWork(
+        label=label,
+        interactions=active_threads * n_sources,
+        issued_interactions=wf * wavefront_size * n_sources,
+        active_threads=active_threads,
+        tiles=tiles,
+        global_bytes=(
+            tiles * wg_size * BYTES_PER_BODY
+            + active_threads * (BYTES_PER_BODY + BYTES_PER_ACCEL)
+        ),
+        lds_bytes_peak=wg_size * BYTES_PER_BODY,
+        barriers=2 * tiles,
+    )
+
+
+def packed_tile_loop_work(
+    label: str,
+    *,
+    n_targets: int,
+    n_sources: int,
+    wg_size: int,
+    wavefront_size: int,
+) -> WorkGroupWork:
+    """Work record for the jw plan's *packed* (i x j) thread mapping.
+
+    The ``n_targets * n_sources`` interaction rectangle is flattened
+    across all ``wg_size`` threads, so only the final partial wavefront
+    carries padding; the j-direction split requires a local-memory
+    reduction of ``n_targets * splits`` partial accelerations.
+    """
+    if n_targets < 1:
+        raise ValueError(f"n_targets must be >= 1, got {n_targets}")
+    if n_sources < 0:
+        raise ValueError(f"n_sources must be >= 0, got {n_sources}")
+    total = n_targets * n_sources
+    slots = math.ceil(total / wg_size) if total else 0
+    issued = active_wavefronts(wg_size, wavefront_size) * wavefront_size * slots
+    splits = max(1, wg_size // max(1, n_targets))
+    tiles = math.ceil(n_sources / wg_size) if n_sources else 0
+    return WorkGroupWork(
+        label=label,
+        interactions=total,
+        issued_interactions=issued,
+        active_threads=min(wg_size, max(1, total)),
+        tiles=tiles,
+        global_bytes=(
+            tiles * wg_size * BYTES_PER_BODY
+            + n_targets * (BYTES_PER_BODY + BYTES_PER_ACCEL)
+        ),
+        lds_bytes_peak=wg_size * BYTES_PER_BODY + n_targets * splits * BYTES_PER_ACCEL,
+        barriers=2 * tiles + int(math.log2(max(2, splits))),
+        reduction_ops=n_targets * splits,
+    )
+
+
+def reduction_work(
+    label: str,
+    *,
+    n_outputs: int,
+    n_partials_per_output: int,
+    wg_size: int,
+    wavefront_size: int,
+) -> WorkGroupWork:
+    """Work record for a j-parallel partial-force reduction work-group.
+
+    Memory-bound: reads ``n_outputs * n_partials_per_output`` partial
+    accelerations from global memory and writes ``n_outputs`` results.
+    """
+    if n_outputs < 1:
+        raise ValueError(f"n_outputs must be >= 1, got {n_outputs}")
+    if n_partials_per_output < 1:
+        raise ValueError(
+            f"n_partials_per_output must be >= 1, got {n_partials_per_output}"
+        )
+    wf = active_wavefronts(min(n_outputs, wg_size), wavefront_size)
+    return WorkGroupWork(
+        label=label,
+        interactions=0,
+        issued_interactions=0,
+        active_threads=min(n_outputs, wg_size),
+        tiles=0,
+        global_bytes=n_outputs * (n_partials_per_output + 1) * BYTES_PER_ACCEL,
+        lds_bytes_peak=0,
+        barriers=0,
+        reduction_ops=n_outputs * n_partials_per_output,
+    )

@@ -1,0 +1,137 @@
+"""Kernel-launch descriptions: NDRange geometry and per-work-group work.
+
+A :class:`KernelLaunch` is the interface between the plans (which know how
+to enumerate work) and the timing engine (which knows how long work takes).
+Each :class:`WorkGroupWork` records the *actual* work one work-group
+performs — derived from the same interaction lists the functional kernels
+evaluate, so timing and physics always describe the same computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LaunchError
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["NDRange", "WorkGroupWork", "KernelLaunch"]
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """OpenCL-style 1-D launch geometry."""
+
+    global_size: int
+    local_size: int
+
+    def __post_init__(self) -> None:
+        if self.local_size < 1:
+            raise LaunchError(f"local_size must be >= 1, got {self.local_size}")
+        if self.global_size < 1:
+            raise LaunchError(f"global_size must be >= 1, got {self.global_size}")
+        if self.global_size % self.local_size != 0:
+            raise LaunchError(
+                f"global_size {self.global_size} not a multiple of "
+                f"local_size {self.local_size}"
+            )
+
+    @property
+    def n_workgroups(self) -> int:
+        """Number of work-groups in the launch."""
+        return self.global_size // self.local_size
+
+    def validate_on(self, device: DeviceSpec) -> None:
+        """Check the geometry is launchable on ``device``."""
+        device.validate_workgroup(self.local_size)
+
+
+@dataclass
+class WorkGroupWork:
+    """Work performed by a single work-group.
+
+    ``interactions`` counts useful body-source evaluations;
+    ``issued_interactions`` additionally includes SIMT padding (idle lanes
+    in partially-filled wavefronts, divergence serialisation) and is what
+    compute time is charged on.  ``issued_interactions >= interactions``.
+    """
+
+    label: str
+    interactions: int
+    issued_interactions: int
+    active_threads: int
+    tiles: int = 0
+    global_bytes: int = 0
+    lds_bytes_peak: int = 0
+    barriers: int = 0
+    reduction_ops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interactions < 0 or self.issued_interactions < self.interactions:
+            raise LaunchError(
+                f"issued_interactions ({self.issued_interactions}) must be >= "
+                f"interactions ({self.interactions}) >= 0"
+            )
+        if self.active_threads < 1:
+            raise LaunchError("a work-group must have at least one active thread")
+
+    @property
+    def padding_fraction(self) -> float:
+        """Fraction of issued work that is SIMT padding (0 = perfectly packed)."""
+        if self.issued_interactions == 0:
+            return 0.0
+        return 1.0 - self.interactions / self.issued_interactions
+
+
+@dataclass
+class KernelLaunch:
+    """One kernel dispatch: geometry plus per-work-group work records."""
+
+    name: str
+    wg_size: int
+    workgroups: list[WorkGroupWork] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.wg_size < 1:
+            raise LaunchError(f"wg_size must be >= 1, got {self.wg_size}")
+        if not self.workgroups:
+            raise LaunchError(f"kernel '{self.name}' has no work-groups")
+        for wg in self.workgroups:
+            if wg.active_threads > self.wg_size:
+                raise LaunchError(
+                    f"work-group '{wg.label}' has {wg.active_threads} active "
+                    f"threads but wg_size is {self.wg_size}"
+                )
+
+    @property
+    def n_workgroups(self) -> int:
+        """Number of work-groups in this launch."""
+        return len(self.workgroups)
+
+    @property
+    def total_interactions(self) -> int:
+        """Useful interactions across all work-groups."""
+        return sum(w.interactions for w in self.workgroups)
+
+    @property
+    def total_issued_interactions(self) -> int:
+        """Issued (padding-inclusive) interactions across all work-groups."""
+        return sum(w.issued_interactions for w in self.workgroups)
+
+    @property
+    def total_global_bytes(self) -> int:
+        """Global-memory traffic across all work-groups."""
+        return sum(w.global_bytes for w in self.workgroups)
+
+    @property
+    def max_lds_bytes(self) -> int:
+        """Peak per-work-group LDS usage (occupancy input)."""
+        return max(w.lds_bytes_peak for w in self.workgroups)
+
+    def validate_on(self, device: DeviceSpec) -> None:
+        """Check geometry and LDS usage against device limits."""
+        device.validate_workgroup(self.wg_size)
+        if self.max_lds_bytes > device.lds_bytes_per_cu:
+            raise LaunchError(
+                f"kernel '{self.name}' needs {self.max_lds_bytes} B LDS per "
+                f"work-group; {device.name} has {device.lds_bytes_per_cu} B"
+            )

@@ -1,0 +1,87 @@
+"""Memory-system model: host<->device transfers and local-memory budgets.
+
+Bodies move across PCIe and through local memory as ``float4`` records
+(x, y, z, m) exactly as the OpenCL kernels in the paper store them, so all
+byte accounting uses 16-byte body and acceleration records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.gpu.device import DeviceSpec
+
+__all__ = [
+    "BYTES_PER_BODY",
+    "BYTES_PER_ACCEL",
+    "transfer_time",
+    "body_transfer_time",
+    "lds_tile_capacity",
+    "check_lds_fit",
+    "TransferLog",
+]
+
+#: One body record on the device: float4 (x, y, z, mass), 4 x 4 bytes.
+BYTES_PER_BODY = 16
+
+#: One acceleration record: float4 (ax, ay, az, pad).
+BYTES_PER_ACCEL = 16
+
+
+def transfer_time(device: DeviceSpec, n_bytes: int) -> float:
+    """Seconds to move ``n_bytes`` across PCIe (latency + bandwidth)."""
+    if n_bytes < 0:
+        raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+    if n_bytes == 0:
+        return 0.0
+    return device.pcie_latency_s + n_bytes / device.pcie_bandwidth_bytes_s
+
+
+def body_transfer_time(device: DeviceSpec, n_bodies: int) -> float:
+    """Seconds to move ``n_bodies`` body records across PCIe."""
+    return transfer_time(device, n_bodies * BYTES_PER_BODY)
+
+
+def lds_tile_capacity(device: DeviceSpec, item_bytes: int = BYTES_PER_BODY) -> int:
+    """Maximum number of items a single work-group tile can stage in LDS."""
+    if item_bytes <= 0:
+        raise ValueError(f"item_bytes must be positive, got {item_bytes}")
+    return device.lds_bytes_per_cu // item_bytes
+
+
+def check_lds_fit(device: DeviceSpec, n_bytes: int) -> None:
+    """Raise :class:`DeviceError` when a tile exceeds the LDS capacity."""
+    if n_bytes > device.lds_bytes_per_cu:
+        raise DeviceError(
+            f"tile of {n_bytes} B exceeds LDS capacity "
+            f"{device.lds_bytes_per_cu} B on {device.name}"
+        )
+
+
+@dataclass
+class TransferLog:
+    """Accumulates host<->device traffic for one simulation step."""
+
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    n_transfers: int = 0
+
+    def host_to_device(self, n_bytes: int) -> None:
+        """Record an upload."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+        self.h2d_bytes += n_bytes
+        self.n_transfers += 1
+
+    def device_to_host(self, n_bytes: int) -> None:
+        """Record a download."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+        self.d2h_bytes += n_bytes
+        self.n_transfers += 1
+
+    def total_time(self, device: DeviceSpec) -> float:
+        """Seconds for all logged transfers (latency charged per transfer)."""
+        bw_time = (self.h2d_bytes + self.d2h_bytes) / device.pcie_bandwidth_bytes_s
+        return self.n_transfers * device.pcie_latency_s + bw_time

@@ -1,0 +1,88 @@
+"""Roofline analysis of kernel launches on the simulated device.
+
+Places each kernel on the classic roofline: arithmetic intensity
+(flops per byte of global traffic) against the device's compute peak and
+bandwidth ceiling.  The N-body tile kernels are famously compute-bound
+(local-memory staging gives them very high intensity); the j-parallel
+reduction pass is bandwidth-bound — the roofline makes both placements,
+and the headroom each kernel leaves, quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.launch import KernelLaunch
+from repro.nbody.flops import DEFAULT_FLOPS_PER_INTERACTION
+
+__all__ = ["RooflinePoint", "roofline_point", "ridge_intensity"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's placement on the device roofline."""
+
+    kernel: str
+    flops: float
+    global_bytes: float
+    attainable_flops_s: float
+    peak_flops_s: float
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of global-memory traffic."""
+        if self.global_bytes == 0:
+            return float("inf")
+        return self.flops / self.global_bytes
+
+    @property
+    def compute_bound(self) -> bool:
+        """True when the compute ceiling, not bandwidth, limits the kernel."""
+        return self.attainable_flops_s >= self.peak_flops_s
+
+    @property
+    def efficiency_ceiling(self) -> float:
+        """Fraction of device peak this kernel could at best achieve."""
+        return min(1.0, self.attainable_flops_s / self.peak_flops_s)
+
+
+def ridge_intensity(
+    device: DeviceSpec,
+    flops_per_interaction: int = DEFAULT_FLOPS_PER_INTERACTION,
+) -> float:
+    """The roofline ridge point: intensity where bandwidth stops limiting.
+
+    Below this many flops/byte a kernel is memory-bound on this device.
+    The "peak" used is the device's *sustained* N-body rate (the relevant
+    ceiling for these kernels), not the theoretical MAD peak.
+    """
+    sustained = device.sustained_interaction_rate * flops_per_interaction
+    return sustained / device.global_bandwidth_bytes_s
+
+
+def roofline_point(
+    device: DeviceSpec,
+    launch: KernelLaunch,
+    flops_per_interaction: int = DEFAULT_FLOPS_PER_INTERACTION,
+) -> RooflinePoint:
+    """Place a kernel launch on the device roofline.
+
+    ``attainable = min(sustained_peak, intensity * bandwidth)`` — the
+    classic roofline formula with the sustained N-body rate as the
+    compute ceiling.
+    """
+    flops = float(launch.total_interactions) * flops_per_interaction
+    gbytes = float(launch.total_global_bytes)
+    sustained = device.sustained_interaction_rate * flops_per_interaction
+    if gbytes == 0:
+        attainable = sustained
+    else:
+        attainable = min(sustained, flops / gbytes * device.global_bandwidth_bytes_s)
+    return RooflinePoint(
+        kernel=launch.name,
+        flops=flops,
+        global_bytes=gbytes,
+        attainable_flops_s=attainable,
+        peak_flops_s=sustained,
+    )

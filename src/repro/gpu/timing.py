@@ -1,0 +1,168 @@
+"""Timing engine: work-group costs, CU scheduling, kernel makespan.
+
+The engine converts the *actual* per-work-group work recorded in a
+:class:`~repro.gpu.launch.KernelLaunch` into engine cycles, then schedules
+the work-groups onto compute units the way the hardware dispatcher does
+(greedy, earliest-available CU) and reports the makespan.  The occupancy
+model scales compute throughput when too few wavefronts are resident —
+which is the mechanism behind the paper's small-N results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import DeviceSpec
+from repro.gpu.launch import KernelLaunch, WorkGroupWork
+from repro.gpu.occupancy import OccupancyInfo, kernel_occupancy
+
+__all__ = [
+    "BARRIER_CYCLES",
+    "WG_DISPATCH_CYCLES",
+    "workgroup_cycles",
+    "greedy_schedule",
+    "round_robin_schedule",
+    "KernelTiming",
+    "time_kernel",
+]
+
+#: Cost of one work-group barrier (drain + re-issue of resident wavefronts).
+BARRIER_CYCLES = 40.0
+
+#: Per-work-group dispatch/teardown cost on the device.
+WG_DISPATCH_CYCLES = 600.0
+
+
+def workgroup_cycles(
+    device: DeviceSpec, wg: WorkGroupWork, latency_efficiency: float
+) -> float:
+    """Engine cycles one work-group occupies its compute unit for.
+
+    Compute and global-memory streams overlap (the CU hides whichever is
+    shorter), barriers and reductions serialise, and every group pays a
+    fixed dispatch cost.
+    """
+    if not 0.0 < latency_efficiency <= 1.0:
+        raise ConfigurationError(
+            f"latency_efficiency must be in (0, 1], got {latency_efficiency}"
+        )
+    compute = wg.issued_interactions / device.interactions_per_cycle_per_cu
+    compute /= latency_efficiency
+    mem = wg.global_bytes / device.global_bytes_per_cycle_per_cu
+    sync = wg.barriers * BARRIER_CYCLES
+    # reductions retire one op per stream core per interaction-equivalent slot
+    red = (
+        wg.reduction_ops * device.interaction_cycles / device.stream_cores_per_cu / 4.0
+    )
+    return max(compute, mem) + sync + red + WG_DISPATCH_CYCLES
+
+
+def greedy_schedule(costs: np.ndarray, n_workers: int) -> tuple[float, np.ndarray]:
+    """Hardware-style dispatch: each item goes to the earliest-free worker.
+
+    Items are dispatched **in submission order** (this is what a GPU block
+    scheduler or a dynamic work queue does).  Returns
+    ``(makespan, per_worker_busy_time)``.
+    """
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.size == 0:
+        return 0.0, np.zeros(n_workers)
+    heap = [(0.0, w) for w in range(n_workers)]
+    heapq.heapify(heap)
+    busy = np.zeros(n_workers)
+    finish = 0.0
+    for c in costs:
+        t, w = heapq.heappop(heap)
+        t_new = t + float(c)
+        busy[w] += float(c)
+        finish = max(finish, t_new)
+        heapq.heappush(heap, (t_new, w))
+    return finish, busy
+
+
+def round_robin_schedule(costs: np.ndarray, n_workers: int) -> tuple[float, np.ndarray]:
+    """Static pre-assignment: item ``k`` goes to worker ``k % n_workers``.
+
+    The contrast case for the dynamic-queue ablation — skewed work piles
+    onto unlucky workers.
+    """
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    costs = np.asarray(costs, dtype=np.float64)
+    busy = np.zeros(n_workers)
+    for k, c in enumerate(costs):
+        busy[k % n_workers] += float(c)
+    return float(busy.max(initial=0.0)), busy
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Result of timing one kernel launch."""
+
+    name: str
+    seconds: float
+    makespan_cycles: float
+    occupancy: OccupancyInfo
+    n_workgroups: int
+    total_interactions: int
+    total_issued_interactions: int
+    cu_busy_fraction: float
+
+    @property
+    def device_seconds(self) -> float:
+        """Pure device-side time (excludes the host launch overhead)."""
+        return self.seconds
+
+
+def time_kernel(
+    device: DeviceSpec,
+    launch: KernelLaunch,
+    *,
+    schedule: str = "hardware",
+    include_launch_overhead: bool = True,
+) -> KernelTiming:
+    """Simulate the execution time of ``launch`` on ``device``.
+
+    Parameters
+    ----------
+    schedule:
+        ``"hardware"`` — greedy earliest-free-CU dispatch (real GPUs, and
+        the jw plan's dynamic walk queue); ``"static"`` — round-robin
+        pre-assignment (the ablation contrast).
+    """
+    if schedule not in ("hardware", "static"):
+        raise ConfigurationError(f"unknown schedule '{schedule}'")
+    launch.validate_on(device)
+    occ = kernel_occupancy(
+        device,
+        wg_size=launch.wg_size,
+        n_workgroups=launch.n_workgroups,
+        lds_bytes_per_wg=launch.max_lds_bytes,
+    )
+    costs = np.array(
+        [workgroup_cycles(device, wg, occ.latency_efficiency) for wg in launch.workgroups]
+    )
+    scheduler = greedy_schedule if schedule == "hardware" else round_robin_schedule
+    makespan, busy = scheduler(costs, device.compute_units)
+    seconds = device.seconds(makespan)
+    if include_launch_overhead:
+        seconds += device.kernel_launch_overhead_s
+    busy_fraction = (
+        float(busy.sum() / (makespan * device.compute_units)) if makespan > 0 else 0.0
+    )
+    return KernelTiming(
+        name=launch.name,
+        seconds=seconds,
+        makespan_cycles=float(makespan),
+        occupancy=occ,
+        n_workgroups=launch.n_workgroups,
+        total_interactions=launch.total_interactions,
+        total_issued_interactions=launch.total_issued_interactions,
+        cu_busy_fraction=busy_fraction,
+    )

@@ -1,0 +1,147 @@
+"""Execution traces: per-compute-unit timelines of a kernel launch.
+
+Where :mod:`repro.gpu.timing` reports a single makespan, this module
+records *when each work-group ran on which compute unit* and renders the
+timeline as an ASCII Gantt chart — which makes load imbalance (the static
+w-parallel tail vs the jw dynamic queue) directly visible instead of just
+aggregated into a number.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import DeviceSpec
+from repro.gpu.launch import KernelLaunch
+from repro.gpu.occupancy import kernel_occupancy
+from repro.gpu.timing import workgroup_cycles
+
+__all__ = ["Interval", "ExecutionTrace", "trace_costs", "trace_launch"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One work item's execution window on one worker."""
+
+    worker: int
+    start: float
+    end: float
+    label: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """A scheduled timeline across ``n_workers`` workers."""
+
+    intervals: list[Interval]
+    n_workers: int
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last item."""
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def worker_busy(self) -> np.ndarray:
+        """Total busy time per worker."""
+        busy = np.zeros(self.n_workers)
+        for iv in self.intervals:
+            busy[iv.worker] += iv.duration
+        return busy
+
+    @property
+    def utilization(self) -> float:
+        """Busy time over (makespan x workers)."""
+        ms = self.makespan
+        if ms == 0.0:
+            return 1.0
+        return float(self.worker_busy().sum() / (ms * self.n_workers))
+
+    def gantt(self, *, width: int = 72) -> str:
+        """ASCII Gantt chart: one row per worker, '#' = busy, '.' = idle."""
+        if width < 10:
+            raise ConfigurationError(f"width must be >= 10, got {width}")
+        ms = self.makespan
+        lines = []
+        for w in range(self.n_workers):
+            row = ["."] * width
+            for iv in self.intervals:
+                if iv.worker != w or ms == 0.0:
+                    continue
+                a = int(iv.start / ms * (width - 1))
+                b = max(a + 1, int(np.ceil(iv.end / ms * (width - 1))))
+                for c in range(a, min(b, width)):
+                    row[c] = "#"
+            lines.append(f"CU{w:02d} |{''.join(row)}|")
+        lines.append(
+            f"      makespan = {ms:.3g}, utilization = {self.utilization:.1%}"
+        )
+        return "\n".join(lines)
+
+
+def trace_costs(
+    costs: np.ndarray,
+    n_workers: int,
+    *,
+    labels: list[str] | None = None,
+    policy: str = "dynamic",
+) -> ExecutionTrace:
+    """Schedule item costs onto workers, recording the timeline.
+
+    ``policy``: ``"dynamic"`` (earliest-free worker, FIFO — hardware
+    dispatch / jw queue) or ``"static"`` (round-robin pre-assignment).
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    if np.any(costs < 0):
+        raise ConfigurationError("costs must be non-negative")
+    if labels is None:
+        labels = [f"item{k}" for k in range(costs.size)]
+    if len(labels) != costs.size:
+        raise ConfigurationError("labels length must match costs")
+
+    intervals: list[Interval] = []
+    if policy == "dynamic":
+        heap = [(0.0, w) for w in range(n_workers)]
+        heapq.heapify(heap)
+        for c, lab in zip(costs, labels):
+            t, w = heapq.heappop(heap)
+            intervals.append(Interval(w, t, t + float(c), lab))
+            heapq.heappush(heap, (t + float(c), w))
+    elif policy == "static":
+        t_worker = np.zeros(n_workers)
+        for k, (c, lab) in enumerate(zip(costs, labels)):
+            w = k % n_workers
+            intervals.append(Interval(w, t_worker[w], t_worker[w] + float(c), lab))
+            t_worker[w] += float(c)
+    else:
+        raise ConfigurationError(f"unknown policy '{policy}'")
+    return ExecutionTrace(intervals, n_workers)
+
+
+def trace_launch(
+    device: DeviceSpec, launch: KernelLaunch, *, schedule: str = "hardware"
+) -> ExecutionTrace:
+    """Timeline (in engine cycles) of a kernel launch on ``device``."""
+    if schedule not in ("hardware", "static"):
+        raise ConfigurationError(f"unknown schedule '{schedule}'")
+    occ = kernel_occupancy(
+        device,
+        wg_size=launch.wg_size,
+        n_workgroups=launch.n_workgroups,
+        lds_bytes_per_wg=launch.max_lds_bytes,
+    )
+    costs = np.array(
+        [workgroup_cycles(device, wg, occ.latency_efficiency) for wg in launch.workgroups]
+    )
+    labels = [wg.label for wg in launch.workgroups]
+    policy = "dynamic" if schedule == "hardware" else "static"
+    return trace_costs(costs, device.compute_units, labels=labels, policy=policy)

@@ -1,0 +1,85 @@
+"""N-body physics substrate: particles, workloads, forces, integration.
+
+This subpackage is the ground-truth physics layer every higher level
+(treecode, simulated GPU plans, benchmarks) builds on and is validated
+against.
+"""
+
+from repro.nbody.particles import ParticleSet
+from repro.nbody.forces import (
+    DEFAULT_SOFTENING,
+    accelerations_from_sources,
+    direct_forces,
+    direct_forces_naive,
+    pairwise_force,
+)
+from repro.nbody.energy import (
+    EnergyTracker,
+    angular_momentum,
+    kinetic_energy,
+    momentum,
+    potential_energy,
+    total_energy,
+    virial_ratio,
+)
+from repro.nbody.integrators import (
+    ExplicitEuler,
+    LeapfrogKDK,
+    SymplecticEuler,
+    VelocityVerlet,
+    integrate,
+)
+from repro.nbody.ic import cold_disc, plummer, two_clusters, uniform_cube, uniform_sphere
+from repro.nbody.flops import (
+    DEFAULT_FLOPS_PER_INTERACTION,
+    FLOPS_PER_INTERACTION_GEMS,
+    FLOPS_PER_INTERACTION_RSQRT,
+    gflops,
+    interaction_flops,
+    pp_step_interactions,
+)
+from repro.nbody.io import SnapshotSeries, load_snapshot, save_snapshot
+from repro.nbody.timestep import AdaptiveLeapfrog, acceleration_timestep, suggest_timestep
+from repro.nbody.units import HENON, G_NBODY, G_SI, UnitSystem
+
+__all__ = [
+    "ParticleSet",
+    "DEFAULT_SOFTENING",
+    "accelerations_from_sources",
+    "direct_forces",
+    "direct_forces_naive",
+    "pairwise_force",
+    "EnergyTracker",
+    "angular_momentum",
+    "kinetic_energy",
+    "momentum",
+    "potential_energy",
+    "total_energy",
+    "virial_ratio",
+    "ExplicitEuler",
+    "LeapfrogKDK",
+    "SymplecticEuler",
+    "VelocityVerlet",
+    "integrate",
+    "cold_disc",
+    "plummer",
+    "two_clusters",
+    "uniform_cube",
+    "uniform_sphere",
+    "DEFAULT_FLOPS_PER_INTERACTION",
+    "FLOPS_PER_INTERACTION_GEMS",
+    "FLOPS_PER_INTERACTION_RSQRT",
+    "gflops",
+    "interaction_flops",
+    "pp_step_interactions",
+    "AdaptiveLeapfrog",
+    "acceleration_timestep",
+    "suggest_timestep",
+    "SnapshotSeries",
+    "load_snapshot",
+    "save_snapshot",
+    "HENON",
+    "G_NBODY",
+    "G_SI",
+    "UnitSystem",
+]

@@ -1,0 +1,223 @@
+"""Initial-condition (workload) generators.
+
+The paper's sweeps use generic gravitational particle distributions; the
+astrophysics-standard workloads implemented here cover the spectrum the
+evaluation needs:
+
+* :func:`plummer` — the classic equilibrium cluster model (the default
+  workload for every experiment; produces the realistically *non-uniform*
+  density that makes tree walks variable-length, which is exactly what the
+  w/jw load-balancing story is about).
+* :func:`uniform_cube` / :func:`uniform_sphere` — homogeneous distributions
+  (best case for static load balance; used by ablations as the contrast).
+* :func:`two_clusters` — a collision setup (example workload; strongly
+  bimodal density).
+* :func:`cold_disc` — a rotating disc (anisotropic; stresses the octree).
+
+All generators take an explicit seed and are deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.nbody.particles import ParticleSet
+
+__all__ = [
+    "plummer",
+    "uniform_cube",
+    "uniform_sphere",
+    "two_clusters",
+    "cold_disc",
+]
+
+
+def _check_n(n: int) -> None:
+    if n <= 0:
+        raise WorkloadError(f"number of bodies must be positive, got {n}")
+
+
+def _random_unit_vectors(rng: np.random.Generator, n: int) -> np.ndarray:
+    """``n`` isotropically distributed unit vectors, shape ``(n, 3)``."""
+    z = rng.uniform(-1.0, 1.0, n)
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+    s = np.sqrt(1.0 - z * z)
+    return np.stack([s * np.cos(phi), s * np.sin(phi), z], axis=1)
+
+
+def plummer(
+    n: int,
+    *,
+    total_mass: float = 1.0,
+    scale_radius: float | None = None,
+    seed: int = 0,
+    virialize: bool = True,
+) -> ParticleSet:
+    """An isotropic Plummer sphere in N-body units.
+
+    Uses the Aarseth, Hénon & Wielen (1974) construction: radii from the
+    inverse cumulative mass profile and speeds from von Neumann rejection
+    sampling of the isotropic distribution function
+    ``g(q) = q^2 (1 - q^2)^(7/2)``.
+
+    Parameters
+    ----------
+    scale_radius:
+        Plummer scale length ``a``.  Default is the Hénon-unit value
+        ``3*pi/16`` which gives total energy -1/4 for unit mass.
+    virialize:
+        Shift to the centre-of-mass frame after sampling so the cluster is
+        exactly at rest at the origin.
+    """
+    _check_n(n)
+    if total_mass <= 0.0:
+        raise WorkloadError(f"total_mass must be positive, got {total_mass}")
+    if scale_radius is None:
+        scale_radius = 3.0 * np.pi / 16.0
+    if scale_radius <= 0.0:
+        raise WorkloadError(f"scale_radius must be positive, got {scale_radius}")
+    rng = np.random.default_rng(seed)
+
+    # --- positions: invert M(r)/M = (1 + a^2/r^2)^(-3/2)
+    # Avoid the extreme tail (classic practice: clip the mass fraction) so a
+    # single far-flung body cannot dominate the bounding cube.
+    mfrac = rng.uniform(0.0, 0.999, n)
+    r = scale_radius / np.sqrt(mfrac ** (-2.0 / 3.0) - 1.0)
+    pos = r[:, np.newaxis] * _random_unit_vectors(rng, n)
+
+    # --- velocities: rejection-sample q = v / v_esc from q^2 (1-q^2)^(7/2)
+    q = np.empty(n)
+    remaining = np.arange(n)
+    while remaining.size:
+        x1 = rng.uniform(0.0, 1.0, remaining.size)
+        x2 = rng.uniform(0.0, 0.1, remaining.size)
+        accepted = x2 < x1 * x1 * (1.0 - x1 * x1) ** 3.5
+        q[remaining[accepted]] = x1[accepted]
+        remaining = remaining[~accepted]
+    v_esc = np.sqrt(2.0 * total_mass) * (r * r + scale_radius * scale_radius) ** -0.25
+    vel = (q * v_esc)[:, np.newaxis] * _random_unit_vectors(rng, n)
+
+    masses = np.full(n, total_mass / n)
+    p = ParticleSet(pos, vel, masses)
+    if virialize:
+        p.to_com_frame()
+    return p
+
+
+def uniform_cube(
+    n: int,
+    *,
+    half_width: float = 1.0,
+    total_mass: float = 1.0,
+    velocity_scale: float = 0.0,
+    seed: int = 0,
+) -> ParticleSet:
+    """Bodies uniformly distributed in the cube ``[-h, h]^3``."""
+    _check_n(n)
+    if half_width <= 0.0:
+        raise WorkloadError(f"half_width must be positive, got {half_width}")
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(-half_width, half_width, (n, 3))
+    vel = velocity_scale * rng.standard_normal((n, 3)) if velocity_scale else np.zeros((n, 3))
+    return ParticleSet(pos, vel, np.full(n, total_mass / n))
+
+
+def uniform_sphere(
+    n: int,
+    *,
+    radius: float = 1.0,
+    total_mass: float = 1.0,
+    velocity_scale: float = 0.0,
+    seed: int = 0,
+) -> ParticleSet:
+    """Bodies uniformly distributed (by volume) inside a sphere."""
+    _check_n(n)
+    if radius <= 0.0:
+        raise WorkloadError(f"radius must be positive, got {radius}")
+    rng = np.random.default_rng(seed)
+    r = radius * rng.uniform(0.0, 1.0, n) ** (1.0 / 3.0)
+    pos = r[:, np.newaxis] * _random_unit_vectors(rng, n)
+    vel = velocity_scale * rng.standard_normal((n, 3)) if velocity_scale else np.zeros((n, 3))
+    return ParticleSet(pos, vel, np.full(n, total_mass / n))
+
+
+def two_clusters(
+    n: int,
+    *,
+    separation: float = 4.0,
+    approach_speed: float = 0.5,
+    impact_parameter: float = 0.5,
+    mass_ratio: float = 1.0,
+    seed: int = 0,
+) -> ParticleSet:
+    """Two Plummer spheres on a collision course (the galaxy-merger workload).
+
+    ``n`` is the total body count, split between the clusters in proportion
+    ``mass_ratio : 1`` (cluster masses follow the same ratio).
+    """
+    _check_n(n)
+    if n < 2:
+        raise WorkloadError("two_clusters needs at least 2 bodies")
+    if mass_ratio <= 0.0:
+        raise WorkloadError(f"mass_ratio must be positive, got {mass_ratio}")
+    n1 = max(1, min(n - 1, int(round(n * mass_ratio / (1.0 + mass_ratio)))))
+    n2 = n - n1
+    m1 = mass_ratio / (1.0 + mass_ratio)
+    m2 = 1.0 / (1.0 + mass_ratio)
+    c1 = plummer(n1, total_mass=m1, seed=seed)
+    c2 = plummer(n2, total_mass=m2, seed=seed + 1)
+    half = 0.5 * separation
+    c1.shift(np.array([-half, -0.5 * impact_parameter, 0.0]),
+             np.array([+0.5 * approach_speed, 0.0, 0.0]))
+    c2.shift(np.array([+half, +0.5 * impact_parameter, 0.0]),
+             np.array([-0.5 * approach_speed, 0.0, 0.0]))
+    merged = ParticleSet.concatenate([c1, c2])
+    merged.to_com_frame()
+    return merged
+
+
+def cold_disc(
+    n: int,
+    *,
+    radius: float = 1.0,
+    total_mass: float = 1.0,
+    thickness: float = 0.05,
+    central_mass_fraction: float = 0.5,
+    seed: int = 0,
+) -> ParticleSet:
+    """A thin rotating disc around a heavy central body.
+
+    Body 0 is the central mass holding ``central_mass_fraction`` of the
+    total; the remaining bodies orbit on near-circular orbits set by the
+    enclosed mass, giving a strongly flattened, anisotropic distribution.
+    """
+    _check_n(n)
+    if n < 2:
+        raise WorkloadError("cold_disc needs at least 2 bodies")
+    if not 0.0 < central_mass_fraction < 1.0:
+        raise WorkloadError(
+            f"central_mass_fraction must be in (0, 1), got {central_mass_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    n_disc = n - 1
+    m_central = total_mass * central_mass_fraction
+    m_disc = total_mass - m_central
+
+    # surface density ~ uniform: r ~ sqrt(u)
+    r = radius * np.sqrt(rng.uniform(0.04, 1.0, n_disc))
+    phi = rng.uniform(0.0, 2.0 * np.pi, n_disc)
+    z = thickness * rng.standard_normal(n_disc)
+    pos = np.stack([r * np.cos(phi), r * np.sin(phi), z], axis=1)
+
+    # circular speed from enclosed mass (central + disc interior to r)
+    m_enc = m_central + m_disc * (r / radius) ** 2
+    v_circ = np.sqrt(m_enc / r)
+    vel = np.stack([-v_circ * np.sin(phi), v_circ * np.cos(phi), np.zeros(n_disc)], axis=1)
+
+    positions = np.vstack([np.zeros(3), pos])
+    velocities = np.vstack([np.zeros(3), vel])
+    masses = np.concatenate([[m_central], np.full(n_disc, m_disc / n_disc)])
+    p = ParticleSet(positions, velocities, masses)
+    p.to_com_frame()
+    return p

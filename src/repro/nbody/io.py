@@ -1,0 +1,113 @@
+"""Snapshot I/O: persist particle states and simulation series.
+
+Snapshots are NumPy ``.npz`` archives (portable, compressed, versioned by
+a format tag) holding positions, velocities, masses and metadata; a
+:class:`SnapshotSeries` appends numbered snapshots for time-series output
+from long runs — the standard workflow of any production N-body code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.nbody.particles import ParticleSet
+
+__all__ = ["save_snapshot", "load_snapshot", "SnapshotSeries"]
+
+#: Format tag embedded in every snapshot for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def save_snapshot(
+    path: str | Path,
+    particles: ParticleSet,
+    *,
+    time: float = 0.0,
+    metadata: dict[str, Any] | None = None,
+) -> Path:
+    """Write a particle snapshot to ``path`` (``.npz`` appended if missing).
+
+    ``metadata`` must be JSON-serialisable; it round-trips through
+    :func:`load_snapshot`.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = dict(metadata or {})
+    try:
+        meta_json = json.dumps(meta)
+    except TypeError as exc:
+        raise WorkloadError(f"snapshot metadata is not JSON-serialisable: {exc}") from exc
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(FORMAT_VERSION),
+        time=np.float64(time),
+        positions=particles.positions,
+        velocities=particles.velocities,
+        masses=particles.masses,
+        metadata=np.bytes_(meta_json.encode("utf-8")),
+    )
+    return path
+
+
+def load_snapshot(path: str | Path) -> tuple[ParticleSet, float, dict[str, Any]]:
+    """Read a snapshot; returns ``(particles, time, metadata)``."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"snapshot not found: {path}")
+    with np.load(path) as data:
+        if "format_version" not in data:
+            raise WorkloadError(f"{path} is not a repro snapshot")
+        version = int(data["format_version"])
+        if version > FORMAT_VERSION:
+            raise WorkloadError(
+                f"snapshot format {version} is newer than supported {FORMAT_VERSION}"
+            )
+        particles = ParticleSet(data["positions"], data["velocities"], data["masses"])
+        time = float(data["time"])
+        metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
+    return particles, time, metadata
+
+
+class SnapshotSeries:
+    """Numbered snapshot output for a simulation run.
+
+    Usable directly as a :class:`~repro.core.simulation.Simulation`
+    callback::
+
+        series = SnapshotSeries(outdir / "run")
+        sim.run(1000, callback=series.from_simulation, callback_every=50)
+    """
+
+    def __init__(self, prefix: str | Path) -> None:
+        self.prefix = Path(prefix)
+        self.count = 0
+        self.paths: list[Path] = []
+
+    def write(self, particles: ParticleSet, *, time: float = 0.0,
+              metadata: dict[str, Any] | None = None) -> Path:
+        """Append one snapshot (``<prefix>_NNNN.npz``)."""
+        path = self.prefix.parent / f"{self.prefix.name}_{self.count:04d}"
+        out = save_snapshot(path, particles, time=time, metadata=metadata)
+        self.paths.append(out)
+        self.count += 1
+        return out
+
+    def from_simulation(self, sim) -> None:
+        """Simulation-callback adapter: snapshots the current state."""
+        self.write(sim.particles, time=sim.time,
+                   metadata={"plan": sim.plan.name, "steps": sim.record.steps})
+
+    def __iter__(self) -> Iterator[tuple[ParticleSet, float, dict[str, Any]]]:
+        """Iterate ``(particles, time, metadata)`` over written snapshots."""
+        for p in self.paths:
+            yield load_snapshot(p)
+
+    def __len__(self) -> int:
+        return self.count

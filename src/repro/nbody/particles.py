@@ -1,0 +1,162 @@
+"""Structure-of-arrays particle container.
+
+The hot paths of the library (force kernels, tree build) operate directly
+on the NumPy arrays held here; :class:`ParticleSet` is a thin, validated
+owner of those arrays rather than an object-per-particle model, following
+the SoA layout every performant N-body code uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["ParticleSet"]
+
+
+class ParticleSet:
+    """Positions, velocities and masses of ``n`` bodies.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 3)`` float array.
+    velocities:
+        ``(n, 3)`` float array.
+    masses:
+        ``(n,)`` positive float array.
+
+    All arrays are converted to contiguous ``float64`` copies owned by the
+    set; device kernels down-convert to ``float32`` at the transfer
+    boundary (see :mod:`repro.gpu.memory`).
+    """
+
+    __slots__ = ("positions", "velocities", "masses")
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        masses: np.ndarray,
+    ) -> None:
+        pos = np.ascontiguousarray(positions, dtype=np.float64)
+        vel = np.ascontiguousarray(velocities, dtype=np.float64)
+        m = np.ascontiguousarray(masses, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise WorkloadError(f"positions must have shape (n, 3), got {pos.shape}")
+        if vel.shape != pos.shape:
+            raise WorkloadError(
+                f"velocities shape {vel.shape} does not match positions {pos.shape}"
+            )
+        if m.shape != (pos.shape[0],):
+            raise WorkloadError(
+                f"masses must have shape ({pos.shape[0]},), got {m.shape}"
+            )
+        if not np.all(np.isfinite(pos)) or not np.all(np.isfinite(vel)):
+            raise WorkloadError("positions/velocities must be finite")
+        if not np.all(np.isfinite(m)) or np.any(m <= 0.0):
+            raise WorkloadError("masses must be finite and strictly positive")
+        self.positions = pos
+        self.velocities = vel
+        self.masses = m
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, n: int, mass: float = 1.0) -> "ParticleSet":
+        """``n`` bodies at rest at the origin, each of mass ``mass``."""
+        if n <= 0:
+            raise WorkloadError(f"n must be positive, got {n}")
+        return cls(np.zeros((n, 3)), np.zeros((n, 3)), np.full(n, float(mass)))
+
+    @classmethod
+    def concatenate(cls, sets: Iterable["ParticleSet"]) -> "ParticleSet":
+        """Concatenate several particle sets into one."""
+        sets = list(sets)
+        if not sets:
+            raise WorkloadError("cannot concatenate an empty sequence of ParticleSets")
+        return cls(
+            np.concatenate([s.positions for s in sets]),
+            np.concatenate([s.velocities for s in sets]),
+            np.concatenate([s.masses for s in sets]),
+        )
+
+    def copy(self) -> "ParticleSet":
+        """Deep copy."""
+        return ParticleSet(
+            self.positions.copy(), self.velocities.copy(), self.masses.copy()
+        )
+
+    def select(self, index: np.ndarray) -> "ParticleSet":
+        """A new set containing the bodies picked by ``index`` (any fancy index)."""
+        return ParticleSet(
+            self.positions[index], self.velocities[index], self.masses[index]
+        )
+
+    def permuted(self, order: np.ndarray) -> "ParticleSet":
+        """A new set with bodies reordered by ``order`` (a permutation)."""
+        order = np.asarray(order)
+        if sorted(order.tolist()) != list(range(self.n)):
+            raise WorkloadError("order must be a permutation of range(n)")
+        return self.select(order)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of bodies."""
+        return self.positions.shape[0]
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def total_mass(self) -> float:
+        """Sum of all body masses."""
+        return float(self.masses.sum())
+
+    def center_of_mass(self) -> np.ndarray:
+        """Mass-weighted mean position, shape ``(3,)``."""
+        return self.masses @ self.positions / self.total_mass
+
+    def com_velocity(self) -> np.ndarray:
+        """Mass-weighted mean velocity, shape ``(3,)``."""
+        return self.masses @ self.velocities / self.total_mass
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned bounding box ``(lo, hi)`` of the positions."""
+        return self.positions.min(axis=0), self.positions.max(axis=0)
+
+    def bounding_cube(self, pad: float = 1e-9) -> tuple[np.ndarray, float]:
+        """The smallest axis-aligned cube containing all bodies.
+
+        Returns ``(center, half_width)``; ``pad`` expands the cube by a
+        relative amount so that bodies on the boundary fall strictly
+        inside, which the octree build relies on.
+        """
+        lo, hi = self.bounding_box()
+        center = 0.5 * (lo + hi)
+        half = float(np.max(hi - lo)) * 0.5
+        half = half * (1.0 + pad) + pad
+        return center, half
+
+    # ------------------------------------------------------------------
+    # in-place frame adjustments
+    # ------------------------------------------------------------------
+    def shift(self, dx: np.ndarray, dv: np.ndarray | None = None) -> None:
+        """Translate all positions by ``dx`` and optionally velocities by ``dv``."""
+        self.positions += np.asarray(dx, dtype=np.float64)
+        if dv is not None:
+            self.velocities += np.asarray(dv, dtype=np.float64)
+
+    def to_com_frame(self) -> None:
+        """Shift to the centre-of-mass frame (zero mean position & momentum)."""
+        self.shift(-self.center_of_mass(), -self.com_velocity())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParticleSet(n={self.n}, total_mass={self.total_mass:.6g})"

@@ -1,0 +1,74 @@
+"""Unit systems and physical constants for the N-body substrate.
+
+The simulations in the paper (and in essentially all treecode literature)
+run in *Hénon units* (a.k.a. N-body units): ``G = 1``, total mass ``M = 1``,
+total energy ``E = -1/4``.  This module provides that convention as the
+default plus helpers for converting to physical units when a user wants to
+interpret results as, e.g., a star cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Gravitational constant in SI units [m^3 kg^-1 s^-2].
+G_SI = 6.67430e-11
+
+#: Gravitational constant in the default N-body (Hénon) unit system.
+G_NBODY = 1.0
+
+#: One parsec in metres.
+PARSEC_M = 3.0856775814913673e16
+
+#: One solar mass in kilograms.
+SOLAR_MASS_KG = 1.98892e30
+
+#: One year in seconds (Julian year).
+YEAR_S = 3.1557600e7
+
+
+@dataclass(frozen=True)
+class UnitSystem:
+    """A self-consistent set of mass/length/time units with fixed ``G``.
+
+    Parameters
+    ----------
+    mass_kg:
+        The simulation mass unit expressed in kilograms.
+    length_m:
+        The simulation length unit expressed in metres.
+    G:
+        The value the gravitational constant takes in these units
+        (``1.0`` for N-body units).
+
+    The time unit is derived from the requirement that ``G`` has the given
+    value: ``t = sqrt(G_sim * l^3 / (G_SI * m))``.
+    """
+
+    mass_kg: float = SOLAR_MASS_KG
+    length_m: float = PARSEC_M
+    G: float = G_NBODY
+
+    @property
+    def time_s(self) -> float:
+        """Duration of one simulation time unit in seconds."""
+        return (self.G * self.length_m**3 / (G_SI * self.mass_kg)) ** 0.5
+
+    @property
+    def velocity_m_s(self) -> float:
+        """One simulation velocity unit in metres per second."""
+        return self.length_m / self.time_s
+
+    @property
+    def energy_j(self) -> float:
+        """One simulation energy unit in joules."""
+        return self.mass_kg * self.velocity_m_s**2
+
+    def time_in_years(self, t_sim: float) -> float:
+        """Convert a simulation time to Julian years."""
+        return t_sim * self.time_s / YEAR_S
+
+
+#: The default unit system used throughout the library: one solar mass,
+#: one parsec, G = 1.
+HENON = UnitSystem()

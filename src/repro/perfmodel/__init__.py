@@ -1,0 +1,49 @@
+"""Analytic performance model, metrics, and calibration."""
+
+from repro.perfmodel.metrics import (
+    RateSummary,
+    both_conventions,
+    crossover_n,
+    gflops_rate,
+    parallel_efficiency,
+    speedup,
+)
+from repro.perfmodel.analytic import (
+    AnalyticInputs,
+    predict_i_parallel,
+    predict_j_parallel,
+    predict_jw_parallel,
+    predict_multi_device_scaling,
+    predict_w_parallel,
+)
+from repro.perfmodel.calibration import (
+    PAPER_CPU_SPEEDUP,
+    PAPER_GPU_SPEEDUP_RANGE,
+    PAPER_PEAK_GFLOPS_RSQRT,
+    PAPER_SUSTAINED_GFLOPS,
+    calibrate_interaction_cycles,
+    expected_cpu_speedup,
+    sustained_gflops,
+)
+
+__all__ = [
+    "RateSummary",
+    "both_conventions",
+    "crossover_n",
+    "gflops_rate",
+    "parallel_efficiency",
+    "speedup",
+    "AnalyticInputs",
+    "predict_i_parallel",
+    "predict_j_parallel",
+    "predict_jw_parallel",
+    "predict_multi_device_scaling",
+    "predict_w_parallel",
+    "PAPER_CPU_SPEEDUP",
+    "PAPER_GPU_SPEEDUP_RANGE",
+    "PAPER_PEAK_GFLOPS_RSQRT",
+    "PAPER_SUSTAINED_GFLOPS",
+    "calibrate_interaction_cycles",
+    "expected_cpu_speedup",
+    "sustained_gflops",
+]

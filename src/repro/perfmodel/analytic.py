@@ -1,0 +1,119 @@
+"""Closed-form performance predictions for the four plans.
+
+The simulator in :mod:`repro.gpu.timing` schedules real per-work-group
+work; this module gives the *paper-style analytical model* — the formulas
+a PTPM analysis writes down before running anything.  The test suite
+checks that the analytic predictions track the simulator within a modest
+factor, which is exactly the role such models play in the paper's
+section 4.
+
+All formulas are per force evaluation (one step).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.hostmodel import HostCpuModel
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["AnalyticInputs", "predict_i_parallel", "predict_j_parallel",
+           "predict_w_parallel", "predict_jw_parallel", "predict_multi_device_scaling"]
+
+
+@dataclass(frozen=True)
+class AnalyticInputs:
+    """Workload statistics the analytic model needs.
+
+    For PP plans only ``n_bodies`` matters; tree plans additionally need
+    the walk statistics (measured once or estimated from theta).
+    """
+
+    n_bodies: int
+    wg_size: int = 256
+    n_walks: int = 0
+    mean_group_size: float = 0.0
+    mean_list_length: float = 0.0
+    lane_utilization: float = 1.0
+
+    @property
+    def tree_interactions(self) -> float:
+        """Estimated interactions of one tree force pass."""
+        return self.n_walks * self.mean_group_size * self.mean_list_length
+
+
+def _occupancy_factor(device: DeviceSpec, n_workgroups: int, wg_size: int) -> float:
+    """Fraction of the device's sustained rate a launch can use."""
+    cu_util = min(1.0, n_workgroups / device.compute_units)
+    wf_per_wg = math.ceil(wg_size / device.wavefront_size)
+    resident = max(
+        1, min(device.max_wavefronts_per_cu, wf_per_wg * max(1, n_workgroups // device.compute_units))
+    )
+    latency = min(1.0, resident / device.latency_hiding_wavefronts)
+    return cu_util * latency
+
+
+def predict_i_parallel(device: DeviceSpec, inp: AnalyticInputs) -> float:
+    """Kernel seconds for the i-parallel plan: N^2 work, N/p blocks."""
+    n = inp.n_bodies
+    blocks = math.ceil(n / inp.wg_size)
+    rate = device.sustained_interaction_rate * _occupancy_factor(
+        device, blocks, inp.wg_size
+    )
+    return n * n / rate
+
+
+def predict_j_parallel(
+    device: DeviceSpec, inp: AnalyticInputs, target_wgs_per_cu: int = 4
+) -> float:
+    """Kernel seconds for the j-parallel plan: full occupancy, plus reduction."""
+    n = inp.n_bodies
+    blocks = math.ceil(n / inp.wg_size)
+    s = max(1, math.ceil(target_wgs_per_cu * device.compute_units / blocks))
+    s = min(s, max(1, blocks))
+    rate = device.sustained_interaction_rate * _occupancy_factor(
+        device, blocks * s, inp.wg_size
+    )
+    force = n * n / rate
+    # reduction pass: read/write of n*s partial accelerations, memory-bound
+    reduction = n * (s + 1) * 16 / device.global_bandwidth_bytes_s if s > 1 else 0.0
+    return force + reduction
+
+
+def predict_w_parallel(device: DeviceSpec, inp: AnalyticInputs) -> float:
+    """Kernel seconds for w-parallel: tree interactions / (rate x lane util)."""
+    if inp.tree_interactions <= 0:
+        raise ValueError("tree statistics required for w-parallel prediction")
+    rate = device.sustained_interaction_rate * _occupancy_factor(
+        device, inp.n_walks, inp.wg_size
+    )
+    return inp.tree_interactions / (rate * max(1e-9, inp.lane_utilization))
+
+
+def predict_jw_parallel(device: DeviceSpec, inp: AnalyticInputs) -> float:
+    """Kernel seconds for jw-parallel: full lanes, queue keeps CUs busy."""
+    if inp.tree_interactions <= 0:
+        raise ValueError("tree statistics required for jw-parallel prediction")
+    return inp.tree_interactions / device.sustained_interaction_rate
+
+
+def predict_multi_device_scaling(
+    device: DeviceSpec,
+    host: HostCpuModel,
+    inp: AnalyticInputs,
+    n_devices: int,
+) -> float:
+    """Projected jw step time with ``n_devices`` GPUs sharing the walks.
+
+    Kernel time divides across devices; the (overlapped) host walk
+    generation does not, so it bounds scaling — the extension analysis
+    the paper's conclusion gestures at.
+    """
+    if n_devices < 1:
+        raise ValueError(f"n_devices must be >= 1, got {n_devices}")
+    kernel = predict_jw_parallel(device, inp) / n_devices
+    host_s = host.tree_build_seconds(inp.n_bodies) + host.walk_generation_seconds(
+        inp.n_walks, int(inp.n_walks * inp.mean_list_length)
+    )
+    return max(kernel, host_s)

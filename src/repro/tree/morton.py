@@ -1,0 +1,105 @@
+"""Vectorised 3-D Morton (Z-order) keys.
+
+The octree build sorts bodies by Morton key so that every octree node
+covers a *contiguous* range of the sorted body array — the property the
+walk generator exploits to form spatially-coherent groups, and the reason
+GPU treecodes (Hamada et al.) use the same ordering.
+
+Keys interleave 21 bits per dimension into a 63-bit integer
+(``MAX_DEPTH = 21`` octree levels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MAX_DEPTH", "KEY_BITS", "encode", "decode", "grid_coordinates", "key_octant"]
+
+#: Octree levels representable by one key (bits per dimension).
+MAX_DEPTH = 21
+
+#: Total key width in bits.
+KEY_BITS = 3 * MAX_DEPTH
+
+_GRID = np.uint64(1) << np.uint64(MAX_DEPTH)  # 2**21 cells per dimension
+
+
+def _spread_bits(v: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of each uint64 so consecutive bits land 3 apart.
+
+    Standard magic-number bit interleaving extended to 21 bits.
+    """
+    x = v.astype(np.uint64)
+    x &= np.uint64(0x1FFFFF)  # keep 21 bits
+    x = (x | (x << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return x
+
+
+def _compact_bits(v: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_spread_bits`."""
+    x = v.astype(np.uint64) & np.uint64(0x1249249249249249)
+    x = (x | (x >> np.uint64(2))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x >> np.uint64(4))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x >> np.uint64(8))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x >> np.uint64(16))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x >> np.uint64(32))) & np.uint64(0x1FFFFF)
+    return x
+
+
+def grid_coordinates(
+    positions: np.ndarray, center: np.ndarray, half_width: float
+) -> np.ndarray:
+    """Integer grid coordinates of positions inside the bounding cube.
+
+    Maps the cube ``[center - h, center + h]^3`` onto the ``2^21``-cell
+    grid, clipping boundary round-off into range.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if half_width <= 0.0:
+        raise ValueError(f"half_width must be positive, got {half_width}")
+    rel = (positions - np.asarray(center)) / (2.0 * half_width) + 0.5
+    cells = np.floor(rel * float(_GRID)).astype(np.int64)
+    np.clip(cells, 0, int(_GRID) - 1, out=cells)
+    return cells.astype(np.uint64)
+
+
+def encode(positions: np.ndarray, center: np.ndarray, half_width: float) -> np.ndarray:
+    """Morton keys for ``(n, 3)`` positions within the given bounding cube.
+
+    Bit layout: key = interleave(x, y, z) with x occupying the *highest*
+    bit of each 3-bit digit, so a key's digit at depth ``d`` is the octant
+    index ``(x_bit << 2) | (y_bit << 1) | z_bit``.
+    """
+    cells = grid_coordinates(positions, center, half_width)
+    return (
+        (_spread_bits(cells[:, 0]) << np.uint64(2))
+        | (_spread_bits(cells[:, 1]) << np.uint64(1))
+        | _spread_bits(cells[:, 2])
+    )
+
+
+def decode(keys: np.ndarray) -> np.ndarray:
+    """Recover integer grid coordinates ``(n, 3)`` from Morton keys."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    x = _compact_bits(keys >> np.uint64(2))
+    y = _compact_bits(keys >> np.uint64(1))
+    z = _compact_bits(keys)
+    return np.stack([x, y, z], axis=1)
+
+
+def key_octant(keys: np.ndarray, depth: int) -> np.ndarray:
+    """The 3-bit octant digit of each key at octree ``depth`` (0-based root children).
+
+    ``depth = 0`` selects the most-significant digit (which root child the
+    body falls into).
+    """
+    if not 0 <= depth < MAX_DEPTH:
+        raise ValueError(f"depth must be in [0, {MAX_DEPTH}), got {depth}")
+    shift = np.uint64(3 * (MAX_DEPTH - 1 - depth))
+    return ((np.asarray(keys, dtype=np.uint64) >> shift) & np.uint64(0b111)).astype(
+        np.int64
+    )

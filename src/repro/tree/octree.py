@@ -1,0 +1,298 @@
+"""Array-based octree built over Morton-sorted bodies.
+
+Construction follows the standard GPU-treecode recipe (Hamada et al. 2009;
+Bonsai): bodies are sorted by Morton key once, after which every node of
+the octree covers a contiguous slice ``[start, end)`` of the sorted body
+array.  Node child boundaries are found by binary search on the key array,
+and centre-of-mass moments come from prefix sums, so the build is
+O(M log N) for M nodes with small constants and no per-body Python work.
+
+The resulting :class:`Octree` stores all node attributes as flat NumPy
+arrays (structure-of-arrays), which is what the traversal kernels and the
+simulated GPU plans consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TreeError
+from repro.tree import morton
+
+__all__ = ["Octree", "build_octree"]
+
+_OCTANT_OFFSETS = np.array(
+    [
+        [(o >> 2) & 1, (o >> 1) & 1, o & 1]  # x is the high bit, matching morton.encode
+        for o in range(8)
+    ],
+    dtype=np.float64,
+) * 2.0 - 1.0  # map {0,1} -> {-1,+1}
+
+
+class Octree:
+    """An immutable octree over a snapshot of body positions.
+
+    Attributes (all NumPy arrays, ``M`` = node count, ``N`` = body count):
+
+    ``centers (M, 3)``, ``half_widths (M,)``
+        Geometric cube of each node.
+    ``starts (M,)``, ``ends (M,)``
+        Contiguous body range (in Morton order) covered by each node.
+    ``children (M, 8)``
+        Child node indices, ``-1`` where absent.  Leaves have all ``-1``.
+    ``is_leaf (M,)``
+        Boolean leaf mask.
+    ``depths (M,)``
+        Node depth, root = 0.
+    ``coms (M, 3)``, ``node_masses (M,)``
+        Monopole moments (mass-weighted mean position, total mass).
+    ``positions (N, 3)``, ``masses (N,)``, ``keys (N,)``, ``order (N,)``
+        Bodies in Morton order; ``order[i]`` is the original index of
+        sorted body ``i``.
+    """
+
+    def __init__(
+        self,
+        *,
+        centers: np.ndarray,
+        half_widths: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        children: np.ndarray,
+        is_leaf: np.ndarray,
+        depths: np.ndarray,
+        coms: np.ndarray,
+        node_masses: np.ndarray,
+        positions: np.ndarray,
+        masses: np.ndarray,
+        keys: np.ndarray,
+        order: np.ndarray,
+        leaf_size: int,
+    ) -> None:
+        self.centers = centers
+        self.half_widths = half_widths
+        self.starts = starts
+        self.ends = ends
+        self.children = children
+        self.is_leaf = is_leaf
+        self.depths = depths
+        self.coms = coms
+        self.node_masses = node_masses
+        self.positions = positions
+        self.masses = masses
+        self.keys = keys
+        self.order = order
+        self.leaf_size = leaf_size
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of octree nodes (including the root)."""
+        return self.centers.shape[0]
+
+    @property
+    def n_bodies(self) -> int:
+        """Number of bodies the tree was built over."""
+        return self.positions.shape[0]
+
+    @property
+    def root(self) -> int:
+        """Index of the root node (always 0)."""
+        return 0
+
+    def node_counts(self) -> np.ndarray:
+        """Bodies per node, shape ``(M,)``."""
+        return self.ends - self.starts
+
+    def node_sizes(self) -> np.ndarray:
+        """Side length ``l`` of each node's cube (the BH criterion's ``l``)."""
+        return 2.0 * self.half_widths
+
+    def leaf_nodes(self) -> np.ndarray:
+        """Indices of all leaf nodes."""
+        return np.flatnonzero(self.is_leaf)
+
+    def unsort(self, values_sorted: np.ndarray) -> np.ndarray:
+        """Scatter per-sorted-body values back to the original body order."""
+        out = np.empty_like(values_sorted)
+        out[self.order] = values_sorted
+        return out
+
+    def max_depth(self) -> int:
+        """Deepest node level present in the tree."""
+        return int(self.depths.max())
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`TreeError` on violation.
+
+        Intended for tests and debugging — O(N + M) work.
+        """
+        m = self.n_nodes
+        if self.starts[0] != 0 or self.ends[0] != self.n_bodies:
+            raise TreeError("root must cover the whole body range")
+        for i in range(m):
+            s, e = int(self.starts[i]), int(self.ends[i])
+            if not 0 <= s < e <= self.n_bodies:
+                raise TreeError(f"node {i} has empty or out-of-range body span [{s},{e})")
+            kids = self.children[i][self.children[i] >= 0]
+            if self.is_leaf[i]:
+                if kids.size:
+                    raise TreeError(f"leaf {i} has children")
+                continue
+            if not kids.size:
+                raise TreeError(f"internal node {i} has no children")
+            spans = sorted((int(self.starts[k]), int(self.ends[k])) for k in kids)
+            cursor = s
+            for ks, ke in spans:
+                if ks != cursor:
+                    raise TreeError(f"children of node {i} do not tile its span")
+                cursor = ke
+            if cursor != e:
+                raise TreeError(f"children of node {i} do not cover its span")
+            for k in kids:
+                if self.half_widths[k] > self.half_widths[i] * 0.5 + 1e-12:
+                    raise TreeError(f"child {int(k)} of {i} is not half-sized")
+                if self.depths[k] != self.depths[i] + 1:
+                    raise TreeError(f"child {int(k)} of {i} has wrong depth")
+        # geometric containment of bodies and COMs
+        lo = self.centers - self.half_widths[:, np.newaxis]
+        hi = self.centers + self.half_widths[:, np.newaxis]
+        pad = 1e-9 * (1.0 + np.abs(self.centers).max())
+        for i in range(m):
+            s, e = int(self.starts[i]), int(self.ends[i])
+            p = self.positions[s:e]
+            if (p < lo[i] - pad).any() or (p > hi[i] + pad).any():
+                raise TreeError(f"node {i} contains bodies outside its cube")
+            if (self.coms[i] < lo[i] - pad).any() or (self.coms[i] > hi[i] + pad).any():
+                raise TreeError(f"node {i} COM outside its cube")
+        # monopole consistency at the root
+        total = float(self.masses.sum())
+        if not np.isclose(self.node_masses[0], total, rtol=1e-12):
+            raise TreeError("root mass does not equal total body mass")
+
+
+def build_octree(
+    positions: np.ndarray,
+    masses: np.ndarray,
+    *,
+    leaf_size: int = 32,
+    center: np.ndarray | None = None,
+    half_width: float | None = None,
+) -> Octree:
+    """Build an :class:`Octree` over the given bodies.
+
+    Parameters
+    ----------
+    leaf_size:
+        Maximum bodies per leaf; nodes with at most this many bodies are
+        not subdivided.  Subdivision also stops at Morton resolution
+        (:data:`repro.tree.morton.MAX_DEPTH`), so coincident bodies cannot
+        recurse forever.
+    center, half_width:
+        Optional explicit bounding cube; computed from the data when
+        omitted.
+    """
+    positions = np.ascontiguousarray(positions, dtype=np.float64)
+    masses = np.ascontiguousarray(masses, dtype=np.float64)
+    n = positions.shape[0]
+    if n == 0:
+        raise TreeError("cannot build an octree over zero bodies")
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise TreeError(f"positions must be (n, 3), got {positions.shape}")
+    if masses.shape != (n,):
+        raise TreeError(f"masses must be ({n},), got {masses.shape}")
+    if leaf_size < 1:
+        raise TreeError(f"leaf_size must be >= 1, got {leaf_size}")
+
+    if center is None or half_width is None:
+        lo = positions.min(axis=0)
+        hi = positions.max(axis=0)
+        auto_center = 0.5 * (lo + hi)
+        auto_half = float(np.max(hi - lo)) * 0.5
+        auto_half = auto_half * (1.0 + 1e-9) + 1e-12
+        if center is None:
+            center = auto_center
+        if half_width is None:
+            half_width = auto_half
+    center = np.asarray(center, dtype=np.float64)
+
+    keys = morton.encode(positions, center, half_width)
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    pos_s = positions[order]
+    mass_s = masses[order]
+
+    # prefix sums for O(1) monopole moments per node
+    csum_m = np.concatenate([[0.0], np.cumsum(mass_s)])
+    csum_mx = np.vstack([np.zeros(3), np.cumsum(mass_s[:, np.newaxis] * pos_s, axis=0)])
+
+    centers: list[np.ndarray] = []
+    half_widths: list[float] = []
+    starts: list[int] = []
+    ends: list[int] = []
+    children: list[np.ndarray] = []
+    is_leaf: list[bool] = []
+    depths: list[int] = []
+
+    def new_node(c: np.ndarray, h: float, s: int, e: int, d: int) -> int:
+        idx = len(centers)
+        centers.append(c)
+        half_widths.append(h)
+        starts.append(s)
+        ends.append(e)
+        children.append(np.full(8, -1, dtype=np.int64))
+        is_leaf.append(True)
+        depths.append(d)
+        return idx
+
+    root = new_node(center, float(half_width), 0, n, 0)
+    stack: list[int] = [root]
+    digit_mask = np.uint64(0b111)
+
+    while stack:
+        node = stack.pop()
+        s, e, d = starts[node], ends[node], depths[node]
+        if e - s <= leaf_size or d >= morton.MAX_DEPTH:
+            continue  # remains a leaf
+        is_leaf[node] = False
+        shift = np.uint64(3 * (morton.MAX_DEPTH - 1 - d))
+        digits = ((keys[s:e] >> shift) & digit_mask).astype(np.int64)
+        # sorted keys => digits are non-decreasing; child boundaries by search
+        bounds = s + np.searchsorted(digits, np.arange(9))
+        child_half = half_widths[node] * 0.5
+        for o in range(8):
+            cs, ce = int(bounds[o]), int(bounds[o + 1])
+            if cs == ce:
+                continue
+            c_center = centers[node] + child_half * _OCTANT_OFFSETS[o]
+            k = new_node(c_center, child_half, cs, ce, d + 1)
+            children[node][o] = k
+            stack.append(k)
+        if (children[node] < 0).all():  # pragma: no cover - defensive
+            raise TreeError(f"internal node {node} produced no children")
+
+    starts_a = np.asarray(starts, dtype=np.int64)
+    ends_a = np.asarray(ends, dtype=np.int64)
+    node_masses = csum_m[ends_a] - csum_m[starts_a]
+    if np.any(node_masses <= 0.0):
+        raise TreeError("node with non-positive mass (zero-mass bodies?)")
+    coms = (csum_mx[ends_a] - csum_mx[starts_a]) / node_masses[:, np.newaxis]
+
+    return Octree(
+        centers=np.asarray(centers),
+        half_widths=np.asarray(half_widths),
+        starts=starts_a,
+        ends=ends_a,
+        children=np.asarray(children),
+        is_leaf=np.asarray(is_leaf),
+        depths=np.asarray(depths, dtype=np.int64),
+        coms=coms,
+        node_masses=node_masses,
+        positions=pos_s,
+        masses=mass_s,
+        keys=keys,
+        order=np.asarray(order, dtype=np.int64),
+        leaf_size=leaf_size,
+    )

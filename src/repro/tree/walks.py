@@ -1,0 +1,268 @@
+"""Walk (interaction-list) generation — the multiple-walk treecode substrate.
+
+A *walk* is the unit of GPU work in the w-parallel and jw-parallel plans
+(sections 4.2-4.3 of the paper): a spatially-coherent group of bodies that
+traverses the tree **together** and shares one interaction list.  The
+traversal produces, per walk:
+
+* a **cell list** — tree nodes accepted by the group MAC, evaluated as
+  monopoles;
+* a **particle list** — bodies of opened leaves, evaluated directly
+  (this always includes the group's own bodies, whose softened
+  self-interaction is zero).
+
+The host (CPU) generates walks; the device (GPU) evaluates the resulting
+dense interactions.  The per-walk interaction counts produced here are what
+drives the simulated GPU's timing for the w/jw plans, and evaluating the
+lists reproduces the exact arithmetic the device kernels perform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TreeError
+from repro.tree.mac import GroupMAC, aabb_distance
+from repro.tree.octree import Octree
+
+__all__ = [
+    "Walk",
+    "WalkSet",
+    "make_groups",
+    "cell_groups",
+    "uniform_groups",
+    "generate_walks",
+]
+
+
+@dataclass(frozen=True)
+class Walk:
+    """One walk: a body group plus its interaction lists.
+
+    ``start``/``end`` index the tree's Morton-sorted body arrays; the
+    cell/particle lists index tree nodes and sorted bodies respectively.
+    """
+
+    index: int
+    start: int
+    end: int
+    cell_list: np.ndarray  # node indices accepted as monopoles
+    particle_list: np.ndarray  # sorted-body indices summed directly
+
+    @property
+    def n_bodies(self) -> int:
+        """Number of target bodies in the group."""
+        return self.end - self.start
+
+    @property
+    def list_length(self) -> int:
+        """Sources in the shared interaction list (cells + particles)."""
+        return int(self.cell_list.size + self.particle_list.size)
+
+    @property
+    def interactions(self) -> int:
+        """Body-source force evaluations this walk performs."""
+        return self.n_bodies * self.list_length
+
+
+class WalkSet:
+    """All walks for one tree snapshot, plus aggregate statistics."""
+
+    def __init__(self, tree: Octree, walks: list[Walk], theta: float) -> None:
+        self.tree = tree
+        self.walks = walks
+        self.theta = theta
+
+    def __len__(self) -> int:
+        return len(self.walks)
+
+    def __iter__(self):
+        return iter(self.walks)
+
+    def __getitem__(self, i: int) -> Walk:
+        return self.walks[i]
+
+    @property
+    def total_interactions(self) -> int:
+        """Total body-source evaluations across all walks (one force pass)."""
+        return sum(w.interactions for w in self.walks)
+
+    def interactions_per_walk(self) -> np.ndarray:
+        """Per-walk interaction counts (the load-balance input)."""
+        return np.asarray([w.interactions for w in self.walks], dtype=np.int64)
+
+    def list_lengths(self) -> np.ndarray:
+        """Per-walk interaction-list lengths."""
+        return np.asarray([w.list_length for w in self.walks], dtype=np.int64)
+
+    def group_sizes(self) -> np.ndarray:
+        """Per-walk body-group sizes."""
+        return np.asarray([w.n_bodies for w in self.walks], dtype=np.int64)
+
+    def load_imbalance(self) -> float:
+        """Max over mean of per-walk interactions — 1.0 is perfectly even."""
+        work = self.interactions_per_walk()
+        mean = work.mean()
+        if mean == 0:
+            return 1.0
+        return float(work.max() / mean)
+
+
+def uniform_groups(n_bodies: int, group_size: int) -> np.ndarray:
+    """Contiguous ``(k, 2)`` ranges of at most ``group_size`` sorted bodies."""
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    if n_bodies < 1:
+        raise ValueError(f"n_bodies must be >= 1, got {n_bodies}")
+    starts = np.arange(0, n_bodies, group_size)
+    ends = np.minimum(starts + group_size, n_bodies)
+    return np.stack([starts, ends], axis=1)
+
+
+def make_groups(tree: Octree, max_group_size: int) -> np.ndarray:
+    """Body groups aligned to leaf boundaries, each at most ``max_group_size``.
+
+    Walks the leaves in Morton order and packs consecutive leaves while the
+    running size stays within the budget; a single oversized leaf (possible
+    when ``leaf_size > max_group_size``) is split into uniform chunks.
+    Returns ``(k, 2)`` ``[start, end)`` ranges over sorted bodies.
+    """
+    if max_group_size < 1:
+        raise ValueError(f"max_group_size must be >= 1, got {max_group_size}")
+    leaves = tree.leaf_nodes()
+    leaf_starts = tree.starts[leaves]
+    order = np.argsort(leaf_starts)
+    groups: list[tuple[int, int]] = []
+    cur_start = 0
+    cur_end = 0
+    for li in leaves[order]:
+        s, e = int(tree.starts[li]), int(tree.ends[li])
+        if s != cur_end:  # pragma: no cover - leaves tile the body range
+            raise TreeError("leaves do not tile the body range")
+        if e - s > max_group_size:
+            # flush pending group, then split the big leaf uniformly
+            if cur_end > cur_start:
+                groups.append((cur_start, cur_end))
+            for cs in range(s, e, max_group_size):
+                groups.append((cs, min(cs + max_group_size, e)))
+            cur_start = cur_end = e
+            continue
+        if e - cur_start > max_group_size:
+            groups.append((cur_start, cur_end))
+            cur_start = cur_end
+        cur_end = e
+    if cur_end > cur_start:
+        groups.append((cur_start, cur_end))
+    return np.asarray(groups, dtype=np.int64)
+
+
+def cell_groups(tree: Octree, max_group_size: int) -> np.ndarray:
+    """Body groups taken directly from tree cells (Hamada-style walks).
+
+    Descends from the root and emits every *maximal* node whose body count
+    is at most ``max_group_size``.  This is how the original multiple-walk
+    method (and the paper's w-parallel plan) forms walks: groups follow
+    the tree geometry, so their sizes vary widely with the local density —
+    the source of the ~1/3 lane-utilisation loss the paper attributes to
+    w-parallel.  (A node deeper than Morton resolution can exceed the
+    budget and is split uniformly.)  Returns ``(k, 2)`` ranges over sorted
+    bodies.
+    """
+    if max_group_size < 1:
+        raise ValueError(f"max_group_size must be >= 1, got {max_group_size}")
+    counts = tree.node_counts()
+    groups: list[tuple[int, int]] = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        s, e = int(tree.starts[node]), int(tree.ends[node])
+        if counts[node] <= max_group_size:
+            groups.append((s, e))
+            continue
+        if tree.is_leaf[node]:
+            # oversized leaf (coincident bodies at max Morton depth)
+            for cs in range(s, e, max_group_size):
+                groups.append((cs, min(cs + max_group_size, e)))
+            continue
+        for child in tree.children[node]:
+            if child >= 0:
+                stack.append(int(child))
+    groups.sort()
+    return np.asarray(groups, dtype=np.int64)
+
+
+def generate_walks(
+    tree: Octree,
+    *,
+    theta: float = 0.6,
+    group_size: int = 256,
+    groups: np.ndarray | None = None,
+) -> WalkSet:
+    """Generate walks (interaction lists) for every body group.
+
+    The group traversal is frontier-vectorised: each iteration classifies
+    the whole frontier of candidate nodes at once.  A node is
+
+    * **accepted** (cell list) when the group MAC holds *and* its body
+      range does not overlap the group's own range;
+    * sent to the **particle list** when it is a leaf that was not
+      accepted;
+    * **opened** otherwise.
+    """
+    mac = GroupMAC(theta)
+    if groups is None:
+        groups = make_groups(tree, group_size)
+    groups = np.asarray(groups, dtype=np.int64)
+    if groups.ndim != 2 or groups.shape[1] != 2:
+        raise ValueError(f"groups must be (k, 2), got {groups.shape}")
+
+    sizes = tree.node_sizes()
+    walks: list[Walk] = []
+    for widx, (gs, ge) in enumerate(groups):
+        gs, ge = int(gs), int(ge)
+        if not 0 <= gs < ge <= tree.n_bodies:
+            raise ValueError(f"group [{gs},{ge}) out of range")
+        gpos = tree.positions[gs:ge]
+        lo = gpos.min(axis=0)
+        hi = gpos.max(axis=0)
+
+        cells: list[np.ndarray] = []
+        parts: list[np.ndarray] = []
+        frontier = np.array([tree.root], dtype=np.int64)
+        while frontier.size:
+            ok = mac.accept(sizes[frontier], lo, hi, tree.coms[frontier])
+            # never approximate a node containing group members
+            overlap = (tree.starts[frontier] < ge) & (tree.ends[frontier] > gs)
+            ok &= ~overlap
+            accepted = frontier[ok]
+            if accepted.size:
+                cells.append(accepted)
+            rest = frontier[~ok]
+            if not rest.size:
+                break
+            leaf = tree.is_leaf[rest]
+            for li in rest[leaf]:
+                parts.append(np.arange(tree.starts[li], tree.ends[li], dtype=np.int64))
+            opened = rest[~leaf]
+            if opened.size:
+                kids = tree.children[opened].ravel()
+                frontier = kids[kids >= 0]
+            else:
+                frontier = np.empty(0, dtype=np.int64)
+
+        walks.append(
+            Walk(
+                index=widx,
+                start=gs,
+                end=ge,
+                cell_list=(
+                    np.concatenate(cells) if cells else np.empty(0, dtype=np.int64)
+                ),
+                particle_list=(
+                    np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+                ),
+            )
+        )
+    return WalkSet(tree, walks, theta)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.plans import PlanConfig
+from repro.nbody.ic import plummer, uniform_sphere
+
+#: Softening used throughout the functional tests.
+EPS = 1e-2
+
+
+@pytest.fixture(scope="session")
+def plummer_small():
+    """A 256-body Plummer sphere (session-scoped; treat as read-only)."""
+    return plummer(256, seed=11)
+
+
+@pytest.fixture(scope="session")
+def plummer_medium():
+    """A 2048-body Plummer sphere (session-scoped; treat as read-only)."""
+    return plummer(2048, seed=12)
+
+
+@pytest.fixture(scope="session")
+def uniform_small():
+    """A 512-body uniform sphere (session-scoped; treat as read-only)."""
+    return uniform_sphere(512, seed=13)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def config():
+    """Default plan configuration with the test softening."""
+    return PlanConfig(softening=EPS)

@@ -1,0 +1,93 @@
+"""API-surface tests: public exports, error hierarchy, version metadata.
+
+Downstream users import from the package roots; these tests pin that the
+documented public API actually resolves and that `__all__` is truthful.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+PACKAGES = [
+    "repro",
+    "repro.nbody",
+    "repro.tree",
+    "repro.gpu",
+    "repro.core",
+    "repro.core.plans",
+    "repro.perfmodel",
+    "repro.bench",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        mod = importlib.import_module(package)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{package}.__all__ lists missing '{name}'"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_is_nonempty_and_unique(self, package):
+        mod = importlib.import_module(package)
+        assert mod.__all__
+        assert len(set(mod.__all__)) == len(mod.__all__)
+
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_documented_quickstart_imports(self):
+        # the exact imports the README shows
+        from repro.core import JwParallelPlan, PlanConfig, Simulation  # noqa: F401
+        from repro.nbody import plummer, total_energy  # noqa: F401
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        for name in (
+            "ConfigurationError",
+            "LaunchError",
+            "DeviceError",
+            "TreeError",
+            "WorkloadError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_library_failures_catchable_by_base(self):
+        import numpy as np
+
+        from repro.nbody.particles import ParticleSet
+        from repro.tree.octree import build_octree
+
+        with pytest.raises(errors.ReproError):
+            ParticleSet(np.zeros((2, 2)), np.zeros((2, 2)), np.ones(2))
+        with pytest.raises(errors.ReproError):
+            build_octree(np.zeros((0, 3)), np.zeros(0))
+
+    def test_base_error_is_an_exception(self):
+        assert issubclass(errors.ReproError, Exception)
+
+
+class TestPlanRegistryConsistency:
+    def test_registry_names_match_descriptors(self):
+        from repro.core.plans import plan_by_name
+        from repro.core.ptpm import PLAN_NAMES, describe
+
+        for name in PLAN_NAMES:
+            plan = plan_by_name(name)
+            descriptor = describe(name)
+            assert plan.name == descriptor.name
+            assert plan.method == descriptor.method
+
+    def test_experiment_registry_ids_match_results(self):
+        from repro.bench.experiments import run_experiment
+
+        res = run_experiment("abl-queue", n=2048)
+        assert res.exp_id == "abl-queue"

@@ -1,0 +1,174 @@
+"""Shape tests for the experiment registry — the paper's claims, asserted.
+
+These run the real experiments on a reduced sweep and check the
+qualitative results the paper reports: who wins, by roughly what factor,
+and how curves move with N.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ablation_overlap,
+    ablation_queue,
+    ablation_theta,
+    ablation_tile,
+    fig4,
+    fig5,
+    run_experiment,
+    table1,
+    table2,
+    table3,
+)
+
+SWEEP = (1024, 4096, 16384)
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return fig5(n_values=SWEEP)
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return table2(n_values=SWEEP)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig4", "fig5", "table1", "table2", "table3",
+            "abl-tile", "abl-theta", "abl-queue", "abl-overlap", "abl-quad",
+            "ext-multigpu", "val-accuracy",
+        }
+
+    def test_run_experiment_dispatch(self):
+        res = run_experiment("fig4", n_values=(1024, 2048))
+        assert res.exp_id == "fig4"
+        assert "jw" in res.table
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestFig4:
+    def test_jw_gflops_rises_then_saturates(self):
+        res = fig4(n_values=SWEEP)
+        g = [r.kernel_gflops for r in res.data["rows"]]
+        assert g[0] > 100  # already substantial at N=1024 (the j-split)
+        assert g[-1] > 200  # approaching the ~300 sustained figure
+        assert g[-1] >= g[0]
+
+    def test_renders(self):
+        res = fig4(n_values=SWEEP)
+        out = res.render()
+        assert "Fig. 4" in out
+        assert "GFLOPS" in out
+
+
+class TestFig5:
+    def test_jw_leads_or_ties_at_every_n(self, fig5_result):
+        # jw leads outright at small N (the headline claim); at large N the
+        # regular PP kernels also saturate the device, so jw only needs to
+        # stay within a few percent of the best
+        rows = fig5_result.data["rows"]
+        by_n: dict[int, dict[str, float]] = {}
+        for r in rows:
+            by_n.setdefault(r.n_bodies, {})[r.plan] = r.kernel_gflops
+        for n, plans in by_n.items():
+            if n < 4096:
+                assert plans["jw"] == max(plans.values()), f"jw not best at N={n}"
+            else:
+                assert plans["jw"] >= 0.95 * max(plans.values())
+
+    def test_i_parallel_rises_with_n(self, fig5_result):
+        gi = [r.kernel_gflops for r in fig5_result.data["rows"] if r.plan == "i"]
+        assert gi == sorted(gi)
+        assert gi[0] < 100 < gi[-1] + 200
+
+    def test_w_below_jw_by_utilization(self, fig5_result):
+        rows = fig5_result.data["rows"]
+        for n in SWEEP:
+            gw = next(r for r in rows if r.plan == "w" and r.n_bodies == n)
+            gjw = next(r for r in rows if r.plan == "jw" and r.n_bodies == n)
+            assert gw.kernel_gflops < gjw.kernel_gflops
+
+    def test_chart_includes_all_plans(self, fig5_result):
+        for p in ("i", "j", "w", "jw"):
+            assert f"= {p}" in fig5_result.chart
+
+
+class TestTable1:
+    def test_speedup_in_paper_range(self):
+        res = table1(n_values=SWEEP)
+        speedups = res.data["speedups"]
+        # grows with N toward the paper's ~400x
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 200
+        assert speedups[-1] < 1000
+
+    def test_renders_cpu_column(self):
+        res = table1(n_values=(1024,))
+        assert "Pentium" in res.table
+
+
+class TestTable2And3:
+    def test_jw_fastest_total_everywhere(self, table2_result):
+        rows = table2_result.data["rows"]
+        by_n: dict[int, dict[str, float]] = {}
+        for r in rows:
+            by_n.setdefault(r.n_bodies, {})[r.plan] = r.total_seconds
+        for n, plans in by_n.items():
+            assert plans["jw"] == min(plans.values()), f"jw not fastest at N={n}"
+
+    def test_jw_vs_w_factor_in_range(self, table2_result):
+        rows = table2_result.data["rows"]
+        for n in SWEEP:
+            tw = next(r for r in rows if r.plan == "w" and r.n_bodies == n).total_seconds
+            tjw = next(r for r in rows if r.plan == "jw" and r.n_bodies == n).total_seconds
+            assert 1.5 <= tw / tjw <= 5.0
+
+    def test_tree_beats_pp_at_large_n(self, table2_result):
+        rows = table2_result.data["rows"]
+        n = SWEEP[-1]
+        ti = next(r for r in rows if r.plan == "i" and r.n_bodies == n).total_seconds
+        tjw = next(r for r in rows if r.plan == "jw" and r.n_bodies == n).total_seconds
+        assert ti / tjw > 2.0
+
+    def test_table3_kernel_only_less_than_total(self):
+        r2 = table2(n_values=(4096,))
+        r3 = table3(n_values=(4096,))
+        for a, b in zip(r3.data["rows"], r2.data["rows"]):
+            assert a.kernel_seconds <= b.total_seconds
+
+
+class TestAblations:
+    def test_tile_ablation_has_all_points(self):
+        res = ablation_tile(n_values=(4096,), wg_sizes=(64, 256))
+        assert len(res.data["points"]) == 2
+
+    def test_theta_tradeoff_monotone(self):
+        res = ablation_theta(n=1024, thetas=(0.4, 0.8))
+        errs = res.data["errors"]
+        times = res.data["times"]
+        assert errs[0] < errs[1]  # tighter theta -> lower error
+        assert times[0] > times[1]  # ... and more time
+
+    def test_theta_errors_at_bh_level(self):
+        res = ablation_theta(n=1024, thetas=(0.6,))
+        assert res.data["errors"][0] < 0.01
+
+    def test_queue_ablation_ordering(self):
+        res = ablation_queue(n=8192)
+        o = res.data["outcomes"]
+        assert o["dynamic"].makespan <= o["static"].makespan
+        assert o["dynamic-lpt"].makespan <= o["dynamic"].makespan
+
+    def test_overlap_gain_above_one(self):
+        res = ablation_overlap(n_values=(4096, 16384))
+        assert all(g > 1.0 for g in res.data["gains"])
+
+    def test_quadrupole_improves_accuracy(self):
+        res = run_experiment("abl-quad", n=1024, thetas=(0.8,))
+        assert all(imp > 1.2 for imp in res.data["improvements"])

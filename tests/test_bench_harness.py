@@ -1,0 +1,121 @@
+"""Tests for the benchmark harness: workloads, runner, tables, figures."""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import ascii_chart
+from repro.bench.runner import run_plan_point, run_sweep
+from repro.bench.tables import fmt_gflops, fmt_int, fmt_ratio, fmt_seconds, format_table
+from repro.bench.workloads import PAPER_N_SWEEP, QUICK_N_SWEEP, WORKLOADS, make_workload
+from repro.errors import WorkloadError
+
+
+class TestWorkloads:
+    def test_paper_sweep_is_powers_of_two(self):
+        for n in PAPER_N_SWEEP:
+            assert n & (n - 1) == 0
+        assert PAPER_N_SWEEP[0] == 1024
+
+    def test_quick_subset(self):
+        assert set(QUICK_N_SWEEP) <= set(PAPER_N_SWEEP)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_all_workloads_instantiate(self, name):
+        p = make_workload(name, 128, seed=1)
+        assert p.n == 128
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            make_workload("galaxy_brain", 10)
+
+
+class TestRunner:
+    def test_run_plan_point_scales_steps(self):
+        r1 = run_plan_point("i", 1024, n_steps=1)
+        r100 = run_plan_point("i", 1024, n_steps=100)
+        assert r100.total_seconds == pytest.approx(100 * r1.total_seconds)
+        assert r100.interactions == 100 * r1.interactions
+
+    def test_row_metrics(self):
+        r = run_plan_point("jw", 2048, n_steps=10)
+        assert r.kernel_gflops > 0
+        assert r.kernel_gflops_rsqrt == pytest.approx(r.kernel_gflops * 38 / 20)
+        assert r.effective_gflops <= r.kernel_gflops
+
+    def test_plan_kwargs_forwarded(self):
+        r_on = run_plan_point("jw", 2048)
+        r_off = run_plan_point("jw", 2048, overlap=False)
+        assert r_off.total_seconds > r_on.total_seconds
+
+    def test_plan_kwargs_validated(self):
+        with pytest.raises(AttributeError):
+            run_plan_point("jw", 1024, warp_drive=True)
+
+    def test_sweep_ordering(self):
+        rows = run_sweep(["i", "jw"], [1024, 2048], n_steps=1)
+        assert [(r.plan, r.n_bodies) for r in rows] == [
+            ("i", 1024), ("jw", 1024), ("i", 2048), ("jw", 2048),
+        ]
+
+
+class TestTables:
+    def test_fmt_seconds_scales(self):
+        assert fmt_seconds(5e-5) == "50.0 us"
+        assert fmt_seconds(5e-3) == "5.00 ms"
+        assert fmt_seconds(2.0) == "2.000 s"
+
+    def test_fmt_seconds_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fmt_seconds(-1.0)
+
+    def test_fmt_helpers(self):
+        assert fmt_gflops(123.456) == "123.5"
+        assert fmt_ratio(2.345) == "2.35x"
+        assert fmt_ratio(400.4) == "400x"
+        assert fmt_int(1234567) == "1,234,567"
+
+    def test_format_table_alignment(self):
+        out = format_table("T", ["a", "bb"], [["1", "2"], ["10", "20"]], notes=["n1"])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "note: n1" in lines[-1]
+        # all data lines equal width
+        widths = {len(l) for l in lines[2:5]}
+        assert len(widths) == 1
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_table("T", ["a", "b"], [["1"]])
+        with pytest.raises(ValueError):
+            format_table("T", [], [])
+
+
+class TestFigures:
+    def test_chart_renders(self):
+        out = ascii_chart(
+            [1024, 2048, 4096],
+            {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+            title="demo",
+        )
+        assert "demo" in out
+        assert "o = a" in out
+        assert "x = b" in out
+
+    def test_chart_extremes_plotted(self):
+        out = ascii_chart([1, 10], {"s": [0.0, 10.0]})
+        assert "10.0" in out and "0.0" in out
+
+    def test_chart_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0, 2.0]}, width=4)
+
+    def test_flat_series_ok(self):
+        out = ascii_chart([1, 2], {"a": [5.0, 5.0]})
+        assert "o = a" in out

@@ -1,0 +1,46 @@
+"""Tests for the cross-validation harness."""
+
+import pytest
+
+from repro.bench.validation import ValidationCell, accuracy_matrix, render_accuracy_matrix
+from repro.bench.experiments import run_experiment
+
+
+class TestAccuracyMatrix:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return accuracy_matrix(
+            plans=("i", "jw"), workloads=("plummer", "uniform"), n=512
+        )
+
+    def test_full_grid(self, cells):
+        assert len(cells) == 4
+        assert {(c.plan, c.workload) for c in cells} == {
+            ("i", "plummer"), ("i", "uniform"), ("jw", "plummer"), ("jw", "uniform"),
+        }
+
+    def test_all_pass(self, cells):
+        assert all(c.passed for c in cells)
+
+    def test_pp_tighter_than_bh(self, cells):
+        e_i = max(c.rms_error for c in cells if c.plan == "i")
+        e_jw = min(c.rms_error for c in cells if c.plan == "jw")
+        assert e_i < e_jw
+
+    def test_render(self, cells):
+        out = render_accuracy_matrix(cells)
+        assert "Validation" in out
+        assert "ok" in out
+        assert "plummer" in out and "uniform" in out
+
+    def test_render_marks_failures(self):
+        bad = ValidationCell("i", "plummer", 10, rms_error=1.0, tolerance=1e-4)
+        out = render_accuracy_matrix([bad])
+        assert "FAIL" in out
+
+    def test_experiment_wrapper(self):
+        res = run_experiment(
+            "val-accuracy", n=256, plans=("j",), workloads=("plummer",)
+        )
+        assert res.data["all_passed"]
+        assert res.exp_id == "val-accuracy"

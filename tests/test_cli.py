@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_experiments_accepted(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.experiment == "fig4"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["table2", "--quick", "--workload", "uniform", "--steps", "10"]
+        )
+        assert args.quick
+        assert args.workload == "uniform"
+        assert args.steps == 10
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestMain:
+    def test_fig4_quick(self, capsys):
+        assert main(["fig4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "GFLOPS" in out
+
+    def test_table2_quick_custom_steps(self, capsys):
+        assert main(["table2", "--quick", "--steps", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "10 steps" in out
+        assert "jw-parallel" in out
+
+    def test_abl_queue(self, capsys):
+        assert main(["abl-queue"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic" in out
+
+    def test_workload_option(self, capsys):
+        assert main(["fig4", "--quick", "--workload", "uniform"]) == 0

@@ -1,0 +1,63 @@
+"""Unit tests for the host CPU cost model."""
+
+import pytest
+
+from repro.core.hostmodel import PENTIUM_E5300, HostCpuModel
+
+
+class TestForceSeconds:
+    def test_rate(self):
+        host = HostCpuModel(effective_force_flops=1e9)
+        # 1e9 interactions x 20 flops at 1 GFLOPS = 20 s
+        assert host.force_seconds(10**9) == pytest.approx(20.0)
+
+    def test_convention(self):
+        host = HostCpuModel(effective_force_flops=1e9)
+        assert host.force_seconds(10**9, 38) == pytest.approx(38.0)
+
+    def test_zero_interactions_free(self):
+        assert PENTIUM_E5300.force_seconds(0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PENTIUM_E5300.force_seconds(-1)
+
+
+class TestHostCosts:
+    def test_tree_linear_in_n(self):
+        t1 = PENTIUM_E5300.tree_build_seconds(1000)
+        t2 = PENTIUM_E5300.tree_build_seconds(2000)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_walk_generation_components(self):
+        host = HostCpuModel(walk_ns_per_list_item=10.0, walk_ns_per_walk=1000.0)
+        t = host.walk_generation_seconds(5, 1000)
+        assert t == pytest.approx(5 * 1000e-9 + 1000 * 10e-9)
+
+    def test_integration_linear(self):
+        t = PENTIUM_E5300.integration_seconds(10**6)
+        assert t == pytest.approx(10**6 * PENTIUM_E5300.integrate_ns_per_body * 1e-9)
+
+    def test_rejects_negatives(self):
+        with pytest.raises(ValueError):
+            PENTIUM_E5300.tree_build_seconds(-1)
+        with pytest.raises(ValueError):
+            PENTIUM_E5300.walk_generation_seconds(-1, 0)
+        with pytest.raises(ValueError):
+            PENTIUM_E5300.integration_seconds(-1)
+
+
+class TestCalibrationSanity:
+    def test_effective_gflops_sub_ghz(self):
+        # a Pentium-era scalar loop sustains well under 1 GFLOPS
+        assert 0.1 < PENTIUM_E5300.effective_gflops < 1.0
+
+    def test_construction_validates(self):
+        with pytest.raises(ValueError):
+            HostCpuModel(effective_force_flops=0.0)
+        with pytest.raises(ValueError):
+            HostCpuModel(tree_ns_per_body=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PENTIUM_E5300.clock_hz = 1.0  # type: ignore[misc]

@@ -1,0 +1,114 @@
+"""Unit tests for the host/device pipeline model."""
+
+import pytest
+
+from repro.core.pipeline import (
+    overlapped_pipeline,
+    overlapped_pipeline3,
+    serial_pipeline,
+    split_batches,
+)
+
+
+class TestSerial:
+    def test_total_is_sum(self):
+        r = serial_pipeline(2.0, 3.0)
+        assert r.total_seconds == 5.0
+        assert not r.overlapped
+        assert r.hidden_seconds == 0.0
+        assert r.overlap_efficiency == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            serial_pipeline(-1.0, 1.0)
+
+
+class TestTwoStage:
+    def test_single_batch_is_serial(self):
+        r = overlapped_pipeline([2.0], [3.0])
+        assert r.total_seconds == 5.0
+
+    def test_many_batches_approach_max(self):
+        n = 100
+        r = overlapped_pipeline([2.0 / n] * n, [3.0 / n] * n)
+        # total -> max(2,3) + one host batch of startup
+        assert r.total_seconds == pytest.approx(3.0 + 2.0 / n)
+
+    def test_device_bound(self):
+        r = overlapped_pipeline([0.1] * 10, [1.0] * 10)
+        assert r.total_seconds == pytest.approx(0.1 + 10.0)
+
+    def test_host_bound(self):
+        r = overlapped_pipeline([1.0] * 10, [0.1] * 10)
+        assert r.total_seconds == pytest.approx(10.0 + 0.1)
+
+    def test_hidden_seconds(self):
+        r = overlapped_pipeline([1.0] * 10, [1.0] * 10)
+        assert r.hidden_seconds > 0
+        assert 0.0 < r.overlap_efficiency <= 1.0
+
+    def test_never_better_than_max_nor_worse_than_sum(self, rng):
+        h = rng.uniform(0.1, 1.0, 20).tolist()
+        d = rng.uniform(0.1, 1.0, 20).tolist()
+        r = overlapped_pipeline(h, d)
+        assert r.total_seconds >= max(sum(h), sum(d)) - 1e-12
+        assert r.total_seconds <= sum(h) + sum(d) + 1e-12
+
+    def test_empty(self):
+        r = overlapped_pipeline([], [])
+        assert r.total_seconds == 0.0
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="batch count"):
+            overlapped_pipeline([1.0], [1.0, 2.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            overlapped_pipeline([-1.0], [1.0])
+
+
+class TestThreeStage:
+    def test_bounded_by_slowest_stage(self, rng):
+        c = rng.uniform(0.1, 1.0, 30).tolist()
+        x = rng.uniform(0.1, 1.0, 30).tolist()
+        g = rng.uniform(0.1, 1.0, 30).tolist()
+        r = overlapped_pipeline3(c, x, g)
+        assert r.total_seconds >= max(sum(c), sum(x), sum(g)) - 1e-12
+        assert r.total_seconds <= sum(c) + sum(x) + sum(g) + 1e-12
+
+    def test_steady_state(self):
+        n = 200
+        r = overlapped_pipeline3([1.0 / n] * n, [0.5 / n] * n, [2.0 / n] * n)
+        assert r.total_seconds == pytest.approx(2.0 + 1.5 / n, rel=1e-6)
+
+    def test_degenerate_zero_stage_matches_two_stage(self, rng):
+        h = rng.uniform(0.1, 1.0, 10).tolist()
+        d = rng.uniform(0.1, 1.0, 10).tolist()
+        r3 = overlapped_pipeline3(h, [0.0] * 10, d)
+        r2 = overlapped_pipeline(h, d)
+        assert r3.total_seconds == pytest.approx(r2.total_seconds)
+
+    def test_host_seconds_aggregates_feed_stages(self):
+        r = overlapped_pipeline3([1.0], [2.0], [3.0])
+        assert r.host_seconds == 3.0
+        assert r.device_seconds == 3.0
+
+    def test_empty(self):
+        assert overlapped_pipeline3([], [], []).total_seconds == 0.0
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            overlapped_pipeline3([1.0], [1.0], [1.0, 2.0])
+
+
+class TestSplitBatches:
+    def test_split_sums(self):
+        b = split_batches(10.0, 4)
+        assert len(b) == 4
+        assert sum(b) == pytest.approx(10.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            split_batches(1.0, 0)
+        with pytest.raises(ValueError):
+            split_batches(-1.0, 2)

@@ -1,0 +1,98 @@
+"""Tests for the high-level Simulation driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.plans import IParallelPlan, JwParallelPlan, PlanConfig
+from repro.core.simulation import Simulation
+from repro.errors import ConfigurationError
+from repro.nbody.energy import total_energy
+from repro.nbody.forces import direct_forces
+from repro.nbody.ic import plummer
+from repro.nbody.integrators import LeapfrogKDK, integrate
+
+EPS = 1e-2
+
+
+@pytest.fixture()
+def sim():
+    particles = plummer(256, seed=31)
+    return Simulation(particles, IParallelPlan(PlanConfig(softening=EPS)), dt=1e-3)
+
+
+class TestStepping:
+    def test_step_advances_time(self, sim):
+        sim.step()
+        assert sim.time == pytest.approx(1e-3)
+        sim.step()
+        assert sim.time == pytest.approx(2e-3)
+
+    def test_record_accumulates(self, sim):
+        sim.run(3)
+        # first step costs two force evaluations (cold start), then one each
+        assert sim.record.steps == 4
+        assert sim.record.simulated_seconds > 0
+        assert sim.record.interactions == 4 * 256 * 256
+        assert sim.record.mean_step_seconds > 0
+
+    def test_matches_plain_integrate(self):
+        """The driver reproduces the generic leapfrog trajectory."""
+        cfg = PlanConfig(softening=EPS)
+        p1 = plummer(128, seed=32)
+        p2 = p1.copy()
+        sim = Simulation(p1, IParallelPlan(cfg), dt=1e-3)
+        sim.run(5)
+
+        plan = IParallelPlan(cfg)
+        integrate(
+            p2, plan.accel_fn(p2.masses), dt=1e-3, n_steps=5, integrator=LeapfrogKDK()
+        )
+        np.testing.assert_allclose(p1.positions, p2.positions, rtol=1e-10, atol=1e-12)
+
+    def test_energy_conservation_short_run(self):
+        particles = plummer(256, seed=33)
+        e0 = total_energy(particles, softening=EPS)
+        sim = Simulation(particles, IParallelPlan(PlanConfig(softening=EPS)), dt=1e-3)
+        sim.run(20)
+        e1 = total_energy(particles, softening=EPS)
+        assert abs(e1 - e0) / abs(e0) < 5e-3
+
+    def test_tree_plan_drives_simulation(self):
+        particles = plummer(512, seed=34)
+        sim = Simulation(particles, JwParallelPlan(PlanConfig(softening=EPS)), dt=1e-3)
+        rec = sim.run(2)
+        assert rec.steps == 3
+        assert all(b.plan == "jw" for b in rec.breakdowns)
+
+    def test_forces_consistent_with_direct(self):
+        particles = plummer(256, seed=35)
+        sim = Simulation(particles, IParallelPlan(PlanConfig(softening=EPS)), dt=1e-4)
+        sim.step()
+        ref = direct_forces(
+            particles.positions, particles.masses, softening=EPS, include_self=False
+        )
+        acc = sim._last_acc
+        err = np.linalg.norm(acc - ref, axis=1) / np.linalg.norm(ref, axis=1)
+        assert err.max() < 1e-3
+
+
+class TestCallbacks:
+    def test_callback_invoked(self, sim):
+        seen = []
+        sim.run(4, callback=lambda s: seen.append(s.time), callback_every=2)
+        assert len(seen) == 2
+        assert seen[-1] == pytest.approx(4e-3)
+
+    def test_validation(self, sim):
+        with pytest.raises(ConfigurationError):
+            sim.run(0)
+        with pytest.raises(ConfigurationError):
+            sim.run(1, callback_every=0)
+
+    def test_bad_dt(self):
+        with pytest.raises(ConfigurationError):
+            Simulation(plummer(8, seed=1), IParallelPlan(), dt=0.0)
+
+    def test_empty_record_raises(self, sim):
+        with pytest.raises(ConfigurationError):
+            _ = sim.record.mean_step_seconds

@@ -1,0 +1,87 @@
+"""Unit tests for the device specification."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.device import RADEON_HD_5850, DeviceSpec, scaled_device
+
+
+class TestHD5850Preset:
+    def test_alu_count(self):
+        # 18 CU x 16 stream cores x 5 VLIW = 1440 ALUs, the published spec
+        assert RADEON_HD_5850.total_alus == 1440
+
+    def test_peak_flops(self):
+        # 1440 ALUs x 2 flops (MAD) x 725 MHz = 2.088 TFLOPS
+        assert RADEON_HD_5850.peak_flops == pytest.approx(2.088e12)
+
+    def test_sustained_rate_matches_paper(self):
+        # ~15e9 interactions/s -> ~300 GFLOPS at 20 flops/interaction
+        gflops = RADEON_HD_5850.sustained_interaction_rate * 20 / 1e9
+        assert 280 <= gflops <= 320
+
+    def test_wavefront_and_workgroup(self):
+        assert RADEON_HD_5850.wavefront_size == 64
+        assert RADEON_HD_5850.max_workgroup_size == 256
+
+    def test_seconds_conversion(self):
+        assert RADEON_HD_5850.seconds(725e6) == pytest.approx(1.0)
+
+    def test_bandwidth_per_cu(self):
+        d = RADEON_HD_5850
+        assert d.global_bytes_per_cycle_per_cu == pytest.approx(
+            d.global_bandwidth_bytes_s / (d.clock_hz * d.compute_units)
+        )
+
+    def test_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RADEON_HD_5850.compute_units = 99  # type: ignore[misc]
+
+
+class TestValidation:
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(DeviceError):
+            dataclasses.replace(RADEON_HD_5850, compute_units=0)
+        with pytest.raises(DeviceError):
+            dataclasses.replace(RADEON_HD_5850, clock_hz=-1.0)
+        with pytest.raises(DeviceError):
+            dataclasses.replace(RADEON_HD_5850, interaction_cycles=0.0)
+
+    def test_rejects_negative_overheads(self):
+        with pytest.raises(DeviceError):
+            dataclasses.replace(RADEON_HD_5850, kernel_launch_overhead_s=-1e-6)
+
+    def test_wavefront_divisibility(self):
+        with pytest.raises(DeviceError, match="wavefront"):
+            dataclasses.replace(RADEON_HD_5850, stream_cores_per_cu=60)
+
+    def test_workgroup_multiple_of_wavefront(self):
+        with pytest.raises(DeviceError, match="multiple"):
+            dataclasses.replace(RADEON_HD_5850, max_workgroup_size=200)
+
+    def test_validate_workgroup(self):
+        RADEON_HD_5850.validate_workgroup(256)
+        with pytest.raises(DeviceError):
+            RADEON_HD_5850.validate_workgroup(512)
+        with pytest.raises(DeviceError):
+            RADEON_HD_5850.validate_workgroup(0)
+
+
+class TestScaledDevice:
+    def test_scales_peak(self):
+        d = scaled_device(RADEON_HD_5850, compute_units=36)
+        assert d.peak_flops == pytest.approx(2 * RADEON_HD_5850.peak_flops)
+
+    def test_name_annotated(self):
+        d = scaled_device(RADEON_HD_5850, compute_units=9)
+        assert "9CU" in d.name
+
+    def test_explicit_name(self):
+        d = scaled_device(RADEON_HD_5850, compute_units=9, name="half")
+        assert d.name == "half"
+
+    def test_rejects_zero(self):
+        with pytest.raises(DeviceError):
+            scaled_device(RADEON_HD_5850, compute_units=0)

@@ -1,0 +1,171 @@
+"""Unit tests for launch records and functional tiled kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu.counters import CostCounters
+from repro.gpu.device import RADEON_HD_5850
+from repro.gpu.kernel import (
+    packed_tile_loop_work,
+    reduction_work,
+    tile_loop_forces,
+    tile_loop_work,
+)
+from repro.gpu.launch import KernelLaunch, NDRange, WorkGroupWork
+from repro.nbody.forces import accelerations_from_sources
+
+DEV = RADEON_HD_5850
+EPS = 1e-2
+
+
+class TestNDRange:
+    def test_workgroup_count(self):
+        assert NDRange(1024, 256).n_workgroups == 4
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(LaunchError):
+            NDRange(1000, 256)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(LaunchError):
+            NDRange(0, 256)
+        with pytest.raises(LaunchError):
+            NDRange(256, 0)
+
+    def test_validate_on_device(self):
+        NDRange(512, 256).validate_on(DEV)
+        with pytest.raises(Exception):
+            NDRange(1024, 512).validate_on(DEV)
+
+
+class TestWorkGroupWork:
+    def test_padding_fraction(self):
+        wg = WorkGroupWork("x", interactions=80, issued_interactions=100, active_threads=10)
+        assert wg.padding_fraction == pytest.approx(0.2)
+
+    def test_zero_issued_padding(self):
+        wg = WorkGroupWork("x", interactions=0, issued_interactions=0, active_threads=1)
+        assert wg.padding_fraction == 0.0
+
+    def test_rejects_issued_below_useful(self):
+        with pytest.raises(LaunchError):
+            WorkGroupWork("x", interactions=10, issued_interactions=5, active_threads=1)
+
+    def test_rejects_no_threads(self):
+        with pytest.raises(LaunchError):
+            WorkGroupWork("x", interactions=0, issued_interactions=0, active_threads=0)
+
+
+class TestKernelLaunch:
+    def _wg(self, n=100):
+        return WorkGroupWork("wg", interactions=n, issued_interactions=n, active_threads=1)
+
+    def test_totals(self):
+        kl = KernelLaunch("k", 256, [self._wg(10), self._wg(20)])
+        assert kl.total_interactions == 30
+        assert kl.n_workgroups == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(LaunchError, match="no work-groups"):
+            KernelLaunch("k", 256, [])
+
+    def test_rejects_overfull_workgroup(self):
+        wg = WorkGroupWork("wg", interactions=1, issued_interactions=1, active_threads=300)
+        with pytest.raises(LaunchError, match="active"):
+            KernelLaunch("k", 256, [wg])
+
+    def test_validate_on_checks_lds(self):
+        wg = WorkGroupWork(
+            "wg", interactions=1, issued_interactions=1, active_threads=1,
+            lds_bytes_peak=DEV.lds_bytes_per_cu + 1,
+        )
+        kl = KernelLaunch("k", 256, [wg])
+        with pytest.raises(LaunchError, match="LDS"):
+            kl.validate_on(DEV)
+
+
+class TestTileLoopForces:
+    def test_matches_reference(self, plummer_small, rng):
+        pos, m = plummer_small.positions, plummer_small.masses
+        targets = pos[:40]
+        acc = tile_loop_forces(
+            targets, pos, m, wg_size=64, softening=EPS, device=DEV,
+        )
+        ref = accelerations_from_sources(targets, pos, m, softening=EPS)
+        err = np.linalg.norm(acc - ref, axis=1) / np.linalg.norm(ref, axis=1)
+        assert err.max() < 1e-4  # float32 tiles vs float64
+
+    def test_tile_size_does_not_change_result_much(self, plummer_small):
+        pos, m = plummer_small.positions, plummer_small.masses
+        a1 = tile_loop_forces(pos[:16], pos, m, wg_size=16, softening=EPS)
+        a2 = tile_loop_forces(pos[:16], pos, m, wg_size=256, softening=EPS)
+        np.testing.assert_allclose(a1, a2, rtol=1e-4, atol=1e-6)
+
+    def test_counters(self, plummer_small):
+        pos, m = plummer_small.positions, plummer_small.masses
+        c = CostCounters()
+        tile_loop_forces(pos[:32], pos[:100], m[:100], wg_size=64, softening=EPS, counters=c)
+        assert c.interactions == 32 * 100
+        assert c.barriers == 2 * 2  # ceil(100/64) = 2 tiles
+        assert c.lds_bytes == 2 * 64 * 16
+        assert c.global_bytes > 0
+
+    def test_lds_capacity_enforced(self, plummer_small):
+        import dataclasses
+
+        tiny = dataclasses.replace(DEV, lds_bytes_per_cu=256)
+        pos, m = plummer_small.positions, plummer_small.masses
+        with pytest.raises(Exception, match="LDS"):
+            tile_loop_forces(pos[:8], pos, m, wg_size=64, softening=EPS, device=tiny)
+
+    def test_g_scaling(self, plummer_small):
+        pos, m = plummer_small.positions, plummer_small.masses
+        a1 = tile_loop_forces(pos[:8], pos, m, wg_size=64, softening=EPS)
+        a2 = tile_loop_forces(pos[:8], pos, m, wg_size=64, softening=EPS, G=2.0)
+        np.testing.assert_allclose(a2, 2.0 * a1, rtol=1e-5)
+
+    def test_rejects_bad_wg_size(self, plummer_small):
+        pos, m = plummer_small.positions, plummer_small.masses
+        with pytest.raises(ValueError):
+            tile_loop_forces(pos[:4], pos, m, wg_size=0, softening=EPS)
+
+
+class TestWorkRecords:
+    def test_tile_loop_work_counts(self):
+        wg = tile_loop_work("x", active_threads=100, n_sources=1000, wg_size=256, wavefront_size=64)
+        assert wg.interactions == 100 * 1000
+        # 100 threads -> 2 wavefronts -> 128 issued lanes
+        assert wg.issued_interactions == 128 * 1000
+        assert wg.tiles == 4  # ceil(1000/256)
+        assert wg.barriers == 8
+
+    def test_tile_loop_full_group_no_padding(self):
+        wg = tile_loop_work("x", active_threads=256, n_sources=512, wg_size=256, wavefront_size=64)
+        assert wg.padding_fraction == 0.0
+
+    def test_packed_work_fills_lanes(self):
+        wg = packed_tile_loop_work("x", n_targets=50, n_sources=1000, wg_size=256, wavefront_size=64)
+        # packed mapping: padding only from the final partial slot
+        assert wg.padding_fraction < 0.01
+        assert wg.interactions == 50 * 1000
+        assert wg.reduction_ops > 0
+
+    def test_packed_beats_thread_per_body_on_small_groups(self):
+        small_w = tile_loop_work("w", active_threads=50, n_sources=1000, wg_size=256, wavefront_size=64)
+        small_jw = packed_tile_loop_work("jw", n_targets=50, n_sources=1000, wg_size=256, wavefront_size=64)
+        assert small_jw.issued_interactions < small_w.issued_interactions
+
+    def test_reduction_work_is_memory_only(self):
+        wg = reduction_work("r", n_outputs=256, n_partials_per_output=4, wg_size=256, wavefront_size=64)
+        assert wg.interactions == 0
+        assert wg.global_bytes == 256 * 5 * 16
+        assert wg.reduction_ops == 1024
+
+    def test_work_records_reject_bad_args(self):
+        with pytest.raises(ValueError):
+            tile_loop_work("x", active_threads=0, n_sources=1, wg_size=64, wavefront_size=64)
+        with pytest.raises(ValueError):
+            packed_tile_loop_work("x", n_targets=0, n_sources=1, wg_size=64, wavefront_size=64)
+        with pytest.raises(ValueError):
+            reduction_work("x", n_outputs=0, n_partials_per_output=1, wg_size=64, wavefront_size=64)

@@ -1,0 +1,114 @@
+"""Unit tests for the memory model and occupancy calculator."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.device import RADEON_HD_5850
+from repro.gpu.memory import (
+    BYTES_PER_BODY,
+    TransferLog,
+    body_transfer_time,
+    check_lds_fit,
+    lds_tile_capacity,
+    transfer_time,
+)
+from repro.gpu.occupancy import kernel_occupancy
+
+DEV = RADEON_HD_5850
+
+
+class TestTransfers:
+    def test_zero_bytes_is_free(self):
+        assert transfer_time(DEV, 0) == 0.0
+
+    def test_latency_plus_bandwidth(self):
+        t = transfer_time(DEV, 5_000_000)
+        assert t == pytest.approx(DEV.pcie_latency_s + 5_000_000 / DEV.pcie_bandwidth_bytes_s)
+
+    def test_body_transfer(self):
+        assert body_transfer_time(DEV, 1000) == pytest.approx(
+            transfer_time(DEV, 1000 * BYTES_PER_BODY)
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            transfer_time(DEV, -1)
+
+    def test_transfer_log(self):
+        log = TransferLog()
+        log.host_to_device(1000)
+        log.device_to_host(500)
+        assert log.h2d_bytes == 1000
+        assert log.d2h_bytes == 500
+        assert log.n_transfers == 2
+        expected = 2 * DEV.pcie_latency_s + 1500 / DEV.pcie_bandwidth_bytes_s
+        assert log.total_time(DEV) == pytest.approx(expected)
+
+    def test_transfer_log_rejects_negative(self):
+        log = TransferLog()
+        with pytest.raises(ValueError):
+            log.host_to_device(-1)
+        with pytest.raises(ValueError):
+            log.device_to_host(-1)
+
+
+class TestLds:
+    def test_tile_capacity(self):
+        assert lds_tile_capacity(DEV) == DEV.lds_bytes_per_cu // 16
+
+    def test_capacity_rejects_bad_item(self):
+        with pytest.raises(ValueError):
+            lds_tile_capacity(DEV, 0)
+
+    def test_check_fit(self):
+        check_lds_fit(DEV, DEV.lds_bytes_per_cu)  # exactly fits
+        with pytest.raises(DeviceError, match="LDS"):
+            check_lds_fit(DEV, DEV.lds_bytes_per_cu + 1)
+
+
+class TestOccupancy:
+    def test_full_launch_fully_efficient(self):
+        occ = kernel_occupancy(DEV, wg_size=256, n_workgroups=1000)
+        assert occ.latency_efficiency == 1.0
+        assert occ.cu_utilization == 1.0
+
+    def test_small_launch_underutilises_cus(self):
+        occ = kernel_occupancy(DEV, wg_size=256, n_workgroups=4)
+        assert occ.cu_utilization == pytest.approx(4 / 18)
+
+    def test_single_small_workgroup_lacks_latency_hiding(self):
+        occ = kernel_occupancy(DEV, wg_size=64, n_workgroups=1)
+        # one wavefront resident out of the ~7 needed
+        assert occ.latency_efficiency == pytest.approx(1 / 7)
+
+    def test_wavefronts_per_workgroup(self):
+        occ = kernel_occupancy(DEV, wg_size=256, n_workgroups=100)
+        assert occ.wavefronts_per_workgroup == 4
+
+    def test_lds_limits_residency(self):
+        # a work-group using the whole LDS can only have one resident copy
+        occ = kernel_occupancy(
+            DEV, wg_size=64, n_workgroups=1000,
+            lds_bytes_per_wg=DEV.lds_bytes_per_cu,
+        )
+        assert occ.workgroups_per_cu_limit == 1
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(DeviceError):
+            kernel_occupancy(DEV, wg_size=512, n_workgroups=1)
+        with pytest.raises(DeviceError):
+            kernel_occupancy(DEV, wg_size=64, n_workgroups=0)
+        with pytest.raises(DeviceError):
+            kernel_occupancy(DEV, wg_size=64, n_workgroups=1, lds_bytes_per_wg=-1)
+        with pytest.raises(DeviceError):
+            kernel_occupancy(
+                DEV, wg_size=64, n_workgroups=1,
+                lds_bytes_per_wg=DEV.lds_bytes_per_cu + 1,
+            )
+
+    def test_monotone_in_workgroups(self):
+        effs = [
+            kernel_occupancy(DEV, wg_size=64, n_workgroups=n).latency_efficiency
+            for n in (1, 18, 72, 720)
+        ]
+        assert effs == sorted(effs)

@@ -1,0 +1,132 @@
+"""Tests for the roofline model and execution traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import RADEON_HD_5850
+from repro.gpu.kernel import reduction_work, tile_loop_work
+from repro.gpu.launch import KernelLaunch
+from repro.gpu.roofline import ridge_intensity, roofline_point
+from repro.gpu.trace import trace_costs, trace_launch
+from repro.gpu.timing import time_kernel
+
+DEV = RADEON_HD_5850
+
+
+def _force_launch(n_wgs=32):
+    wgs = [
+        tile_loop_work(f"wg{i}", active_threads=256, n_sources=4096,
+                       wg_size=256, wavefront_size=64)
+        for i in range(n_wgs)
+    ]
+    return KernelLaunch("force", 256, wgs)
+
+
+def _reduce_launch(n_wgs=32):
+    wgs = [
+        reduction_work(f"r{i}", n_outputs=256, n_partials_per_output=8,
+                       wg_size=256, wavefront_size=64)
+        for i in range(n_wgs)
+    ]
+    return KernelLaunch("reduce", 256, wgs)
+
+
+class TestRoofline:
+    def test_force_kernel_compute_bound(self):
+        pt = roofline_point(DEV, _force_launch())
+        assert pt.compute_bound
+        assert pt.efficiency_ceiling == 1.0
+        assert pt.arithmetic_intensity > ridge_intensity(DEV)
+
+    def test_reduction_kernel_memory_bound(self):
+        pt = roofline_point(DEV, _reduce_launch())
+        assert not pt.compute_bound
+        assert pt.efficiency_ceiling < 1.0
+        # zero interactions -> zero intensity
+        assert pt.arithmetic_intensity == 0.0
+
+    def test_ridge_point_value(self):
+        # sustained ~298 GFLOPS over 128 GB/s -> ~2.3 flops/byte
+        r = ridge_intensity(DEV)
+        assert 1.0 < r < 5.0
+
+    def test_attainable_below_peak_for_low_intensity(self):
+        pt = roofline_point(DEV, _reduce_launch())
+        assert pt.attainable_flops_s < pt.peak_flops_s
+
+    def test_zero_bytes_infinite_intensity(self):
+        wg = tile_loop_work("x", active_threads=64, n_sources=0, wg_size=64,
+                            wavefront_size=64)
+        wg.global_bytes = 0
+        pt = roofline_point(DEV, KernelLaunch("k", 64, [wg]))
+        assert pt.arithmetic_intensity in (0.0, float("inf"))  # 0 flops / 0 bytes
+
+
+class TestTraceCosts:
+    def test_dynamic_intervals_tile_workers(self):
+        tr = trace_costs(np.ones(8), 4, policy="dynamic")
+        assert tr.makespan == pytest.approx(2.0)
+        assert tr.utilization == pytest.approx(1.0)
+        assert len(tr.intervals) == 8
+
+    def test_static_imbalance_visible(self):
+        costs = np.array([10.0, 1.0] * 8)  # heavy items all hit worker 0
+        tr_static = trace_costs(costs, 2, policy="static")
+        tr_dyn = trace_costs(costs, 2, policy="dynamic")
+        assert tr_static.makespan > tr_dyn.makespan
+        assert tr_static.utilization < tr_dyn.utilization
+
+    def test_intervals_non_overlapping_per_worker(self):
+        rngc = np.random.default_rng(3).uniform(0.5, 2.0, 50)
+        tr = trace_costs(rngc, 7, policy="dynamic")
+        for w in range(7):
+            ivs = sorted(
+                (iv for iv in tr.intervals if iv.worker == w), key=lambda x: x.start
+            )
+            for a, b in zip(ivs, ivs[1:]):
+                assert b.start >= a.end - 1e-12
+
+    def test_labels(self):
+        tr = trace_costs(np.ones(2), 2, labels=["a", "b"])
+        assert {iv.label for iv in tr.intervals} == {"a", "b"}
+
+    def test_gantt_renders(self):
+        tr = trace_costs(np.ones(6), 3)
+        out = tr.gantt(width=40)
+        assert "CU00" in out and "CU02" in out
+        assert "utilization" in out
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            trace_costs(np.ones(2), 0)
+        with pytest.raises(ConfigurationError):
+            trace_costs(np.array([-1.0]), 2)
+        with pytest.raises(ConfigurationError):
+            trace_costs(np.ones(2), 2, labels=["only-one"])
+        with pytest.raises(ConfigurationError):
+            trace_costs(np.ones(2), 2, policy="psychic")
+        with pytest.raises(ConfigurationError):
+            trace_costs(np.ones(2), 2).gantt(width=5)
+
+
+class TestTraceLaunch:
+    def test_makespan_matches_timing_engine(self):
+        launch = _force_launch(40)
+        tr = trace_launch(DEV, launch)
+        t = time_kernel(DEV, launch, include_launch_overhead=False)
+        assert tr.makespan == pytest.approx(t.makespan_cycles, rel=1e-9)
+
+    def test_static_schedule(self):
+        launch = _force_launch(40)
+        tr = trace_launch(DEV, launch, schedule="static")
+        t = time_kernel(DEV, launch, schedule="static", include_launch_overhead=False)
+        assert tr.makespan == pytest.approx(t.makespan_cycles, rel=1e-9)
+
+    def test_workgroup_labels_preserved(self):
+        tr = trace_launch(DEV, _force_launch(4))
+        assert {iv.label for iv in tr.intervals} == {"wg0", "wg1", "wg2", "wg3"}
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(ConfigurationError):
+            trace_launch(DEV, _force_launch(2), schedule="psychic")

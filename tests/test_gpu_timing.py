@@ -1,0 +1,155 @@
+"""Unit tests for the timing engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import RADEON_HD_5850
+from repro.gpu.kernel import tile_loop_work
+from repro.gpu.launch import KernelLaunch, WorkGroupWork
+from repro.gpu.timing import (
+    greedy_schedule,
+    round_robin_schedule,
+    time_kernel,
+    workgroup_cycles,
+)
+
+DEV = RADEON_HD_5850
+
+
+def _launch(n_wgs, interactions_each=256 * 1024, wg_size=256):
+    wgs = [
+        tile_loop_work(
+            f"wg{i}",
+            active_threads=wg_size,
+            n_sources=interactions_each // wg_size,
+            wg_size=wg_size,
+            wavefront_size=64,
+        )
+        for i in range(n_wgs)
+    ]
+    return KernelLaunch("k", wg_size, wgs)
+
+
+class TestSchedulers:
+    def test_greedy_balances(self):
+        makespan, busy = greedy_schedule(np.ones(100), 10)
+        assert makespan == pytest.approx(10.0)
+        np.testing.assert_allclose(busy, 10.0)
+
+    def test_greedy_handles_skew(self):
+        costs = np.array([100.0] + [1.0] * 99)
+        makespan, _ = greedy_schedule(costs, 10)
+        assert makespan == pytest.approx(100.0)  # lower bound = largest item
+
+    def test_round_robin_suffers_skew(self):
+        # all heavy items land on the same worker under round-robin
+        costs = np.array(([10.0] + [1.0] * 9) * 10)
+        ms_rr, _ = round_robin_schedule(costs, 10)
+        ms_gr, _ = greedy_schedule(costs, 10)
+        assert ms_rr > ms_gr
+
+    def test_greedy_beats_round_robin_on_skewed_work(self, rng):
+        # not a universal guarantee (greedy FIFO can lose on adversarial
+        # inputs), but on heavy-tailed walk-like work it should win
+        costs = rng.pareto(1.5, 500) + 0.1
+        ms_gr, _ = greedy_schedule(costs, 18)
+        ms_rr, _ = round_robin_schedule(costs, 18)
+        assert ms_gr <= ms_rr + 1e-12
+
+    def test_makespan_lower_bounds(self, rng):
+        costs = rng.uniform(0.5, 2.0, 64)
+        ms, busy = greedy_schedule(costs, 18)
+        assert ms >= costs.sum() / 18 - 1e-12
+        assert ms >= costs.max() - 1e-12
+        assert busy.sum() == pytest.approx(costs.sum())
+
+    def test_empty_costs(self):
+        ms, busy = greedy_schedule(np.array([]), 4)
+        assert ms == 0.0
+        np.testing.assert_array_equal(busy, 0.0)
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            greedy_schedule(np.ones(3), 0)
+        with pytest.raises(ConfigurationError):
+            round_robin_schedule(np.ones(3), 0)
+
+
+class TestWorkgroupCycles:
+    def test_compute_bound_workgroup(self):
+        wg = tile_loop_work("x", active_threads=256, n_sources=4096, wg_size=256, wavefront_size=64)
+        cycles = workgroup_cycles(DEV, wg, 1.0)
+        compute = wg.issued_interactions / DEV.interactions_per_cycle_per_cu
+        assert cycles >= compute  # plus barriers and dispatch
+
+    def test_latency_efficiency_scales_compute(self):
+        wg = tile_loop_work("x", active_threads=256, n_sources=4096, wg_size=256, wavefront_size=64)
+        fast = workgroup_cycles(DEV, wg, 1.0)
+        slow = workgroup_cycles(DEV, wg, 0.5)
+        assert slow > fast
+
+    def test_memory_bound_workgroup(self):
+        wg = WorkGroupWork(
+            "mem", interactions=0, issued_interactions=0, active_threads=256,
+            global_bytes=10**6,
+        )
+        cycles = workgroup_cycles(DEV, wg, 1.0)
+        assert cycles >= 10**6 / DEV.global_bytes_per_cycle_per_cu
+
+    def test_rejects_bad_efficiency(self):
+        wg = WorkGroupWork("x", interactions=0, issued_interactions=0, active_threads=1)
+        with pytest.raises(ConfigurationError):
+            workgroup_cycles(DEV, wg, 0.0)
+        with pytest.raises(ConfigurationError):
+            workgroup_cycles(DEV, wg, 1.5)
+
+
+class TestTimeKernel:
+    def test_seconds_positive_and_reasonable(self):
+        t = time_kernel(DEV, _launch(64))
+        assert t.seconds > 0
+        # 64 WGs x 256k interactions at ~15e9/s -> ~1.1 ms
+        assert 0.5e-3 < t.seconds < 5e-3
+
+    def test_launch_overhead_included_once(self):
+        with_oh = time_kernel(DEV, _launch(4))
+        without = time_kernel(DEV, _launch(4), include_launch_overhead=False)
+        assert with_oh.seconds - without.seconds == pytest.approx(
+            DEV.kernel_launch_overhead_s
+        )
+
+    def test_more_workgroups_better_throughput(self):
+        """Small launches waste CUs: GFLOPS should rise toward saturation."""
+        def gflops(n_wgs):
+            t = time_kernel(DEV, _launch(n_wgs))
+            return 20 * t.total_interactions / t.seconds / 1e9
+
+        g4, g18, g180 = gflops(4), gflops(18), gflops(180)
+        assert g4 < g18 < g180
+
+    def test_saturated_launch_near_sustained_rate(self):
+        t = time_kernel(DEV, _launch(1800), include_launch_overhead=False)
+        rate = t.total_issued_interactions / t.seconds
+        assert rate == pytest.approx(DEV.sustained_interaction_rate, rel=0.1)
+
+    def test_static_schedule_slower_on_skew(self):
+        wgs = []
+        for i in range(90):
+            n_src = 4096 if i % 18 == 0 else 256
+            wgs.append(
+                tile_loop_work(f"wg{i}", active_threads=256, n_sources=n_src,
+                               wg_size=256, wavefront_size=64)
+            )
+        kl = KernelLaunch("k", 256, wgs)
+        t_hw = time_kernel(DEV, kl, schedule="hardware")
+        t_st = time_kernel(DEV, kl, schedule="static")
+        assert t_st.seconds >= t_hw.seconds
+
+    def test_busy_fraction_bounded(self):
+        t = time_kernel(DEV, _launch(100))
+        assert 0.0 < t.cu_busy_fraction <= 1.0
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(ConfigurationError):
+            time_kernel(DEV, _launch(2), schedule="magic")

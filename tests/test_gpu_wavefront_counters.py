@@ -1,0 +1,81 @@
+"""Unit tests for wavefront accounting and cost counters."""
+
+import pytest
+
+from repro.gpu.counters import CostCounters
+from repro.gpu.wavefront import active_wavefronts, divergent_cycles, lane_utilization
+
+
+class TestActiveWavefronts:
+    @pytest.mark.parametrize(
+        "items,expected", [(0, 0), (1, 1), (64, 1), (65, 2), (256, 4), (257, 5)]
+    )
+    def test_counts(self, items, expected):
+        assert active_wavefronts(items, 64) == expected
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            active_wavefronts(-1, 64)
+        with pytest.raises(ValueError):
+            active_wavefronts(1, 0)
+
+
+class TestLaneUtilization:
+    def test_full_wavefront(self):
+        assert lane_utilization(64, 64) == 1.0
+
+    def test_half_wavefront(self):
+        assert lane_utilization(32, 64) == 0.5
+
+    def test_partial_second_wavefront(self):
+        assert lane_utilization(96, 64) == pytest.approx(0.75)
+
+    def test_zero_items(self):
+        assert lane_utilization(0, 64) == 0.0
+
+
+class TestDivergentCycles:
+    def test_uniform_work(self):
+        # 64 lanes, 10 units each, 2 cycles/unit -> one wavefront of max 10
+        assert divergent_cycles([10] * 64, 64, 2.0) == 20.0
+
+    def test_max_dominates(self):
+        work = [1] * 63 + [100]
+        assert divergent_cycles(work, 64, 1.0) == 100.0
+
+    def test_multiple_wavefronts(self):
+        work = [10] * 64 + [20] * 64
+        assert divergent_cycles(work, 64, 1.0) == 30.0
+
+    def test_rejects_bad_cycles(self):
+        with pytest.raises(ValueError):
+            divergent_cycles([1], 64, 0.0)
+
+
+class TestCostCounters:
+    def test_defaults_zero(self):
+        c = CostCounters()
+        assert c.interactions == 0
+        assert c.flops() == 0.0
+
+    def test_add_accumulates(self):
+        a = CostCounters(interactions=10, global_bytes=100, barriers=2)
+        b = CostCounters(interactions=5, lds_bytes=50, reductions=1)
+        out = a.add(b)
+        assert out is a
+        assert a.interactions == 15
+        assert a.global_bytes == 100
+        assert a.lds_bytes == 50
+        assert a.barriers == 2
+        assert a.reductions == 1
+
+    def test_copy_is_independent(self):
+        a = CostCounters(interactions=3)
+        b = a.copy()
+        b.interactions += 1
+        assert a.interactions == 3
+
+    def test_flops_conventions(self):
+        c = CostCounters(interactions=10)
+        assert c.flops() == 200.0
+        assert c.flops(38) == 380.0

@@ -1,0 +1,150 @@
+"""Unit tests for :mod:`repro.nbody.forces` — the PP ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.nbody.forces import (
+    accelerations_from_sources,
+    direct_forces,
+    direct_forces_naive,
+    pairwise_force,
+)
+
+EPS = 1e-2
+
+
+class TestPairwiseForce:
+    def test_two_unit_masses_at_unit_distance(self):
+        f = pairwise_force([0, 0, 0], [1, 0, 0], 1.0, 1.0)
+        np.testing.assert_allclose(f, [1.0, 0.0, 0.0])
+
+    def test_newton_third_law(self):
+        xi, xj = np.array([0.1, 0.2, 0.3]), np.array([-1.0, 0.5, 2.0])
+        f_ij = pairwise_force(xi, xj, 2.0, 3.0)
+        f_ji = pairwise_force(xj, xi, 3.0, 2.0)
+        np.testing.assert_allclose(f_ij, -f_ji)
+
+    def test_inverse_square_scaling(self):
+        f1 = pairwise_force([0, 0, 0], [1, 0, 0], 1.0, 1.0)
+        f2 = pairwise_force([0, 0, 0], [2, 0, 0], 1.0, 1.0)
+        assert f1[0] / f2[0] == pytest.approx(4.0)
+
+    def test_g_scaling(self):
+        f = pairwise_force([0, 0, 0], [1, 0, 0], 1.0, 1.0, G=6.674e-11)
+        assert f[0] == pytest.approx(6.674e-11)
+
+    def test_mass_product_scaling(self):
+        f = pairwise_force([0, 0, 0], [1, 0, 0], 2.0, 5.0)
+        assert f[0] == pytest.approx(10.0)
+
+    def test_coincident_unsoftened_raises(self):
+        with pytest.raises(ValueError, match="coincident"):
+            pairwise_force([1, 1, 1], [1, 1, 1], 1.0, 1.0)
+
+    def test_coincident_softened_is_zero(self):
+        f = pairwise_force([1, 1, 1], [1, 1, 1], 1.0, 1.0, softening=0.1)
+        np.testing.assert_allclose(f, 0.0)
+
+
+class TestDirectForces:
+    def test_matches_naive_reference(self, plummer_small):
+        pos, m = plummer_small.positions[:64], plummer_small.masses[:64]
+        fast = direct_forces(pos, m, softening=EPS, include_self=False)
+        slow = direct_forces_naive(pos, m, softening=EPS)
+        np.testing.assert_allclose(fast, slow, rtol=1e-12, atol=1e-14)
+
+    def test_include_self_changes_nothing_with_softening(self, plummer_small):
+        pos, m = plummer_small.positions[:50], plummer_small.masses[:50]
+        with_self = direct_forces(pos, m, softening=EPS, include_self=True)
+        without = direct_forces(pos, m, softening=EPS, include_self=False)
+        np.testing.assert_allclose(with_self, without, rtol=1e-12)
+
+    def test_blocking_is_invariant(self, plummer_small):
+        pos, m = plummer_small.positions, plummer_small.masses
+        a1 = direct_forces(pos, m, softening=EPS, block=7)
+        a2 = direct_forces(pos, m, softening=EPS, block=100000)
+        np.testing.assert_allclose(a1, a2, rtol=1e-12)
+
+    def test_momentum_conservation(self, plummer_small):
+        # sum of m_i a_i = 0 for internal forces
+        pos, m = plummer_small.positions, plummer_small.masses
+        acc = direct_forces(pos, m, softening=EPS)
+        np.testing.assert_allclose(m @ acc, 0.0, atol=1e-12)
+
+    def test_two_body_analytic(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        m = np.array([1.0, 1.0])
+        acc = direct_forces(pos, m, softening=0.0, include_self=False)
+        np.testing.assert_allclose(acc[0], [1.0, 0.0, 0.0])
+        np.testing.assert_allclose(acc[1], [-1.0, 0.0, 0.0])
+
+    def test_softening_weakens_close_encounters(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1e-3, 0.0, 0.0]])
+        m = np.array([1.0, 1.0])
+        hard = direct_forces(pos, m, softening=0.0, include_self=False)
+        soft = direct_forces(pos, m, softening=0.1, include_self=False)
+        assert abs(soft[0, 0]) < abs(hard[0, 0])
+
+    def test_float32_matches_float64_within_tolerance(self, plummer_small):
+        pos, m = plummer_small.positions, plummer_small.masses
+        a64 = direct_forces(pos, m, softening=EPS)
+        a32 = direct_forces(pos, m, softening=EPS, dtype=np.float32)
+        norm = np.linalg.norm(a64, axis=1)
+        err = np.linalg.norm(a32 - a64, axis=1) / norm
+        assert err.max() < 1e-4
+
+
+class TestAccelerationsFromSources:
+    def test_disjoint_targets_and_sources(self):
+        targets = np.array([[0.0, 0.0, 0.0]])
+        src = np.array([[1.0, 0.0, 0.0], [-1.0, 0.0, 0.0]])
+        m = np.array([1.0, 1.0])
+        acc = accelerations_from_sources(targets, src, m)
+        np.testing.assert_allclose(acc, 0.0, atol=1e-15)  # symmetric pull
+
+    def test_accumulate_into_out(self):
+        targets = np.array([[0.0, 0.0, 0.0]])
+        src = np.array([[1.0, 0.0, 0.0]])
+        m = np.array([1.0])
+        out = np.ones((1, 3))
+        accelerations_from_sources(targets, src, m, softening=0.0, out=out, accumulate=True)
+        np.testing.assert_allclose(out[0], [2.0, 1.0, 1.0])
+
+    def test_overwrite_out(self):
+        targets = np.array([[0.0, 0.0, 0.0]])
+        src = np.array([[1.0, 0.0, 0.0]])
+        m = np.array([1.0])
+        out = np.full((1, 3), 7.0)
+        accelerations_from_sources(targets, src, m, softening=0.0, out=out, accumulate=False)
+        np.testing.assert_allclose(out[0], [1.0, 0.0, 0.0])
+
+    def test_superposition(self, rng):
+        targets = rng.standard_normal((10, 3))
+        src = rng.standard_normal((20, 3)) + 5.0
+        m = rng.uniform(0.5, 2.0, 20)
+        full = accelerations_from_sources(targets, src, m, softening=EPS)
+        half1 = accelerations_from_sources(targets, src[:10], m[:10], softening=EPS)
+        half2 = accelerations_from_sources(targets, src[10:], m[10:], softening=EPS)
+        np.testing.assert_allclose(full, half1 + half2, rtol=1e-12)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="targets"):
+            accelerations_from_sources(np.zeros(3), np.zeros((1, 3)), np.ones(1))
+        with pytest.raises(ValueError, match="src_pos"):
+            accelerations_from_sources(np.zeros((1, 3)), np.zeros(3), np.ones(1))
+        with pytest.raises(ValueError, match="src_mass"):
+            accelerations_from_sources(np.zeros((1, 3)), np.zeros((2, 3)), np.ones(3))
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError, match="block"):
+            accelerations_from_sources(
+                np.zeros((1, 3)), np.zeros((1, 3)), np.ones(1), block=0
+            )
+
+    def test_g_scaling(self, rng):
+        targets = rng.standard_normal((4, 3))
+        src = rng.standard_normal((6, 3)) + 3.0
+        m = np.ones(6)
+        a1 = accelerations_from_sources(targets, src, m, softening=EPS)
+        a2 = accelerations_from_sources(targets, src, m, softening=EPS, G=2.5)
+        np.testing.assert_allclose(a2, 2.5 * a1, rtol=1e-12)

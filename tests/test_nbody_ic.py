@@ -1,0 +1,148 @@
+"""Unit tests for the initial-condition generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nbody.energy import kinetic_energy, potential_energy, virial_ratio
+from repro.nbody.ic import cold_disc, plummer, two_clusters, uniform_cube, uniform_sphere
+
+
+class TestPlummer:
+    def test_deterministic_given_seed(self):
+        a = plummer(100, seed=7)
+        b = plummer(100, seed=7)
+        np.testing.assert_array_equal(a.positions, b.positions)
+        np.testing.assert_array_equal(a.velocities, b.velocities)
+
+    def test_different_seeds_differ(self):
+        a = plummer(100, seed=7)
+        b = plummer(100, seed=8)
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_total_mass(self):
+        p = plummer(500, total_mass=3.0, seed=1)
+        assert p.total_mass == pytest.approx(3.0)
+
+    def test_com_frame(self):
+        p = plummer(500, seed=1)
+        np.testing.assert_allclose(p.center_of_mass(), 0.0, atol=1e-12)
+        np.testing.assert_allclose(p.com_velocity(), 0.0, atol=1e-12)
+
+    def test_near_virial_equilibrium(self):
+        # the Aarseth construction should sample close to 2K = -U
+        p = plummer(4000, seed=2)
+        assert virial_ratio(p) == pytest.approx(1.0, abs=0.1)
+
+    def test_henon_energy(self):
+        # default scale radius gives E ~ -1/4 in N-body units
+        p = plummer(4000, seed=3)
+        e = kinetic_energy(p) + potential_energy(p)
+        assert e == pytest.approx(-0.25, abs=0.035)
+
+    def test_speeds_below_escape_velocity(self):
+        p = plummer(1000, seed=4)
+        r = np.linalg.norm(p.positions, axis=1)
+        v = np.linalg.norm(p.velocities, axis=1)
+        a = 3 * np.pi / 16
+        v_esc = np.sqrt(2.0) * (r * r + a * a) ** -0.25
+        # sampled in the COM frame, so allow a tiny slack from the shift
+        assert np.all(v <= v_esc * 1.1)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(WorkloadError):
+            plummer(0)
+        with pytest.raises(WorkloadError):
+            plummer(10, total_mass=-1.0)
+        with pytest.raises(WorkloadError):
+            plummer(10, scale_radius=0.0)
+
+
+class TestUniform:
+    def test_cube_bounds(self):
+        p = uniform_cube(1000, half_width=2.0, seed=1)
+        assert np.all(np.abs(p.positions) <= 2.0)
+
+    def test_sphere_bounds(self):
+        p = uniform_sphere(1000, radius=1.5, seed=1)
+        assert np.all(np.linalg.norm(p.positions, axis=1) <= 1.5)
+
+    def test_sphere_volume_uniformity(self):
+        # half the bodies should sit inside r = R * 2^(-1/3)
+        p = uniform_sphere(20000, radius=1.0, seed=2)
+        r = np.linalg.norm(p.positions, axis=1)
+        inner = np.mean(r < 0.5 ** (1.0 / 3.0))
+        assert inner == pytest.approx(0.5, abs=0.02)
+
+    def test_cold_start_has_zero_velocity(self):
+        p = uniform_cube(100, seed=1)
+        assert np.all(p.velocities == 0.0)
+
+    def test_velocity_scale(self):
+        p = uniform_cube(5000, velocity_scale=0.3, seed=1)
+        assert np.std(p.velocities) == pytest.approx(0.3, rel=0.1)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(WorkloadError):
+            uniform_cube(10, half_width=0.0)
+        with pytest.raises(WorkloadError):
+            uniform_sphere(10, radius=-1.0)
+
+
+class TestTwoClusters:
+    def test_total_count_and_mass(self):
+        p = two_clusters(1000, seed=1)
+        assert p.n == 1000
+        assert p.total_mass == pytest.approx(1.0)
+
+    def test_bimodal_structure(self):
+        p = two_clusters(2000, separation=8.0, approach_speed=0.0, seed=1)
+        x = p.positions[:, 0]
+        # two well-separated lobes around +-4
+        assert np.mean(x < 0) == pytest.approx(0.5, abs=0.1)
+        assert np.abs(x).mean() > 1.0
+
+    def test_com_frame(self):
+        p = two_clusters(500, seed=2)
+        np.testing.assert_allclose(p.center_of_mass(), 0.0, atol=1e-12)
+        np.testing.assert_allclose(p.com_velocity(), 0.0, atol=1e-12)
+
+    def test_mass_ratio_splits_bodies(self):
+        p = two_clusters(300, mass_ratio=2.0, seed=3)
+        assert p.n == 300
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(WorkloadError):
+            two_clusters(1)
+        with pytest.raises(WorkloadError):
+            two_clusters(100, mass_ratio=0.0)
+
+
+class TestColdDisc:
+    def test_structure(self):
+        p = cold_disc(1000, thickness=0.02, seed=1)
+        assert p.n == 1000
+        # flattened: z-extent much smaller than x/y extent
+        assert np.std(p.positions[:, 2]) < 0.2 * np.std(p.positions[:, 0])
+
+    def test_rotation(self):
+        p = cold_disc(1000, seed=1)
+        # net angular momentum about z is strongly positive
+        lz = np.sum(
+            p.masses
+            * (
+                p.positions[:, 0] * p.velocities[:, 1]
+                - p.positions[:, 1] * p.velocities[:, 0]
+            )
+        )
+        assert lz > 0.0
+
+    def test_central_mass_fraction(self):
+        p = cold_disc(100, central_mass_fraction=0.7, seed=1)
+        assert p.masses.max() == pytest.approx(0.7, rel=1e-12)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(WorkloadError):
+            cold_disc(1)
+        with pytest.raises(WorkloadError):
+            cold_disc(100, central_mass_fraction=1.0)

@@ -1,0 +1,140 @@
+"""Unit tests for :mod:`repro.nbody.particles`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nbody.particles import ParticleSet
+
+
+def _simple_set():
+    pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 2.0, 0.0]])
+    vel = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+    m = np.array([1.0, 2.0, 3.0])
+    return ParticleSet(pos, vel, m)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        p = _simple_set()
+        assert p.n == 3
+        assert len(p) == 3
+        assert p.total_mass == pytest.approx(6.0)
+
+    def test_arrays_are_float64_contiguous_copies(self):
+        pos = np.zeros((4, 3), dtype=np.float32)
+        p = ParticleSet(pos, np.zeros((4, 3)), np.ones(4))
+        assert p.positions.dtype == np.float64
+        assert p.positions.flags["C_CONTIGUOUS"]
+        pos[0, 0] = 99.0
+        assert p.positions[0, 0] == 0.0  # owned copy, not a view
+
+    def test_rejects_bad_position_shape(self):
+        with pytest.raises(WorkloadError, match="positions"):
+            ParticleSet(np.zeros((3, 2)), np.zeros((3, 2)), np.ones(3))
+
+    def test_rejects_mismatched_velocities(self):
+        with pytest.raises(WorkloadError, match="velocities"):
+            ParticleSet(np.zeros((3, 3)), np.zeros((2, 3)), np.ones(3))
+
+    def test_rejects_wrong_mass_shape(self):
+        with pytest.raises(WorkloadError, match="masses"):
+            ParticleSet(np.zeros((3, 3)), np.zeros((3, 3)), np.ones(4))
+
+    def test_rejects_nonpositive_masses(self):
+        with pytest.raises(WorkloadError, match="masses"):
+            ParticleSet(np.zeros((2, 3)), np.zeros((2, 3)), np.array([1.0, 0.0]))
+
+    def test_rejects_nonfinite_positions(self):
+        pos = np.zeros((2, 3))
+        pos[1, 2] = np.nan
+        with pytest.raises(WorkloadError, match="finite"):
+            ParticleSet(pos, np.zeros((2, 3)), np.ones(2))
+
+    def test_zeros_constructor(self):
+        p = ParticleSet.zeros(5, mass=2.0)
+        assert p.n == 5
+        assert p.total_mass == pytest.approx(10.0)
+        assert np.all(p.positions == 0.0)
+
+    def test_zeros_rejects_nonpositive_n(self):
+        with pytest.raises(WorkloadError):
+            ParticleSet.zeros(0)
+
+
+class TestFrameOperations:
+    def test_center_of_mass_weighting(self):
+        p = _simple_set()
+        com = p.center_of_mass()
+        expected = (1 * np.array([0, 0, 0]) + 2 * np.array([1, 0, 0]) + 3 * np.array([0, 2, 0])) / 6
+        np.testing.assert_allclose(com, expected)
+
+    def test_to_com_frame_zeroes_com_and_momentum(self):
+        p = _simple_set()
+        p.to_com_frame()
+        np.testing.assert_allclose(p.center_of_mass(), 0.0, atol=1e-14)
+        np.testing.assert_allclose(p.com_velocity(), 0.0, atol=1e-14)
+
+    def test_shift_positions_only(self):
+        p = _simple_set()
+        before_v = p.velocities.copy()
+        p.shift(np.array([1.0, 1.0, 1.0]))
+        assert p.positions[0, 0] == 1.0
+        np.testing.assert_array_equal(p.velocities, before_v)
+
+    def test_shift_with_velocity(self):
+        p = _simple_set()
+        p.shift(np.zeros(3), np.array([0.0, 0.0, 5.0]))
+        assert p.velocities[0, 2] == 5.0
+
+    def test_bounding_box(self):
+        p = _simple_set()
+        lo, hi = p.bounding_box()
+        np.testing.assert_array_equal(lo, [0.0, 0.0, 0.0])
+        np.testing.assert_array_equal(hi, [1.0, 2.0, 0.0])
+
+    def test_bounding_cube_contains_all_bodies(self):
+        p = _simple_set()
+        center, half = p.bounding_cube()
+        assert np.all(np.abs(p.positions - center) <= half)
+
+    def test_bounding_cube_is_cubic(self):
+        p = _simple_set()
+        _, half = p.bounding_cube()
+        assert half >= 1.0  # half the largest extent (2.0 in y)
+
+
+class TestCopySelect:
+    def test_copy_is_deep(self):
+        p = _simple_set()
+        q = p.copy()
+        q.positions[0, 0] = 42.0
+        assert p.positions[0, 0] == 0.0
+
+    def test_select_subset(self):
+        p = _simple_set()
+        q = p.select(np.array([2, 0]))
+        assert q.n == 2
+        assert q.masses[0] == 3.0
+        assert q.masses[1] == 1.0
+
+    def test_permuted_roundtrip(self):
+        p = _simple_set()
+        order = np.array([2, 0, 1])
+        q = p.permuted(order)
+        np.testing.assert_array_equal(q.positions[0], p.positions[2])
+
+    def test_permuted_rejects_non_permutation(self):
+        p = _simple_set()
+        with pytest.raises(WorkloadError, match="permutation"):
+            p.permuted(np.array([0, 0, 1]))
+
+    def test_concatenate(self):
+        p = _simple_set()
+        q = ParticleSet.concatenate([p, p])
+        assert q.n == 6
+        assert q.total_mass == pytest.approx(12.0)
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            ParticleSet.concatenate([])

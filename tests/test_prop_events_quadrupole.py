@@ -1,0 +1,94 @@
+"""Property-based tests for the event graph and quadrupole moments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gpu.events import EventGraph
+from repro.tree.octree import build_octree
+from repro.tree.quadrupole import quadrupole_moments
+
+durations = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=1, max_size=30
+)
+
+
+class TestEventGraphProperties:
+    @given(durations, durations, durations)
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_bounds(self, a, b, c):
+        k = min(len(a), len(b), len(c))
+        g = EventGraph.pipelined_step(a[:k], b[:k], c[:k])
+        ms = g.makespan()
+        busy = g.resource_busy()
+        # at least the busiest resource, at most the serial sum
+        assert ms >= max(busy.values()) - 1e-9
+        assert ms <= sum(busy.values()) + 1e-9
+
+    @given(durations, durations, durations, st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_more_devices_never_slower(self, a, b, c, d):
+        k = min(len(a), len(b), len(c))
+        one = EventGraph.pipelined_step(a[:k], b[:k], c[:k], n_devices=1).makespan()
+        many = EventGraph.pipelined_step(a[:k], b[:k], c[:k], n_devices=d).makespan()
+        assert many <= one + 1e-9
+
+    @given(durations)
+    @settings(max_examples=50, deadline=None)
+    def test_single_resource_is_serial(self, xs):
+        g = EventGraph()
+        for x in xs:
+            g.submit("gpu", x)
+        assert g.makespan() == pytest.approx(sum(xs))
+
+    @given(durations, st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_adding_work_never_reduces_makespan(self, xs, extra):
+        g1 = EventGraph()
+        for x in xs:
+            g1.submit("gpu", x)
+        ms1 = g1.makespan()
+        g1.submit("gpu", extra)
+        assert g1.makespan() >= ms1 - 1e-12
+
+
+coords = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+class TestQuadrupoleProperties:
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(2, 40), st.just(3)),
+                   elements=coords),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_traceless_and_symmetric_always(self, pos, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.uniform(0.1, 2.0, pos.shape[0])
+        tree = build_octree(pos, m, leaf_size=4)
+        q = quadrupole_moments(tree)
+        scale = np.abs(q).max() + 1.0
+        np.testing.assert_allclose(np.einsum("nii->n", q), 0.0, atol=1e-9 * scale)
+        np.testing.assert_allclose(q, np.transpose(q, (0, 2, 1)), atol=1e-9 * scale)
+
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(2, 30), st.just(3)),
+                   elements=coords),
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_translation_invariance(self, pos, shift):
+        """Q is computed about the COM, so translating everything leaves it
+        unchanged (same tree geometry enforced via an explicit cube)."""
+        m = np.ones(pos.shape[0])
+        center = pos.mean(axis=0)
+        half = float(np.abs(pos - center).max()) + 1.0
+        t1 = build_octree(pos, m, leaf_size=4, center=center, half_width=half)
+        t2 = build_octree(pos + shift, m, leaf_size=4, center=center + shift,
+                          half_width=half)
+        q1 = quadrupole_moments(t1)
+        q2 = quadrupole_moments(t2)
+        scale = np.abs(q1).max() + 1.0
+        np.testing.assert_allclose(q1, q2, atol=1e-7 * scale)

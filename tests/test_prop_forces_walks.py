@@ -1,0 +1,134 @@
+"""Property-based tests for force evaluation and walk generation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nbody.forces import accelerations_from_sources, direct_forces
+from repro.tree.bh_force import accelerations_from_walks
+from repro.tree.octree import build_octree
+from repro.tree.walks import generate_walks
+
+coords = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def bodies_strategy(min_n=2, max_n=40):
+    return st.tuples(
+        hnp.arrays(np.float64, st.tuples(st.integers(min_n, max_n), st.just(3)),
+                   elements=coords),
+        st.integers(0, 2**31 - 1),
+    )
+
+
+class TestForceProperties:
+    @given(bodies_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_momentum_conservation(self, data):
+        pos, seed = data
+        rng = np.random.default_rng(seed)
+        m = rng.uniform(0.1, 3.0, pos.shape[0])
+        acc = direct_forces(pos, m, softening=0.05)
+        total = m @ acc
+        scale = np.abs(m[:, None] * acc).sum() + 1e-30
+        assert np.linalg.norm(total) / scale < 1e-10
+
+    @given(bodies_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_translation_invariance(self, data):
+        pos, seed = data
+        rng = np.random.default_rng(seed)
+        m = rng.uniform(0.1, 3.0, pos.shape[0])
+        a1 = direct_forces(pos, m, softening=0.05)
+        a2 = direct_forces(pos + np.array([5.0, -3.0, 2.0]), m, softening=0.05)
+        # translating coordinates costs a few ulps of the *position*, which
+        # near-coincident bodies amplify; tolerate cancellation at the
+        # scale of the softened force bound m/eps^2
+        scale = float(np.abs(m).sum()) / 0.05**2
+        np.testing.assert_allclose(a1, a2, rtol=1e-9, atol=1e-12 * scale)
+
+    @given(bodies_strategy(), st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_law(self, data, scale):
+        """a(s*x) = a(x) / s^2 for unsoftened gravity (mass fixed)."""
+        pos, seed = data
+        rng = np.random.default_rng(seed)
+        # keep bodies separated so zero softening is safe
+        pos = pos + rng.uniform(0.05, 0.1, pos.shape)  # jitter duplicates
+        m = rng.uniform(0.1, 3.0, pos.shape[0])
+        pairwise = pos[:, None, :] - pos[None, :, :]
+        d2 = (pairwise**2).sum(-1) + np.eye(pos.shape[0])
+        if d2.min() < 1e-4:
+            return  # reject degenerate draw
+        a1 = direct_forces(pos, m, softening=0.0, include_self=False)
+        a2 = direct_forces(scale * pos, m, softening=0.0, include_self=False)
+        np.testing.assert_allclose(a2, a1 / scale**2, rtol=1e-7, atol=1e-10)
+
+    @given(bodies_strategy())
+    @settings(max_examples=20, deadline=None)
+    def test_superposition_over_source_split(self, data):
+        pos, seed = data
+        rng = np.random.default_rng(seed)
+        m = rng.uniform(0.1, 3.0, pos.shape[0])
+        targets = pos[:3]
+        k = pos.shape[0] // 2
+        full = accelerations_from_sources(targets, pos, m, softening=0.05)
+        part = accelerations_from_sources(
+            targets, pos[:k], m[:k], softening=0.05
+        ) + accelerations_from_sources(targets, pos[k:], m[k:], softening=0.05)
+        np.testing.assert_allclose(full, part, rtol=1e-9, atol=1e-12)
+
+
+class TestWalkProperties:
+    @given(
+        bodies_strategy(min_n=4, max_n=60),
+        st.floats(min_value=0.3, max_value=1.2),
+        st.integers(min_value=2, max_value=32),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_walks_cover_each_body_exactly_once(self, data, theta, group_size):
+        pos, seed = data
+        rng = np.random.default_rng(seed)
+        m = rng.uniform(0.1, 3.0, pos.shape[0])
+        tree = build_octree(pos, m, leaf_size=4)
+        ws = generate_walks(tree, theta=theta, group_size=group_size)
+        covered = np.zeros(tree.n_bodies, dtype=int)
+        for w in ws:
+            covered[w.start : w.end] += 1
+        assert np.all(covered == 1)
+
+    @given(
+        bodies_strategy(min_n=4, max_n=60),
+        st.floats(min_value=0.3, max_value=1.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_each_walk_list_tiles_all_mass(self, data, theta):
+        """Every walk's sources (cells + particles) sum to the total mass."""
+        pos, seed = data
+        rng = np.random.default_rng(seed)
+        m = rng.uniform(0.1, 3.0, pos.shape[0])
+        tree = build_octree(pos, m, leaf_size=4)
+        ws = generate_walks(tree, theta=theta, group_size=8)
+        total = m.sum()
+        for w in ws:
+            cell_mass = tree.node_masses[w.cell_list].sum()
+            part_mass = tree.masses[w.particle_list].sum()
+            assert np.isclose(cell_mass + part_mass, total, rtol=1e-9)
+
+    @given(bodies_strategy(min_n=4, max_n=50))
+    @settings(max_examples=15, deadline=None)
+    def test_walk_forces_bounded_error_vs_direct(self, data):
+        pos, seed = data
+        rng = np.random.default_rng(seed)
+        m = rng.uniform(0.1, 3.0, pos.shape[0])
+        tree = build_octree(pos, m, leaf_size=4)
+        ws = generate_walks(tree, theta=0.5, group_size=8)
+        acc = accelerations_from_walks(ws, softening=0.05)
+        ref = direct_forces(pos, m, softening=0.05, include_self=False)
+        num = np.linalg.norm(acc - ref, axis=1)
+        den = np.linalg.norm(ref, axis=1)
+        mask = den > 1e-9  # near-zero net force bodies carry no signal
+        if mask.any():
+            assert (num[mask] / den[mask]).max() < 0.2

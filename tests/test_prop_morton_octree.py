@@ -1,0 +1,97 @@
+"""Property-based tests for Morton keys and the octree (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tree import morton
+from repro.tree.octree import build_octree
+
+# bounded, well-conditioned coordinates
+coords = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def positions_strategy(min_n=1, max_n=60):
+    return hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(min_n, max_n), st.just(3)),
+        elements=coords,
+    )
+
+
+class TestMortonProperties:
+    @given(positions_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_encode_decode_roundtrip(self, pos):
+        center = pos.mean(axis=0)
+        half = float(np.abs(pos - center).max()) + 1.0
+        keys = morton.encode(pos, center, half)
+        cells = morton.decode(keys)
+        np.testing.assert_array_equal(
+            cells, morton.grid_coordinates(pos, center, half)
+        )
+
+    @given(positions_strategy(min_n=2))
+    @settings(max_examples=40, deadline=None)
+    def test_keys_preserve_octant_order(self, pos):
+        """Sorting by key groups bodies by top-level octant contiguously."""
+        center = pos.mean(axis=0)
+        half = float(np.abs(pos - center).max()) + 1.0
+        keys = np.sort(morton.encode(pos, center, half))
+        digits = morton.key_octant(keys, 0)
+        assert np.all(np.diff(digits) >= 0)
+
+    @given(
+        hnp.arrays(np.float64, (20, 3), elements=coords),
+        st.floats(min_value=0.5, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_translation_invariance_to_one_cell(self, pos, shift):
+        """Keys depend only on position relative to the cube — up to the
+        one-cell boundary flips floating-point translation can cause
+        (``(a+s)-(c+s) != a-c`` in floats for bodies exactly on a cell
+        edge)."""
+        center = pos.mean(axis=0)
+        half = float(np.abs(pos - center).max()) + 1.0
+        c1 = morton.decode(morton.encode(pos, center, half)).astype(np.int64)
+        c2 = morton.decode(
+            morton.encode(pos + shift, center + shift, half)
+        ).astype(np.int64)
+        assert np.abs(c1 - c2).max() <= 1
+
+
+class TestOctreeProperties:
+    @given(
+        positions_strategy(min_n=1, max_n=80),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_hold_for_any_input(self, pos, leaf_size, mass_seed):
+        rng = np.random.default_rng(mass_seed)
+        masses = rng.uniform(0.1, 2.0, pos.shape[0])
+        tree = build_octree(pos, masses, leaf_size=leaf_size)
+        tree.validate()
+
+    @given(positions_strategy(min_n=2, max_n=80))
+    @settings(max_examples=30, deadline=None)
+    def test_unsort_is_inverse_permutation(self, pos):
+        masses = np.ones(pos.shape[0])
+        tree = build_octree(pos, masses, leaf_size=4)
+        np.testing.assert_allclose(tree.unsort(tree.positions), pos)
+
+    @given(positions_strategy(min_n=2, max_n=60))
+    @settings(max_examples=30, deadline=None)
+    def test_monopole_conservation_at_every_node(self, pos):
+        """Mass x COM summed over any node's children equals the node's."""
+        masses = np.ones(pos.shape[0])
+        tree = build_octree(pos, masses, leaf_size=4)
+        for i in range(tree.n_nodes):
+            kids = tree.children[i][tree.children[i] >= 0]
+            if kids.size:
+                m_kids = tree.node_masses[kids]
+                com_kids = (m_kids[:, None] * tree.coms[kids]).sum(axis=0) / m_kids.sum()
+                np.testing.assert_allclose(com_kids, tree.coms[i], atol=1e-9)

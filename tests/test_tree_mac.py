@@ -1,0 +1,103 @@
+"""Unit tests for the multipole acceptance criteria."""
+
+import numpy as np
+import pytest
+
+from repro.tree.mac import GroupMAC, PointMAC, SizeLimitedMAC, aabb_distance
+
+
+class TestAabbDistance:
+    def test_point_inside_is_zero(self):
+        lo, hi = np.array([-1.0, -1.0, -1.0]), np.array([1.0, 1.0, 1.0])
+        assert aabb_distance(lo, hi, np.array([0.2, -0.3, 0.9])) == 0.0
+
+    def test_point_on_face(self):
+        lo, hi = np.zeros(3), np.ones(3)
+        assert aabb_distance(lo, hi, np.array([2.0, 0.5, 0.5])) == pytest.approx(1.0)
+
+    def test_point_at_corner(self):
+        lo, hi = np.zeros(3), np.ones(3)
+        d = aabb_distance(lo, hi, np.array([2.0, 2.0, 2.0]))
+        assert d == pytest.approx(np.sqrt(3.0))
+
+    def test_vectorised(self):
+        lo, hi = np.zeros(3), np.ones(3)
+        pts = np.array([[0.5, 0.5, 0.5], [2.0, 0.5, 0.5]])
+        d = aabb_distance(lo, hi, pts)
+        np.testing.assert_allclose(d, [0.0, 1.0])
+
+
+class TestPointMAC:
+    def test_accepts_distant_cell(self):
+        mac = PointMAC(theta=0.6)
+        assert mac.accept(np.array([1.0]), np.array([10.0]))[0]
+
+    def test_rejects_close_cell(self):
+        mac = PointMAC(theta=0.6)
+        assert not mac.accept(np.array([1.0]), np.array([1.0]))[0]
+
+    def test_threshold_is_strict(self):
+        mac = PointMAC(theta=0.5)
+        # l / D == theta exactly -> reject (criterion is l/D < theta)
+        assert not mac.accept(np.array([1.0]), np.array([2.0]))[0]
+
+    def test_zero_distance_never_accepts(self):
+        mac = PointMAC(theta=100.0)
+        assert not mac.accept(np.array([1.0]), np.array([0.0]))[0]
+
+    def test_smaller_theta_is_stricter(self):
+        sizes = np.array([1.0])
+        d = np.array([1.8])
+        assert PointMAC(theta=0.8).accept(sizes, d)[0]
+        assert not PointMAC(theta=0.3).accept(sizes, d)[0]
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ValueError, match="theta"):
+            PointMAC(theta=0.0)
+
+
+class TestGroupMAC:
+    def test_conservative_vs_point(self, rng):
+        """Group acceptance implies point acceptance for every member."""
+        mac_g = GroupMAC(theta=0.6)
+        mac_p = PointMAC(theta=0.6)
+        lo = np.array([-0.5, -0.5, -0.5])
+        hi = np.array([0.5, 0.5, 0.5])
+        members = rng.uniform(-0.5, 0.5, (50, 3))
+        coms = rng.uniform(-5, 5, (40, 3))
+        sizes = rng.uniform(0.1, 2.0, 40)
+        group_ok = mac_g.accept(sizes, lo, hi, coms)
+        for k in np.flatnonzero(group_ok):
+            dists = np.linalg.norm(members - coms[k], axis=1)
+            assert mac_p.accept(np.full(50, sizes[k]), dists).all()
+
+    def test_cell_inside_box_never_accepted(self):
+        mac = GroupMAC(theta=10.0)
+        lo, hi = np.zeros(3), np.ones(3)
+        ok = mac.accept(np.array([0.1]), lo, hi, np.array([[0.5, 0.5, 0.5]]))
+        assert not ok[0]
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ValueError, match="theta"):
+            GroupMAC(theta=-0.1)
+
+
+class TestSizeLimitedMAC:
+    def test_behaves_like_point_mac_without_cap(self):
+        a = SizeLimitedMAC(theta=0.6)
+        b = PointMAC(theta=0.6)
+        sizes = np.array([0.5, 1.0, 2.0])
+        d = np.array([10.0, 1.0, 5.0])
+        np.testing.assert_array_equal(a.accept(sizes, d), b.accept(sizes, d))
+
+    def test_cap_rejects_large_cells(self):
+        mac = SizeLimitedMAC(theta=0.6, max_size=0.8)
+        # distant but too large
+        assert not mac.accept(np.array([1.0]), np.array([100.0]))[0]
+        assert mac.accept(np.array([0.5]), np.array([100.0]))[0]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            SizeLimitedMAC(theta=0.0)
+        with pytest.raises(ValueError):
+            SizeLimitedMAC(theta=0.5, max_size=0.0)

@@ -1,0 +1,96 @@
+"""Unit tests for Morton keys."""
+
+import numpy as np
+import pytest
+
+from repro.tree import morton
+
+
+class TestEncodeDecode:
+    def test_roundtrip_random(self, rng):
+        pos = rng.uniform(-3.0, 3.0, (500, 3))
+        center = np.zeros(3)
+        half = 3.5
+        keys = morton.encode(pos, center, half)
+        cells = morton.decode(keys)
+        np.testing.assert_array_equal(cells, morton.grid_coordinates(pos, center, half))
+
+    def test_keys_fit_in_63_bits(self, rng):
+        pos = rng.uniform(-1.0, 1.0, (100, 3))
+        keys = morton.encode(pos, np.zeros(3), 1.1)
+        assert np.all(keys < np.uint64(1) << np.uint64(morton.KEY_BITS))
+
+    def test_origin_maps_to_middle_cell(self):
+        keys = morton.encode(np.zeros((1, 3)), np.zeros(3), 1.0)
+        cells = morton.decode(keys)
+        assert np.all(cells[0] == 2**20)  # grid midpoint
+
+    def test_corner_cells(self):
+        lo = np.array([[-1.0, -1.0, -1.0]])
+        keys = morton.encode(lo, np.zeros(3), 1.0)
+        assert keys[0] == 0
+
+    def test_boundary_clipping(self):
+        # a body exactly on the high boundary must clip into the last cell
+        hi = np.array([[1.0, 1.0, 1.0]])
+        keys = morton.encode(hi, np.zeros(3), 1.0)
+        cells = morton.decode(keys)
+        assert np.all(cells == 2**21 - 1)
+
+    def test_spatial_ordering_locality(self):
+        # two points in the same octant share the leading digit
+        a = np.array([[0.5, 0.5, 0.5], [0.6, 0.6, 0.6], [-0.5, -0.5, -0.5]])
+        keys = morton.encode(a, np.zeros(3), 1.0)
+        assert morton.key_octant(keys, 0)[0] == morton.key_octant(keys, 0)[1]
+        assert morton.key_octant(keys, 0)[0] != morton.key_octant(keys, 0)[2]
+
+    def test_rejects_nonpositive_half_width(self):
+        with pytest.raises(ValueError, match="half_width"):
+            morton.grid_coordinates(np.zeros((1, 3)), np.zeros(3), 0.0)
+
+
+class TestKeyOctant:
+    def test_x_is_high_bit(self):
+        # +x, -y, -z from center -> octant digit 0b100 = 4
+        p = np.array([[0.5, -0.5, -0.5]])
+        keys = morton.encode(p, np.zeros(3), 1.0)
+        assert morton.key_octant(keys, 0)[0] == 4
+
+    def test_all_octants_distinct(self):
+        offsets = np.array(
+            [
+                [sx, sy, sz]
+                for sx in (-0.5, 0.5)
+                for sy in (-0.5, 0.5)
+                for sz in (-0.5, 0.5)
+            ]
+        )
+        keys = morton.encode(offsets, np.zeros(3), 1.0)
+        octants = morton.key_octant(keys, 0)
+        assert sorted(octants.tolist()) == list(range(8))
+
+    def test_depth_bounds(self):
+        keys = np.zeros(1, dtype=np.uint64)
+        with pytest.raises(ValueError, match="depth"):
+            morton.key_octant(keys, -1)
+        with pytest.raises(ValueError, match="depth"):
+            morton.key_octant(keys, morton.MAX_DEPTH)
+
+    def test_deeper_digits_refine(self):
+        # a point clipped to the extreme (+,+,+) corner cell has octant 7
+        # at every depth
+        p = np.array([[1.0, 1.0, 1.0]])
+        keys = morton.encode(p, np.zeros(3), 1.0)
+        for d in range(morton.MAX_DEPTH):
+            assert morton.key_octant(keys, d)[0] == 7
+
+
+class TestSortedOrderContiguity:
+    def test_octant_ranges_contiguous_after_sort(self, rng):
+        """Sorted keys group each octant into one contiguous run (the
+        property the octree build depends on)."""
+        pos = rng.uniform(-1.0, 1.0, (2000, 3))
+        keys = np.sort(morton.encode(pos, np.zeros(3), 1.001))
+        digits = morton.key_octant(keys, 0)
+        changes = np.count_nonzero(np.diff(digits) != 0)
+        assert changes == len(np.unique(digits)) - 1

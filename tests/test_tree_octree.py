@@ -1,0 +1,129 @@
+"""Unit tests for the octree build."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TreeError
+from repro.tree.octree import build_octree
+
+
+def _tree(particles, **kw):
+    return build_octree(particles.positions, particles.masses, **kw)
+
+
+class TestBuild:
+    def test_invariants_plummer(self, plummer_small):
+        tree = _tree(plummer_small, leaf_size=8)
+        tree.validate()
+
+    def test_invariants_uniform(self, uniform_small):
+        tree = _tree(uniform_small, leaf_size=16)
+        tree.validate()
+
+    def test_root_covers_everything(self, plummer_small):
+        tree = _tree(plummer_small)
+        assert tree.starts[tree.root] == 0
+        assert tree.ends[tree.root] == plummer_small.n
+
+    def test_leaf_size_respected(self, plummer_small):
+        tree = _tree(plummer_small, leaf_size=8)
+        counts = tree.node_counts()
+        assert np.all(counts[tree.is_leaf] <= 8)
+
+    def test_leaf_nodes_tile_bodies(self, plummer_small):
+        tree = _tree(plummer_small, leaf_size=8)
+        leaves = tree.leaf_nodes()
+        spans = sorted((int(tree.starts[i]), int(tree.ends[i])) for i in leaves)
+        cursor = 0
+        for s, e in spans:
+            assert s == cursor
+            cursor = e
+        assert cursor == tree.n_bodies
+
+    def test_root_monopole(self, plummer_small):
+        tree = _tree(plummer_small)
+        assert tree.node_masses[0] == pytest.approx(plummer_small.total_mass)
+        np.testing.assert_allclose(
+            tree.coms[0], plummer_small.center_of_mass(), atol=1e-12
+        )
+
+    def test_child_masses_sum_to_parent(self, plummer_small):
+        tree = _tree(plummer_small, leaf_size=4)
+        for i in range(tree.n_nodes):
+            kids = tree.children[i][tree.children[i] >= 0]
+            if kids.size:
+                assert tree.node_masses[kids].sum() == pytest.approx(
+                    tree.node_masses[i], rel=1e-12
+                )
+
+    def test_unsort_roundtrip(self, plummer_small):
+        tree = _tree(plummer_small)
+        recovered = tree.unsort(tree.positions)
+        np.testing.assert_allclose(recovered, plummer_small.positions)
+
+    def test_single_body(self):
+        tree = build_octree(np.array([[1.0, 2.0, 3.0]]), np.array([2.0]))
+        assert tree.n_nodes == 1
+        assert tree.is_leaf[0]
+        np.testing.assert_allclose(tree.coms[0], [1.0, 2.0, 3.0])
+
+    def test_leaf_size_one(self, rng):
+        pos = rng.uniform(-1, 1, (64, 3))
+        tree = build_octree(pos, np.ones(64), leaf_size=1)
+        tree.validate()
+        counts = tree.node_counts()
+        assert np.all(counts[tree.is_leaf] == 1)
+
+    def test_coincident_bodies_terminate(self):
+        # all bodies identical: subdivision cannot separate them; the build
+        # must stop at Morton resolution instead of recursing forever
+        pos = np.tile(np.array([[0.25, 0.25, 0.25]]), (10, 1))
+        pos = np.vstack([pos, [[0.9, 0.9, 0.9]]])
+        tree = build_octree(pos, np.ones(11), leaf_size=2)
+        tree.validate()
+        counts = tree.node_counts()
+        assert counts[tree.is_leaf].max() >= 10  # the coincident clump stayed a leaf
+
+    def test_explicit_bounding_cube(self, plummer_small):
+        tree = _tree(plummer_small, center=np.zeros(3), half_width=50.0)
+        tree.validate()
+        assert tree.half_widths[0] == 50.0
+
+    def test_node_sizes_are_double_half_widths(self, plummer_small):
+        tree = _tree(plummer_small)
+        np.testing.assert_allclose(tree.node_sizes(), 2.0 * tree.half_widths)
+
+
+class TestBuildErrors:
+    def test_zero_bodies(self):
+        with pytest.raises(TreeError, match="zero bodies"):
+            build_octree(np.zeros((0, 3)), np.zeros(0))
+
+    def test_bad_position_shape(self):
+        with pytest.raises(TreeError, match="positions"):
+            build_octree(np.zeros((3, 2)), np.ones(3))
+
+    def test_bad_mass_shape(self):
+        with pytest.raises(TreeError, match="masses"):
+            build_octree(np.zeros((3, 3)), np.ones(4))
+
+    def test_bad_leaf_size(self):
+        with pytest.raises(TreeError, match="leaf_size"):
+            build_octree(np.zeros((2, 3)), np.ones(2), leaf_size=0)
+
+
+class TestScaling:
+    def test_node_count_scales_linearly(self):
+        from repro.nbody.ic import plummer
+
+        n1 = build_octree(
+            plummer(1000, seed=1).positions, np.full(1000, 1e-3), leaf_size=16
+        ).n_nodes
+        n2 = build_octree(
+            plummer(4000, seed=1).positions, np.full(4000, 2.5e-4), leaf_size=16
+        ).n_nodes
+        assert 2.0 < n2 / n1 < 8.0  # roughly linear in N
+
+    def test_depth_reasonable_for_plummer(self, plummer_medium):
+        tree = _tree(plummer_medium, leaf_size=16)
+        assert tree.max_depth() <= 14

@@ -1,0 +1,115 @@
+"""Tests for the quadrupole-moment treecode extension."""
+
+import numpy as np
+import pytest
+
+from repro.nbody.forces import accelerations_from_sources, direct_forces
+from repro.tree.bh_force import rms_relative_error
+from repro.tree.octree import build_octree
+from repro.tree.quadrupole import bh_accelerations_quadrupole, quadrupole_moments
+from repro.tree.traversal import bh_accelerations
+
+EPS = 1e-2
+
+
+@pytest.fixture(scope="module")
+def tree(plummer_medium):
+    return build_octree(plummer_medium.positions, plummer_medium.masses, leaf_size=16)
+
+
+@pytest.fixture(scope="module")
+def quads(tree):
+    return quadrupole_moments(tree)
+
+
+@pytest.fixture(scope="module")
+def direct_ref(plummer_medium):
+    return direct_forces(
+        plummer_medium.positions, plummer_medium.masses, softening=EPS,
+        include_self=False,
+    )
+
+
+class TestMoments:
+    def test_traceless(self, quads):
+        traces = np.einsum("nii->n", quads)
+        np.testing.assert_allclose(traces, 0.0, atol=1e-10)
+
+    def test_symmetric(self, quads):
+        np.testing.assert_allclose(quads, np.transpose(quads, (0, 2, 1)), atol=1e-12)
+
+    def test_leaf_with_single_body_is_zero(self):
+        pos = np.array([[0.0, 0.0, 0.0], [3.0, 3.0, 3.0]])
+        tree = build_octree(pos, np.ones(2), leaf_size=1)
+        quads = quadrupole_moments(tree)
+        for i in tree.leaf_nodes():
+            if tree.node_counts()[i] == 1:
+                np.testing.assert_allclose(quads[i], 0.0, atol=1e-12)
+
+    def test_matches_direct_definition(self, tree, quads):
+        """Prefix-sum moments equal the per-body definition on a few nodes."""
+        for node in [0, tree.n_nodes // 2, tree.n_nodes - 1]:
+            s, e = int(tree.starts[node]), int(tree.ends[node])
+            x = tree.positions[s:e] - tree.coms[node]
+            m = tree.masses[s:e]
+            expected = np.einsum("i,ij,ik->jk", m, x, x) * 3.0
+            expected -= np.eye(3) * (m * np.einsum("ij,ij->i", x, x)).sum()
+            np.testing.assert_allclose(quads[node], expected, atol=1e-10)
+
+    def test_scaling_quadratic_in_size(self):
+        """Scaling all positions by s scales Q by s^2."""
+        rng = np.random.default_rng(5)
+        pos = rng.standard_normal((64, 3))
+        m = rng.uniform(0.5, 2.0, 64)
+        q1 = quadrupole_moments(build_octree(pos, m, leaf_size=8))[0]
+        q2 = quadrupole_moments(build_octree(3.0 * pos, m, leaf_size=8))[0]
+        np.testing.assert_allclose(q2, 9.0 * q1, rtol=1e-9)
+
+
+class TestQuadrupoleForces:
+    def test_more_accurate_than_monopole(self, tree, quads, direct_ref):
+        for theta in (0.6, 1.0):
+            mono = bh_accelerations(tree, theta=theta, softening=EPS)
+            quad = bh_accelerations_quadrupole(
+                tree, theta=theta, softening=EPS, quads=quads
+            )
+            e_mono = rms_relative_error(mono, direct_ref)
+            e_quad = rms_relative_error(quad, direct_ref)
+            assert e_quad < e_mono * 0.7, f"theta={theta}"
+
+    def test_far_field_two_body_cell(self):
+        """A two-body cell seen from afar: quadrupole captures the split."""
+        pos = np.array([[0.5, 0.0, 0.0], [-0.5, 0.0, 0.0]])
+        m = np.ones(2)
+        tree = build_octree(pos, m, leaf_size=2, center=np.zeros(3), half_width=1.0)
+        # force the cell to be treated as one multipole: evaluate far away
+        target = np.array([[6.0, 2.0, 1.0]])
+        exact = accelerations_from_sources(target, pos, m, softening=0.0)
+        quad = bh_accelerations_quadrupole(tree, theta=10.0, targets=target)
+        mono_err = np.linalg.norm(
+            -tree.node_masses[0]
+            * (target[0] - tree.coms[0])
+            / np.linalg.norm(target[0] - tree.coms[0]) ** 3
+            - exact[0]
+        )
+        quad_err = np.linalg.norm(quad[0] - exact[0])
+        assert quad_err < mono_err * 0.3
+
+    def test_equal_at_tiny_theta(self, tree, quads, direct_ref):
+        """With everything opened, multipole order is irrelevant."""
+        mono = bh_accelerations(tree, theta=0.05, softening=EPS)
+        quad = bh_accelerations_quadrupole(tree, theta=0.05, softening=EPS, quads=quads)
+        assert rms_relative_error(quad, mono) < 1e-5
+
+    def test_g_scaling(self, tree, quads):
+        a1 = bh_accelerations_quadrupole(tree, theta=0.6, softening=EPS, quads=quads)
+        a2 = bh_accelerations_quadrupole(tree, theta=0.6, softening=EPS, quads=quads, G=2.0)
+        np.testing.assert_allclose(a2, 2.0 * a1, rtol=1e-12)
+
+    def test_rejects_bad_targets(self, tree):
+        with pytest.raises(ValueError, match="targets"):
+            bh_accelerations_quadrupole(tree, targets=np.zeros(3))
+
+    def test_quads_computed_on_demand(self, tree, direct_ref):
+        acc = bh_accelerations_quadrupole(tree, theta=0.6, softening=EPS)
+        assert rms_relative_error(acc, direct_ref) < 0.01

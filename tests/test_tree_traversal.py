@@ -1,0 +1,103 @@
+"""Unit tests for the per-body Barnes-Hut traversal (CPU reference)."""
+
+import numpy as np
+import pytest
+
+from repro.nbody.forces import direct_forces
+from repro.tree.bh_force import rms_relative_error
+from repro.tree.octree import build_octree
+from repro.tree.traversal import TraversalStats, bh_accelerations
+
+EPS = 1e-2
+
+
+@pytest.fixture(scope="module")
+def medium_tree(plummer_medium):
+    return build_octree(plummer_medium.positions, plummer_medium.masses, leaf_size=16)
+
+
+@pytest.fixture(scope="module")
+def medium_ref(plummer_medium):
+    return direct_forces(
+        plummer_medium.positions, plummer_medium.masses, softening=EPS,
+        include_self=False,
+    )
+
+
+class TestAccuracy:
+    def test_one_percent_at_standard_theta(self, medium_tree, medium_ref):
+        acc = bh_accelerations(medium_tree, theta=0.6, softening=EPS)
+        assert rms_relative_error(acc, medium_ref) < 0.01
+
+    def test_error_decreases_with_theta(self, medium_tree, medium_ref):
+        errs = [
+            rms_relative_error(
+                bh_accelerations(medium_tree, theta=t, softening=EPS), medium_ref
+            )
+            for t in (1.0, 0.6, 0.3)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_tiny_theta_approaches_direct(self, medium_tree, medium_ref):
+        acc = bh_accelerations(medium_tree, theta=0.05, softening=EPS)
+        assert rms_relative_error(acc, medium_ref) < 1e-5
+
+    def test_momentum_approximately_conserved(self, medium_tree, plummer_medium):
+        acc = bh_accelerations(medium_tree, theta=0.6, softening=EPS)
+        net = plummer_medium.masses @ acc
+        scale = np.abs(plummer_medium.masses[:, None] * acc).sum()
+        assert np.linalg.norm(net) / scale < 0.01
+
+
+class TestExternalTargets:
+    def test_far_field_matches_monopole(self, medium_tree):
+        target = np.array([[100.0, 0.0, 0.0]])
+        acc = bh_accelerations(medium_tree, theta=0.6, targets=target)
+        m = medium_tree.node_masses[0]
+        com = medium_tree.coms[0]
+        d = com - target[0]
+        expected = m * d / np.linalg.norm(d) ** 3
+        np.testing.assert_allclose(acc[0], expected, rtol=1e-3)
+
+    def test_external_targets_match_direct(self, medium_tree, plummer_medium, rng):
+        targets = rng.uniform(-2, 2, (20, 3)) + 5.0
+        acc = bh_accelerations(medium_tree, theta=0.3, softening=EPS, targets=targets)
+        from repro.nbody.forces import accelerations_from_sources
+
+        ref = accelerations_from_sources(
+            targets, plummer_medium.positions, plummer_medium.masses, softening=EPS
+        )
+        assert rms_relative_error(acc, ref) < 1e-3
+
+    def test_rejects_bad_target_shape(self, medium_tree):
+        with pytest.raises(ValueError, match="targets"):
+            bh_accelerations(medium_tree, targets=np.zeros(3))
+
+
+class TestStats:
+    def test_stats_accumulate(self, medium_tree):
+        stats = TraversalStats()
+        bh_accelerations(medium_tree, theta=0.6, softening=EPS, stats=stats)
+        assert stats.cell_interactions > 0
+        assert stats.body_interactions > 0
+        assert stats.nodes_visited > 0
+        assert stats.total_interactions == (
+            stats.cell_interactions + stats.body_interactions
+        )
+
+    def test_fewer_interactions_than_direct(self, medium_tree):
+        stats = TraversalStats()
+        bh_accelerations(medium_tree, theta=0.6, softening=EPS, stats=stats)
+        n = medium_tree.n_bodies
+        assert stats.total_interactions < n * n
+
+    def test_smaller_theta_means_more_work(self, medium_tree):
+        s_loose, s_tight = TraversalStats(), TraversalStats()
+        bh_accelerations(medium_tree, theta=1.0, softening=EPS, stats=s_loose)
+        bh_accelerations(medium_tree, theta=0.3, softening=EPS, stats=s_tight)
+        assert s_tight.total_interactions > s_loose.total_interactions
+
+    def test_g_scaling(self, medium_tree):
+        a1 = bh_accelerations(medium_tree, theta=0.6, softening=EPS)
+        a2 = bh_accelerations(medium_tree, theta=0.6, softening=EPS, G=3.0)
+        np.testing.assert_allclose(a2, 3.0 * a1, rtol=1e-12)

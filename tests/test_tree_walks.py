@@ -1,0 +1,164 @@
+"""Unit tests for walk (interaction-list) generation."""
+
+import numpy as np
+import pytest
+
+from repro.tree.octree import build_octree
+from repro.tree.walks import (
+    cell_groups,
+    generate_walks,
+    make_groups,
+    uniform_groups,
+)
+
+EPS = 1e-2
+
+
+@pytest.fixture(scope="module")
+def tree(plummer_medium):
+    return build_octree(plummer_medium.positions, plummer_medium.masses, leaf_size=16)
+
+
+def _covers_all(groups, n):
+    order = np.argsort(groups[:, 0])
+    g = groups[order]
+    assert g[0, 0] == 0
+    assert g[-1, 1] == n
+    assert np.all(g[1:, 0] == g[:-1, 1])
+
+
+class TestGrouping:
+    def test_uniform_groups_cover(self):
+        _covers_all(uniform_groups(1000, 256), 1000)
+
+    def test_uniform_groups_sizes(self):
+        g = uniform_groups(1000, 256)
+        sizes = g[:, 1] - g[:, 0]
+        assert sizes.max() <= 256
+        assert len(g) == 4
+
+    def test_uniform_groups_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            uniform_groups(10, 0)
+        with pytest.raises(ValueError):
+            uniform_groups(0, 10)
+
+    def test_make_groups_cover(self, tree):
+        _covers_all(make_groups(tree, 256), tree.n_bodies)
+
+    def test_make_groups_size_bound(self, tree):
+        g = make_groups(tree, 100)
+        assert (g[:, 1] - g[:, 0]).max() <= 100
+
+    def test_make_groups_align_to_leaves(self, tree):
+        g = make_groups(tree, 256)
+        leaf_starts = set(tree.starts[tree.leaf_nodes()].tolist()) | {tree.n_bodies}
+        for s, e in g:
+            assert int(s) in leaf_starts
+            assert int(e) in leaf_starts
+
+    def test_cell_groups_cover(self, tree):
+        _covers_all(np.sort(cell_groups(tree, 256), axis=0), tree.n_bodies)
+
+    def test_cell_groups_are_tree_cells(self, tree):
+        g = cell_groups(tree, 256)
+        spans = {(int(tree.starts[i]), int(tree.ends[i])) for i in range(tree.n_nodes)}
+        for s, e in g:
+            assert (int(s), int(e)) in spans
+
+    def test_cell_groups_maximal(self, tree):
+        """Every emitted cell sits just below an over-budget ancestor.
+
+        (Chains of single-child nodes share a body span, so maximality is
+        expressed over spans: some node *strictly containing* the emitted
+        span must exceed the budget.)
+        """
+        budget = 64
+        groups = cell_groups(tree, budget)
+        counts = tree.node_counts()
+        n = tree.n_bodies
+        for s, e in groups:
+            if (s, e) == (0, n):
+                continue  # whole tree fits the budget
+            has_big_ancestor = False
+            for i in range(tree.n_nodes):
+                si, ei = int(tree.starts[i]), int(tree.ends[i])
+                strictly_contains = si <= s and ei >= e and (ei - si) > (e - s)
+                if strictly_contains and counts[i] > budget:
+                    has_big_ancestor = True
+                    break
+            assert has_big_ancestor, f"group [{s},{e}) is not maximal"
+
+    def test_cell_groups_vary_more_than_packed(self, tree):
+        gc = cell_groups(tree, 256)
+        gp = make_groups(tree, 256)
+        mean_cell = (gc[:, 1] - gc[:, 0]).mean()
+        mean_packed = (gp[:, 1] - gp[:, 0]).mean()
+        # packing fills groups much closer to the budget
+        assert mean_packed > mean_cell
+
+
+class TestGenerateWalks:
+    def test_walks_cover_bodies(self, tree):
+        ws = generate_walks(tree, theta=0.6, group_size=128)
+        spans = sorted((w.start, w.end) for w in ws)
+        cursor = 0
+        for s, e in spans:
+            assert s == cursor
+            cursor = e
+        assert cursor == tree.n_bodies
+
+    def test_self_bodies_in_particle_list(self, tree):
+        """Every walk's own bodies appear in its particle list (the
+        leaf containing them can never be accepted as a monopole)."""
+        ws = generate_walks(tree, theta=0.6, group_size=128)
+        for w in ws:
+            pl = set(w.particle_list.tolist())
+            assert set(range(w.start, w.end)) <= pl
+
+    def test_no_overlapping_cells_accepted(self, tree):
+        ws = generate_walks(tree, theta=0.6, group_size=128)
+        for w in ws:
+            for c in w.cell_list:
+                assert tree.ends[c] <= w.start or tree.starts[c] >= w.end
+
+    def test_lists_disjoint_and_complete(self, tree):
+        """Cell list + particle list exactly tile the body set: every body
+        is covered by exactly one accepted cell or appears directly."""
+        ws = generate_walks(tree, theta=0.6, group_size=128)
+        for w in list(ws)[:5]:
+            covered = np.zeros(tree.n_bodies, dtype=int)
+            for c in w.cell_list:
+                covered[tree.starts[c] : tree.ends[c]] += 1
+            covered[w.particle_list] += 1
+            assert np.all(covered == 1)
+
+    def test_interactions_accounting(self, tree):
+        ws = generate_walks(tree, theta=0.6, group_size=128)
+        w = ws[0]
+        assert w.interactions == w.n_bodies * w.list_length
+        assert ws.total_interactions == sum(x.interactions for x in ws)
+
+    def test_larger_theta_shortens_lists(self, tree):
+        loose = generate_walks(tree, theta=1.0, group_size=128)
+        tight = generate_walks(tree, theta=0.3, group_size=128)
+        assert loose.total_interactions < tight.total_interactions
+
+    def test_custom_groups(self, tree):
+        groups = uniform_groups(tree.n_bodies, 64)
+        ws = generate_walks(tree, theta=0.6, groups=groups)
+        assert len(ws) == len(groups)
+
+    def test_group_stats(self, tree):
+        ws = generate_walks(tree, theta=0.6, group_size=128)
+        assert ws.load_imbalance() >= 1.0
+        assert ws.group_sizes().sum() == tree.n_bodies
+        assert len(ws.list_lengths()) == len(ws)
+
+    def test_rejects_bad_groups(self, tree):
+        with pytest.raises(ValueError, match="groups"):
+            generate_walks(tree, groups=np.zeros((2, 3), dtype=np.int64))
+        with pytest.raises(ValueError, match="out of range"):
+            generate_walks(
+                tree, groups=np.array([[0, tree.n_bodies + 5]], dtype=np.int64)
+            )
