@@ -6,6 +6,11 @@ computational core that produces it.  ``emit`` suspends pytest's
 fd-level capture so the tables appear in the live run output (and in any
 ``tee`` log), and additionally appends them to ``benchmarks/paper_tables.txt``
 so the regenerated tables survive as an artifact.
+
+At the end of every benchmark session a machine-readable summary of the
+headline sweep (all four plans over :data:`BENCH_N_SWEEP`) is written to
+``BENCH_PR1.json`` at the repository root — the cross-PR performance
+trajectory future PRs diff against.
 """
 
 from __future__ import annotations
@@ -22,17 +27,30 @@ BENCH_N_SWEEP = (1024, 4096, 16384, 65536)
 #: File the emitted tables are appended to (truncated per session).
 TABLES_PATH = Path(__file__).parent / "paper_tables.txt"
 
+#: Machine-readable perf-trajectory artifact, at the repository root.
+BENCH_SUMMARY_PATH = Path(__file__).parent.parent / "BENCH_PR1.json"
+
 _capmanager = None
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _capture_manager_hook(request):
-    """Expose pytest's capture manager to :func:`emit` and reset the
-    tables artifact once per session."""
+    """Expose pytest's capture manager to :func:`emit`, reset the tables
+    artifact once per session, and write the perf summary at session end."""
     global _capmanager
     _capmanager = request.config.pluginmanager.getplugin("capturemanager")
     TABLES_PATH.write_text("", encoding="utf-8")
     yield
+    from repro.bench.experiments import ALL_PLANS
+    from repro.bench.runner import write_bench_summary
+
+    write_bench_summary(
+        BENCH_SUMMARY_PATH,
+        list(ALL_PLANS),
+        BENCH_N_SWEEP,
+        experiment="plan-sweep",
+    )
+    emit(f"bench summary written to {BENCH_SUMMARY_PATH}")
     _capmanager = None
 
 

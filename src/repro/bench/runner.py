@@ -8,15 +8,25 @@ exercised by the test suite and the accuracy experiments.
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from repro import obs
 from repro.bench.workloads import make_workload
 from repro.core.plans import PlanConfig, plan_by_name
 from repro.nbody.flops import FLOPS_PER_INTERACTION_RSQRT
 from repro.perfmodel.metrics import gflops_rate
 
-__all__ = ["SweepRow", "run_sweep", "run_plan_point"]
+__all__ = [
+    "SweepRow",
+    "run_sweep",
+    "run_plan_point",
+    "bench_summary",
+    "write_bench_summary",
+]
 
 #: Steps per run in the paper's tables ("100 步").
 PAPER_N_STEPS = 100
@@ -65,13 +75,35 @@ def run_plan_point(
     **plan_kwargs: Any,
 ) -> SweepRow:
     """Time one plan at one N (scaled to ``n_steps`` steps)."""
-    particles = make_workload(workload, n, seed=seed)
-    plan = plan_by_name(plan_name, config)
-    for key, value in plan_kwargs.items():
-        if not hasattr(plan, key):
-            raise AttributeError(f"plan '{plan_name}' has no option '{key}'")
-        setattr(plan, key, value)
-    step = plan.step_breakdown(particles.positions, particles.masses)
+    with obs.span("bench.point", plan=plan_name, n=n, workload=workload) as sp:
+        particles = make_workload(workload, n, seed=seed)
+        plan = plan_by_name(plan_name, config)
+        for key, value in plan_kwargs.items():
+            if not hasattr(plan, key):
+                raise AttributeError(f"plan '{plan_name}' has no option '{key}'")
+            setattr(plan, key, value)
+        step = plan.step_breakdown(particles.positions, particles.masses)
+        if obs.enabled:
+            t0 = obs.sim_now()
+            obs.sim_span(
+                "kernel", t0, t0 + step.kernel_seconds, track="device", plan=plan_name, n=n
+            )
+            obs.sim_span(
+                "host", t0, t0 + step.host_seconds, track="host", plan=plan_name, n=n
+            )
+            obs.sim_span(
+                "transfer", t0, t0 + step.transfer_seconds, track="pcie",
+                plan=plan_name, n=n,
+            )
+            obs.advance_sim(step.total_seconds)
+            obs.inc("interactions_total", step.interactions)
+            obs.observe("step_seconds", step.total_seconds)
+            obs.set_gauge("gflops", step.kernel_gflops())
+            sp.set(
+                kernel_seconds=step.kernel_seconds,
+                total_seconds=step.total_seconds,
+                interactions=step.interactions,
+            )
     return SweepRow(
         plan=plan_name,
         n_bodies=n,
@@ -96,16 +128,81 @@ def run_sweep(
 ) -> list[SweepRow]:
     """Sweep several plans over several N; rows ordered (N, plan)."""
     rows: list[SweepRow] = []
-    for n in n_values:
-        for name in plan_names:
-            rows.append(
-                run_plan_point(
-                    name,
-                    n,
-                    workload=workload,
-                    config=config,
-                    n_steps=n_steps,
-                    seed=seed,
+    with obs.span(
+        "bench.sweep",
+        plans=",".join(plan_names),
+        n_values=",".join(str(n) for n in n_values),
+        workload=workload,
+    ):
+        for n in n_values:
+            for name in plan_names:
+                rows.append(
+                    run_plan_point(
+                        name,
+                        n,
+                        workload=workload,
+                        config=config,
+                        n_steps=n_steps,
+                        seed=seed,
+                    )
                 )
-            )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable benchmark summaries (the cross-PR perf trajectory)
+# ---------------------------------------------------------------------------
+
+def bench_summary(
+    rows: Sequence[SweepRow],
+    *,
+    experiment: str,
+    wall_seconds: float | None = None,
+) -> dict[str, Any]:
+    """A JSON-serialisable summary of a sweep: the perf-trajectory record.
+
+    Captures per-(plan, N) simulated GFLOPS and seconds so future PRs can
+    diff performance against this one (see ``BENCH_PR1.json`` at the repo
+    root).
+    """
+    return {
+        "schema": 1,
+        "experiment": experiment,
+        "n_values": sorted({r.n_bodies for r in rows}),
+        "plans": sorted({r.plan for r in rows}),
+        "n_steps": rows[0].n_steps if rows else 0,
+        "wall_seconds": wall_seconds,
+        "points": [
+            {
+                "plan": r.plan,
+                "n_bodies": r.n_bodies,
+                "kernel_seconds": r.kernel_seconds,
+                "host_seconds": r.host_seconds,
+                "transfer_seconds": r.transfer_seconds,
+                "total_seconds": r.total_seconds,
+                "interactions": r.interactions,
+                "kernel_gflops": r.kernel_gflops,
+                "effective_gflops": r.effective_gflops,
+            }
+            for r in rows
+        ],
+    }
+
+
+def write_bench_summary(
+    path: str | Path,
+    plan_names: Sequence[str],
+    n_values: Iterable[int],
+    *,
+    experiment: str,
+    workload: str = "plummer",
+    n_steps: int = PAPER_N_STEPS,
+) -> Path:
+    """Run a sweep, time it, and write its :func:`bench_summary` to ``path``."""
+    t0 = time.perf_counter()
+    rows = run_sweep(plan_names, n_values, workload=workload, n_steps=n_steps)
+    wall = time.perf_counter() - t0
+    path = Path(path)
+    summary = bench_summary(rows, experiment=experiment, wall_seconds=wall)
+    path.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -3,25 +3,44 @@
 Examples::
 
     python -m repro fig5
-    python -m repro table2 --quick
+    python -m repro table2 --quick --trace
     python -m repro all --workload uniform
     repro-nbody table1 --steps 100
+    repro-nbody profile table2 --quick --trace-out t.json --metrics-out m.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
+from repro import obs
 from repro._version import __version__
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.workloads import PAPER_N_SWEEP, QUICK_N_SWEEP, WORKLOADS
 
 __all__ = ["main", "build_parser"]
 
-#: Experiments that accept sweep-style options.
+#: Experiments that accept sweep-style options (``--quick``).
 _SWEEP_EXPERIMENTS = {"fig4", "fig5", "table1", "table2", "table3"}
+
+#: Experiments that accept ``--steps`` (the paper's timed tables).
+_STEPS_EXPERIMENTS = {"table1", "table2", "table3"}
+
+#: Experiments that accept a ``workload`` keyword.
+_WORKLOAD_EXPERIMENTS = _SWEEP_EXPERIMENTS | {
+    "abl-tile",
+    "abl-theta",
+    "abl-queue",
+    "abl-overlap",
+    "abl-quad",
+    "ext-multigpu",
+}
+
+#: Default trace path for ``--trace`` without an explicit ``--trace-out``.
+DEFAULT_TRACE_PATH = "trace.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,9 +55,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report"],
-        help="experiment id (table/figure of the paper), 'all', or "
-        "'report' (write every experiment to a markdown file)",
+        choices=sorted(EXPERIMENTS) + ["all", "report", "profile"],
+        help="experiment id (table/figure of the paper), 'all', "
+        "'report' (write every experiment to a markdown file), or "
+        "'profile <experiment>' (run one experiment with tracing on)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="experiment to profile (only with the 'profile' command)",
     )
     parser.add_argument(
         "--output",
@@ -52,7 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workload",
-        default="plummer",
+        default=None,
         choices=sorted(WORKLOADS),
         help="initial-condition generator (default: plummer)",
     )
@@ -62,38 +88,144 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="steps per run for the timed tables (default: 100, as in the paper)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a repro.obs trace of the run and write it to "
+        f"{DEFAULT_TRACE_PATH} (Chrome trace-event JSON; open in Perfetto)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the Chrome trace JSON to PATH (implies --trace)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics snapshot JSON to PATH (implies --trace)",
+    )
     return parser
+
+
+def _validate_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> list[str]:
+    """Reject or warn on flags that do not apply to the chosen experiment.
+
+    Returns the list of experiment ids that will actually run.  Hard errors
+    (``parser.error``, exit code 2) for flags that would otherwise be
+    silently dropped; warnings on stderr for soft mismatches.
+    """
+    if args.experiment == "profile":
+        if args.target is None:
+            parser.error("'profile' requires a target experiment, e.g. "
+                         "'repro-nbody profile table2'")
+        if args.target not in EXPERIMENTS:
+            parser.error(
+                f"unknown profile target '{args.target}'; "
+                f"choose from {sorted(EXPERIMENTS)}"
+            )
+        exp_ids = [args.target]
+    elif args.target is not None:
+        parser.error(
+            f"unexpected argument '{args.target}' "
+            f"(a target is only valid with the 'profile' command)"
+        )
+    elif args.experiment == "report":
+        exp_ids = []
+    elif args.experiment == "all":
+        exp_ids = sorted(EXPERIMENTS)
+    else:
+        exp_ids = [args.experiment]
+
+    if args.output is not None and args.experiment != "report":
+        parser.error(
+            f"--output only applies to the 'report' command, "
+            f"not '{args.experiment}'"
+        )
+    if args.steps is not None and args.experiment != "report":
+        if not any(e in _STEPS_EXPERIMENTS for e in exp_ids):
+            parser.error(
+                f"--steps does not apply to '{exp_ids[0] if exp_ids else args.experiment}' "
+                f"(only to {sorted(_STEPS_EXPERIMENTS)})"
+            )
+    if args.quick and args.experiment not in ("all", "report"):
+        if not any(e in _SWEEP_EXPERIMENTS for e in exp_ids):
+            print(
+                f"warning: --quick has no effect on '{exp_ids[0]}'",
+                file=sys.stderr,
+            )
+    if args.workload is not None and args.experiment not in ("all", "report"):
+        if not any(e in _WORKLOAD_EXPERIMENTS for e in exp_ids):
+            print(
+                f"warning: --workload has no effect on '{exp_ids[0]}'",
+                file=sys.stderr,
+            )
+    return exp_ids
 
 
 def _experiment_kwargs(exp_id: str, args: argparse.Namespace) -> dict:
     kwargs: dict = {}
-    if exp_id in _SWEEP_EXPERIMENTS:
-        kwargs["workload"] = args.workload
-        if args.quick:
-            kwargs["n_values"] = QUICK_N_SWEEP
-        if args.steps is not None and exp_id in ("table1", "table2", "table3"):
-            kwargs["n_steps"] = args.steps
+    workload = args.workload or "plummer"
+    if exp_id in _WORKLOAD_EXPERIMENTS:
+        kwargs["workload"] = workload
+    if exp_id in _SWEEP_EXPERIMENTS and args.quick:
+        kwargs["n_values"] = QUICK_N_SWEEP
+    if args.steps is not None and exp_id in _STEPS_EXPERIMENTS:
+        kwargs["n_steps"] = args.steps
     return kwargs
+
+
+def _write_trace_outputs(args: argparse.Namespace) -> None:
+    trace_path = args.trace_out or DEFAULT_TRACE_PATH
+    out = obs.export.write_chrome_trace(trace_path, obs.tracer(), obs.metrics())
+    print(f"trace written to {out} ({len(obs.tracer())} spans)")
+    if args.metrics_out:
+        mout = obs.export.write_metrics_json(args.metrics_out, obs.metrics())
+        print(f"metrics written to {mout}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    if args.experiment == "report":
-        from repro.bench.report import DEFAULT_REPORT_PATH, generate_report
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    exp_ids = _validate_args(parser, args)
+    tracing = (
+        args.trace
+        or args.trace_out is not None
+        or args.metrics_out is not None
+        or args.experiment == "profile"
+    )
+    if tracing:
+        obs.enable(reset=True)
+    try:
+        if args.experiment == "report":
+            from repro.bench.report import DEFAULT_REPORT_PATH, generate_report
 
-        out = generate_report(
-            args.output or DEFAULT_REPORT_PATH,
-            quick=args.quick,
-            workload=args.workload,
-        )
-        print(f"report written to {out}")
-        return 0
-    exp_ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for exp_id in exp_ids:
-        result = run_experiment(exp_id, **_experiment_kwargs(exp_id, args))
-        print(result.render())
-        print()
+            out = generate_report(
+                args.output or DEFAULT_REPORT_PATH,
+                quick=args.quick,
+                workload=args.workload or "plummer",
+            )
+            print(f"report written to {out}")
+        else:
+            t0 = time.perf_counter()
+            for exp_id in exp_ids:
+                result = run_experiment(exp_id, **_experiment_kwargs(exp_id, args))
+                print(result.render())
+                print()
+            if args.experiment == "profile":
+                wall = time.perf_counter() - t0
+                print(obs.export.summary_markdown(obs.tracer(), obs.metrics()))
+                print()
+                print(f"profiled '{exp_ids[0]}' in {wall:.2f} s wall-clock")
+        if tracing:
+            _write_trace_outputs(args)
+    finally:
+        if tracing:
+            obs.disable()
     return 0
 
 

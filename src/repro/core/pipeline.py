@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
+
 __all__ = [
     "PipelineResult",
     "overlapped_pipeline",
@@ -70,9 +72,19 @@ def overlapped_pipeline(
         raise ValueError("batch times must be non-negative")
     host_done = 0.0
     device_done = 0.0
-    for h, d in zip(host_batches, device_batches):
+    trace = obs.enabled
+    base = obs.sim_now() if trace else 0.0
+    for k, (h, d) in enumerate(zip(host_batches, device_batches)):
         host_done += h
-        device_done = max(host_done, device_done) + d
+        dev_start = max(host_done, device_done)
+        device_done = dev_start + d
+        if trace:
+            obs.sim_span(
+                f"host[{k}]", base + host_done - h, base + host_done, track="pipe.host"
+            )
+            obs.sim_span(
+                f"device[{k}]", base + dev_start, base + device_done, track="pipe.device"
+            )
     return PipelineResult(
         total_seconds=device_done,
         host_seconds=float(sum(host_batches)),
@@ -106,10 +118,24 @@ def overlapped_pipeline3(
     cpu_done = 0.0
     pcie_done = 0.0
     gpu_done = 0.0
-    for c, x, g in zip(cpu_batches, pcie_batches, gpu_batches):
+    trace = obs.enabled
+    base = obs.sim_now() if trace else 0.0
+    for k, (c, x, g) in enumerate(zip(cpu_batches, pcie_batches, gpu_batches)):
         cpu_done += c
-        pcie_done = max(cpu_done, pcie_done) + x
-        gpu_done = max(pcie_done, gpu_done) + g
+        pcie_start = max(cpu_done, pcie_done)
+        pcie_done = pcie_start + x
+        gpu_start = max(pcie_done, gpu_done)
+        gpu_done = gpu_start + g
+        if trace:
+            obs.sim_span(
+                f"cpu[{k}]", base + cpu_done - c, base + cpu_done, track="pipe.cpu"
+            )
+            obs.sim_span(
+                f"pcie[{k}]", base + pcie_start, base + pcie_done, track="pipe.pcie"
+            )
+            obs.sim_span(
+                f"gpu[{k}]", base + gpu_start, base + gpu_done, track="pipe.gpu"
+            )
     return PipelineResult(
         total_seconds=gpu_done,
         host_seconds=float(sum(cpu_batches) + sum(pcie_batches)),

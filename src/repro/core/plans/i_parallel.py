@@ -15,6 +15,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.core.plans.base import Plan, StepBreakdown
 from repro.gpu.counters import CostCounters
 from repro.gpu.kernel import tile_loop_forces, tile_loop_work
@@ -64,17 +65,18 @@ class IParallelPlan(Plan):
         cfg = self.config
         acc = np.empty((n, 3), dtype=np.float32)
         counters = CostCounters()
-        for i0, i1 in self._workgroup_ranges(n):
-            acc[i0:i1] = tile_loop_forces(
-                positions[i0:i1],
-                positions,
-                masses,
-                wg_size=cfg.wg_size,
-                softening=cfg.softening,
-                G=cfg.G,
-                device=cfg.device,
-                counters=counters,
-            )
+        with obs.span("force_kernel", plan=self.name, n=n):
+            for i0, i1 in self._workgroup_ranges(n):
+                acc[i0:i1] = tile_loop_forces(
+                    positions[i0:i1],
+                    positions,
+                    masses,
+                    wg_size=cfg.wg_size,
+                    softening=cfg.softening,
+                    G=cfg.G,
+                    device=cfg.device,
+                    counters=counters,
+                )
         expected = self._launch(n).total_interactions
         assert counters.interactions == expected, "functional/timing drift"
         return acc.astype(np.float64)
@@ -84,8 +86,9 @@ class IParallelPlan(Plan):
         positions, masses = self._validate_bodies(positions, masses)
         n = positions.shape[0]
         cfg = self.config
-        launch = self._launch(n)
-        timing = time_kernel(cfg.device, launch)
+        with obs.span("plan.breakdown", plan=self.name, n=n):
+            launch = self._launch(n)
+            timing = time_kernel(cfg.device, launch)
         return StepBreakdown(
             plan=self.name,
             n_bodies=n,

@@ -17,6 +17,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.core.plans.base import Plan, StepBreakdown
 from repro.gpu.counters import CostCounters
 from repro.gpu.kernel import reduction_work, tile_loop_forces, tile_loop_work
@@ -110,19 +111,20 @@ class JParallelPlan(Plan):
         # partial forces per (i-block, j-segment), then a float32 reduction,
         # matching the two-kernel structure
         partials = np.zeros((s, n, 3), dtype=np.float32)
-        for i0 in range(0, n, p):
-            i1 = min(i0 + p, n)
-            for k, (j0, j1) in enumerate(self._segments(n, s)):
-                partials[k, i0:i1] = tile_loop_forces(
-                    positions[i0:i1],
-                    positions[j0:j1],
-                    masses[j0:j1],
-                    wg_size=p,
-                    softening=cfg.softening,
-                    G=cfg.G,
-                    device=cfg.device,
-                    counters=counters,
-                )
+        with obs.span("force_kernel", plan=self.name, n=n, split_factor=s):
+            for i0 in range(0, n, p):
+                i1 = min(i0 + p, n)
+                for k, (j0, j1) in enumerate(self._segments(n, s)):
+                    partials[k, i0:i1] = tile_loop_forces(
+                        positions[i0:i1],
+                        positions[j0:j1],
+                        masses[j0:j1],
+                        wg_size=p,
+                        softening=cfg.softening,
+                        G=cfg.G,
+                        device=cfg.device,
+                        counters=counters,
+                    )
         launch, _ = self._force_launch(n)
         assert counters.interactions == launch.total_interactions, "functional/timing drift"
         acc = partials.sum(axis=0, dtype=np.float32)
@@ -133,11 +135,12 @@ class JParallelPlan(Plan):
         positions, masses = self._validate_bodies(positions, masses)
         n = positions.shape[0]
         cfg = self.config
-        force_launch, s = self._force_launch(n)
-        timings = [time_kernel(cfg.device, force_launch)]
-        reduce_launch = self._reduction_launch(n, s)
-        if reduce_launch is not None:
-            timings.append(time_kernel(cfg.device, reduce_launch))
+        with obs.span("plan.breakdown", plan=self.name, n=n):
+            force_launch, s = self._force_launch(n)
+            timings = [time_kernel(cfg.device, force_launch)]
+            reduce_launch = self._reduction_launch(n, s)
+            if reduce_launch is not None:
+                timings.append(time_kernel(cfg.device, reduce_launch))
         kernel_seconds = sum(t.seconds for t in timings)
         return StepBreakdown(
             plan=self.name,

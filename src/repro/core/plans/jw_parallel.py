@@ -24,6 +24,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.core.plans.base import StepBreakdown
 from repro.core.plans.tree_base import TreePlanBase
 from repro.core.pipeline import overlapped_pipeline3, split_batches
@@ -31,6 +32,7 @@ from repro.gpu.counters import CostCounters
 from repro.gpu.kernel import packed_tile_loop_work, reduction_work, tile_loop_forces
 from repro.gpu.launch import KernelLaunch
 from repro.gpu.timing import time_kernel
+from repro.gpu.trace import trace_launch
 from repro.tree.bh_force import walk_sources
 from repro.tree.octree import Octree
 from repro.tree.walks import WalkSet, cell_groups
@@ -173,13 +175,21 @@ class JwParallelPlan(TreePlanBase):
     def breakdown_from_walks(self, walks: WalkSet) -> StepBreakdown:
         """Timing of one force step given prepared walks."""
         cfg = self.config
-        force, reduce_launch = self._launches(walks)
-        timings = [time_kernel(cfg.device, force, schedule=self.schedule)]
-        if reduce_launch is not None:
-            timings.append(time_kernel(cfg.device, reduce_launch))
+        with obs.span("plan.breakdown", plan=self.name, n=walks.tree.n_bodies):
+            force, reduce_launch = self._launches(walks)
+            timings = [time_kernel(cfg.device, force, schedule=self.schedule)]
+            if reduce_launch is not None:
+                timings.append(time_kernel(cfg.device, reduce_launch))
         kernel_seconds = sum(t.seconds for t in timings)
         tree_s, walk_s = self._host_seconds(walks)
         list_xfer_s = self._list_transfers(walks).total_time(cfg.device)
+        if obs.enabled:
+            # Replay the (walk, segment) queue onto compute units so the
+            # exported trace shows one lane per CU — the PTPM space axis.
+            trace_launch(cfg.device, force, schedule=self.schedule).emit_obs(
+                seconds_per_unit=cfg.device.seconds(1.0), kernel=force.name
+            )
+            obs.inc("queue_items_total", force.n_workgroups)
 
         if self.overlap:
             # Tree build precedes all walk generation; walk batches then

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.plans.base import Plan
 from repro.gpu.counters import CostCounters
 from repro.gpu.kernel import tile_loop_forces
@@ -37,10 +38,16 @@ class TreePlanBase(Plan):
     def prepare(self, positions: np.ndarray, masses: np.ndarray) -> WalkSet:
         """Host-side step: octree build + walk generation."""
         positions, masses = self._validate_bodies(positions, masses)
-        tree = build_octree(positions, masses, leaf_size=self.config.leaf_size)
-        return generate_walks(
-            tree, theta=self.config.theta, groups=self._make_groups(tree)
-        )
+        with obs.span("tree_build", plan=self.name, n=positions.shape[0]):
+            tree = build_octree(positions, masses, leaf_size=self.config.leaf_size)
+        with obs.span("walk_gen", plan=self.name, theta=self.config.theta) as sp:
+            walks = generate_walks(
+                tree, theta=self.config.theta, groups=self._make_groups(tree)
+            )
+            sp.set(n_walks=len(walks))
+        if obs.enabled:
+            obs.inc("walks_total", len(walks))
+        return walks
 
     # -- shared functional execution --------------------------------------
     def accelerations(self, positions: np.ndarray, masses: np.ndarray) -> np.ndarray:
@@ -53,18 +60,19 @@ class TreePlanBase(Plan):
         tree = walks.tree
         counters = CostCounters()
         acc_sorted = np.empty((tree.n_bodies, 3), dtype=np.float32)
-        for w in walks:
-            src_pos, src_mass = walk_sources(tree, w)
-            acc_sorted[w.start : w.end] = tile_loop_forces(
-                tree.positions[w.start : w.end],
-                src_pos,
-                src_mass,
-                wg_size=cfg.wg_size,
-                softening=cfg.softening,
-                G=cfg.G,
-                device=cfg.device,
-                counters=counters,
-            )
+        with obs.span("force_kernel", plan=self.name, n_walks=len(walks)):
+            for w in walks:
+                src_pos, src_mass = walk_sources(tree, w)
+                acc_sorted[w.start : w.end] = tile_loop_forces(
+                    tree.positions[w.start : w.end],
+                    src_pos,
+                    src_mass,
+                    wg_size=cfg.wg_size,
+                    softening=cfg.softening,
+                    G=cfg.G,
+                    device=cfg.device,
+                    counters=counters,
+                )
         assert counters.interactions == walks.total_interactions, (
             "functional/timing drift"
         )

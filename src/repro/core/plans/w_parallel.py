@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.plans.base import StepBreakdown
 from repro.core.plans.tree_base import TreePlanBase
 from repro.core.pipeline import serial_pipeline
 from repro.gpu.kernel import tile_loop_work
 from repro.gpu.launch import KernelLaunch
 from repro.gpu.timing import time_kernel
+from repro.gpu.trace import trace_launch
 from repro.tree.octree import Octree
 from repro.tree.walks import WalkSet, cell_groups
 
@@ -53,10 +55,15 @@ class WParallelPlan(TreePlanBase):
     def breakdown_from_walks(self, walks: WalkSet) -> StepBreakdown:
         """Timing of one force step given prepared walks."""
         cfg = self.config
-        launch = self._launch(walks)
-        # Walks are statically pre-assigned to blocks (no work queue) — the
-        # load-balancing gap the jw plan's dynamic queue closes.
-        timing = time_kernel(cfg.device, launch, schedule="static")
+        with obs.span("plan.breakdown", plan=self.name, n=walks.tree.n_bodies):
+            launch = self._launch(walks)
+            # Walks are statically pre-assigned to blocks (no work queue) — the
+            # load-balancing gap the jw plan's dynamic queue closes.
+            timing = time_kernel(cfg.device, launch, schedule="static")
+        if obs.enabled:
+            trace_launch(cfg.device, launch, schedule="static").emit_obs(
+                seconds_per_unit=cfg.device.seconds(1.0), kernel=launch.name
+            )
         tree_s, walk_s = self._host_seconds(walks)
         pipe = serial_pipeline(tree_s + walk_s, timing.seconds)
         meta = self._walk_meta(walks)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.gpu.timing import greedy_schedule, round_robin_schedule
 
@@ -76,9 +77,20 @@ def schedule_walks(
     else:  # dynamic-lpt
         order = np.argsort(costs)[::-1]
         makespan, busy = greedy_schedule(costs[order], n_workers)
-    return ScheduleOutcome(
+    outcome = ScheduleOutcome(
         policy=policy,
         makespan=float(makespan),
         worker_busy=busy,
         n_items=int(costs.size),
     )
+    if obs.enabled:
+        obs.set_gauge("balance_efficiency", outcome.balance_efficiency)
+        obs.instant(
+            "schedule",
+            policy=policy,
+            n_items=outcome.n_items,
+            n_workers=n_workers,
+            makespan=outcome.makespan,
+            balance_efficiency=outcome.balance_efficiency,
+        )
+    return outcome

@@ -6,6 +6,12 @@ the plan's simulated device kernels (real float32 arithmetic) while a
 *simulated wall clock* accumulates what the run would have cost on the
 modelled hardware — so a laptop-scale run reports both physics and the
 paper's timing quantities.
+
+When :mod:`repro.obs` tracing is enabled, every step emits a wall-clock
+``step`` span (with a ``force_pass`` child) plus ``kernel`` / ``host`` /
+``transfer`` intervals on the simulated timeline, and feeds the
+``interactions_total`` counter and ``step_seconds`` / ``kernel_seconds``
+histograms.
 """
 
 from __future__ import annotations
@@ -15,8 +21,9 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.core.plans.base import Plan, StepBreakdown
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StateError
 from repro.nbody.integrators import LeapfrogKDK
 from repro.nbody.particles import ParticleSet
 
@@ -47,9 +54,13 @@ class SimulationRecord:
 
     @property
     def mean_step_seconds(self) -> float:
-        """Average simulated time per step."""
+        """Average simulated time per step.
+
+        Raises :class:`~repro.errors.StateError` if no step has been
+        recorded yet.
+        """
         if self.steps == 0:
-            raise ConfigurationError("no steps recorded")
+            raise StateError("no steps recorded")
         return self.simulated_seconds / self.steps
 
 
@@ -80,23 +91,46 @@ class Simulation:
         self._last_acc: np.ndarray | None = None
 
     def _force(self) -> tuple[np.ndarray, StepBreakdown]:
-        return self.plan.compute_step(self.particles.positions, self.particles.masses)
+        with obs.span("force_pass", plan=self.plan.name, n=len(self.particles)):
+            return self.plan.compute_step(
+                self.particles.positions, self.particles.masses
+            )
+
+    def _account(self, b: StepBreakdown) -> None:
+        """Fold a breakdown into the record and the observability stream."""
+        self.record.add(b)
+        if obs.enabled:
+            t0 = obs.sim_now()
+            obs.sim_span("kernel", t0, t0 + b.kernel_seconds, track="device", plan=b.plan)
+            obs.sim_span("host", t0, t0 + b.host_seconds, track="host", plan=b.plan)
+            obs.sim_span(
+                "transfer", t0, t0 + b.transfer_seconds, track="pcie", plan=b.plan
+            )
+            obs.advance_sim(b.total_seconds)
+            obs.inc("interactions_total", b.interactions)
+            obs.inc("issued_interactions_total", b.issued_interactions)
+            obs.observe("step_seconds", b.total_seconds)
+            obs.observe("kernel_seconds", b.kernel_seconds)
+            obs.set_gauge("gflops", b.kernel_gflops())
 
     def step(self) -> StepBreakdown:
         """Advance one leapfrog step; returns the step's timing breakdown."""
         p = self.particles
-        if self._last_acc is None:
-            a0, b0 = self._force()
-            self.record.add(b0)
-        else:
-            a0 = self._last_acc
-        p.velocities += 0.5 * self.dt * a0
-        p.positions += self.dt * p.velocities
-        a1, b1 = self._force()
-        self.record.add(b1)
-        p.velocities += 0.5 * self.dt * a1
-        self._last_acc = a1
-        self.time += self.dt
+        with obs.span(
+            "step", plan=self.plan.name, n=len(p), index=self.record.steps
+        ):
+            if self._last_acc is None:
+                a0, b0 = self._force()
+                self._account(b0)
+            else:
+                a0 = self._last_acc
+            p.velocities += 0.5 * self.dt * a0
+            p.positions += self.dt * p.velocities
+            a1, b1 = self._force()
+            self._account(b1)
+            p.velocities += 0.5 * self.dt * a1
+            self._last_acc = a1
+            self.time += self.dt
         return b1
 
     def run(
@@ -113,8 +147,14 @@ class Simulation:
             raise ConfigurationError(
                 f"callback_every must be >= 1, got {callback_every}"
             )
-        for k in range(1, n_steps + 1):
-            self.step()
-            if callback is not None and (k % callback_every == 0 or k == n_steps):
-                callback(self)
+        with obs.span(
+            "simulation.run",
+            plan=self.plan.name,
+            n=len(self.particles),
+            n_steps=n_steps,
+        ):
+            for k in range(1, n_steps + 1):
+                self.step()
+                if callback is not None and (k % callback_every == 0 or k == n_steps):
+                    callback(self)
         return self.record

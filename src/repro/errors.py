@@ -17,6 +17,16 @@ class ConfigurationError(ReproError):
     """A device, plan, or simulation was configured inconsistently."""
 
 
+class StateError(ReproError):
+    """An operation was invoked on an object in an invalid state.
+
+    Distinct from :class:`ConfigurationError`: the object was configured
+    correctly but has not (yet) reached the state the operation requires —
+    e.g. asking a fresh :class:`~repro.core.simulation.SimulationRecord`
+    for its mean step time before any step ran.
+    """
+
+
 class LaunchError(ReproError):
     """A kernel launch was specified with an invalid geometry."""
 

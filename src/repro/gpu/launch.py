@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import LaunchError
 from repro.gpu.device import DeviceSpec
 
@@ -101,6 +102,15 @@ class KernelLaunch:
                     f"work-group '{wg.label}' has {wg.active_threads} active "
                     f"threads but wg_size is {self.wg_size}"
                 )
+        if obs.enabled:
+            obs.instant(
+                "kernel_launch",
+                kernel=self.name,
+                wg_size=self.wg_size,
+                n_workgroups=self.n_workgroups,
+                interactions=self.total_interactions,
+                issued_interactions=self.total_issued_interactions,
+            )
 
     @property
     def n_workgroups(self) -> int:

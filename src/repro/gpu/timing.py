@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.gpu.device import DeviceSpec
 from repro.gpu.launch import KernelLaunch, WorkGroupWork
@@ -156,6 +157,20 @@ def time_kernel(
     busy_fraction = (
         float(busy.sum() / (makespan * device.compute_units)) if makespan > 0 else 0.0
     )
+    if obs.enabled:
+        obs.inc("kernel_launches_total")
+        obs.inc("launch_interactions_total", launch.total_interactions)
+        obs.observe("launch_seconds", seconds)
+        obs.set_gauge("occupancy", occ.latency_efficiency)
+        obs.set_gauge("cu_busy_fraction", busy_fraction)
+        obs.instant(
+            "kernel_timed",
+            kernel=launch.name,
+            seconds=seconds,
+            n_workgroups=launch.n_workgroups,
+            schedule=schedule,
+            occupancy=occ.latency_efficiency,
+        )
     return KernelTiming(
         name=launch.name,
         seconds=seconds,

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.gpu.device import DeviceSpec
 from repro.gpu.launch import KernelLaunch
@@ -63,6 +64,37 @@ class ExecutionTrace:
         if ms == 0.0:
             return 1.0
         return float(self.worker_busy().sum() / (ms * self.n_workers))
+
+    def emit_obs(
+        self,
+        *,
+        seconds_per_unit: float = 1.0,
+        base: float | None = None,
+        track_prefix: str = "CU",
+        **attrs,
+    ) -> int:
+        """Emit every interval onto the :mod:`repro.obs` simulated timeline.
+
+        Each worker becomes one trace track (``CU00``, ``CU01``, ...), so a
+        Chrome-trace viewer shows the same per-compute-unit picture as
+        :meth:`gantt` — the PTPM space axis.  ``seconds_per_unit`` converts
+        the trace's cost unit (cycles, interactions) to simulated seconds;
+        ``base`` is the timeline offset (defaults to the current simulated
+        clock).  Returns the number of intervals emitted (0 when tracing is
+        disabled).
+        """
+        if not obs.enabled:
+            return 0
+        t0 = obs.sim_now() if base is None else base
+        for iv in self.intervals:
+            obs.sim_span(
+                iv.label,
+                t0 + iv.start * seconds_per_unit,
+                t0 + iv.end * seconds_per_unit,
+                track=f"{track_prefix}{iv.worker:02d}",
+                **attrs,
+            )
+        return len(self.intervals)
 
     def gantt(self, *, width: int = 72) -> str:
         """ASCII Gantt chart: one row per worker, '#' = busy, '.' = idle."""

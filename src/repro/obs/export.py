@@ -1,0 +1,246 @@
+"""Exporters: Chrome trace-event JSON, JSON-lines, markdown summary.
+
+Three consumers, three formats:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``{"traceEvents": [...]}``), loadable in Perfetto or
+  ``chrome://tracing``.  Wall-clock spans land in a "wall clock (python
+  host)" process on a single thread (nesting renders as a flame graph);
+  simulated spans land in a "simulated hardware" process with one trace
+  *thread per track* — "device", "host", "pcie", one per compute unit
+  ("CU00"...), pipeline lanes — so the PTPM space axis reads directly off
+  the timeline.
+* :func:`write_jsonl` — one JSON object per line (spans, then metrics),
+  the machine-diffable event log benchmarks consume.
+* :func:`summary_markdown` — a human-readable per-span-name aggregate plus
+  the metrics snapshot, printed by ``repro-nbody profile``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, SpanTracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "span_records",
+    "write_jsonl",
+    "metrics_json",
+    "write_metrics_json",
+    "summary_markdown",
+]
+
+#: pid of the wall-clock process in the Chrome trace.
+WALL_PID = 1
+#: pid of the simulated-hardware process in the Chrome trace.
+SIM_PID = 2
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def _json_safe(attrs: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for k, v in attrs.items():
+        if isinstance(v, (str, int, float, bool)) or v is None:
+            out[k] = v
+        else:
+            out[k] = repr(v)
+    return out
+
+
+def chrome_trace(
+    tracer: SpanTracer, metrics: MetricsRegistry | None = None
+) -> dict[str, Any]:
+    """Build a Chrome trace-event document from a tracer's spans.
+
+    Timestamps are non-negative microseconds; within each (pid, tid) the
+    emitted events are sorted by start time (ties broken longest-first so
+    nested ``X`` events stack correctly).
+    """
+    events: list[dict[str, Any]] = [
+        _meta("process_name", WALL_PID, 0, "wall clock (python host)"),
+        _meta("thread_name", WALL_PID, 0, "host"),
+        _meta("process_name", SIM_PID, 0, "simulated hardware"),
+    ]
+    tracks: dict[str, int] = {}
+    body: list[dict[str, Any]] = []
+    for sp in tracer.spans:
+        if sp.kind == "sim":
+            tid = _track_tid(tracks, sp.track or "device", events)
+            body.append(
+                {
+                    "name": sp.name,
+                    "ph": "X",
+                    "pid": SIM_PID,
+                    "tid": tid,
+                    "ts": max(0.0, (sp.t0_sim or 0.0) * _US),
+                    "dur": max(0.0, sp.sim_seconds * _US),
+                    "cat": "sim",
+                    "args": _json_safe(sp.attrs),
+                }
+            )
+        elif sp.kind == "instant":
+            body.append(
+                {
+                    "name": sp.name,
+                    "ph": "i",
+                    "pid": WALL_PID,
+                    "tid": 0,
+                    "ts": max(0.0, sp.t0_wall * _US),
+                    "s": "t",
+                    "cat": "wall",
+                    "args": _json_safe(sp.attrs),
+                }
+            )
+        else:
+            body.append(
+                {
+                    "name": sp.name,
+                    "ph": "X",
+                    "pid": WALL_PID,
+                    "tid": 0,
+                    "ts": max(0.0, sp.t0_wall * _US),
+                    "dur": max(0.0, sp.wall_seconds * _US),
+                    "cat": "wall",
+                    "args": _json_safe(sp.attrs),
+                }
+            )
+    body.sort(key=lambda e: (e["pid"], e["tid"], e["ts"], -e.get("dur", 0.0)))
+    doc: dict[str, Any] = {
+        "traceEvents": events + body,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "n_spans": len(tracer.spans)},
+    }
+    if metrics is not None and len(metrics):
+        doc["otherData"]["metrics"] = metrics.snapshot()
+    return doc
+
+
+def _meta(name: str, pid: int, tid: int, value: str) -> dict[str, Any]:
+    return {"name": name, "ph": "M", "pid": pid, "tid": tid, "args": {"name": value}}
+
+
+def _track_tid(tracks: dict[str, int], track: str, events: list[dict[str, Any]]) -> int:
+    tid = tracks.get(track)
+    if tid is None:
+        tid = len(tracks)
+        tracks[track] = tid
+        events.append(_meta("thread_name", SIM_PID, tid, track))
+    return tid
+
+
+def write_chrome_trace(
+    path: str | Path, tracer: SpanTracer, metrics: MetricsRegistry | None = None
+) -> Path:
+    """Write the Chrome trace JSON for ``tracer`` to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer, metrics)), encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# JSON lines
+# ---------------------------------------------------------------------------
+
+def span_records(tracer: SpanTracer) -> list[dict[str, Any]]:
+    """Flat dict records for every span, in completion order."""
+    recs = []
+    for sp in tracer.spans:
+        rec: dict[str, Any] = {
+            "type": sp.kind,
+            "name": sp.name,
+            "id": sp.span_id,
+            "parent": sp.parent_id,
+            "depth": sp.depth,
+            "t0_wall": sp.t0_wall,
+            "t1_wall": sp.t1_wall,
+        }
+        if sp.t0_sim is not None:
+            rec["t0_sim"] = sp.t0_sim
+            rec["t1_sim"] = sp.t1_sim
+            rec["track"] = sp.track
+        if sp.attrs:
+            rec["attrs"] = _json_safe(sp.attrs)
+        recs.append(rec)
+    return recs
+
+
+def write_jsonl(
+    path: str | Path, tracer: SpanTracer, metrics: MetricsRegistry | None = None
+) -> Path:
+    """Write spans (and a metrics snapshot) as JSON lines."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for rec in span_records(tracer):
+            fh.write(json.dumps(rec) + "\n")
+        if metrics is not None:
+            for m in metrics.snapshot().values():
+                fh.write(json.dumps(m) + "\n")
+    return path
+
+
+def metrics_json(metrics: MetricsRegistry) -> dict[str, Any]:
+    """The registry snapshot, ready for ``json.dump``."""
+    return metrics.snapshot()
+
+
+def write_metrics_json(path: str | Path, metrics: MetricsRegistry) -> Path:
+    """Write the metrics snapshot to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(metrics_json(metrics), indent=2), encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Markdown summary
+# ---------------------------------------------------------------------------
+
+def summary_markdown(
+    tracer: SpanTracer, metrics: MetricsRegistry | None = None
+) -> str:
+    """Aggregate spans by name and render spans + metrics as markdown."""
+    agg: dict[str, dict[str, float]] = {}
+    for sp in tracer.spans:
+        a = agg.setdefault(sp.name, {"count": 0, "wall": 0.0, "sim": 0.0})
+        a["count"] += 1
+        a["wall"] += sp.wall_seconds
+        a["sim"] += sp.sim_seconds
+    lines = ["## Span summary", ""]
+    if agg:
+        lines += [
+            "| span | count | wall total | simulated total |",
+            "|---|---:|---:|---:|",
+        ]
+        for name in sorted(agg, key=lambda n: -agg[n]["wall"]):
+            a = agg[name]
+            lines.append(
+                f"| {name} | {int(a['count'])} | {a['wall'] * 1e3:.2f} ms "
+                f"| {a['sim'] * 1e3:.3f} ms |"
+            )
+    else:
+        lines.append("(no spans recorded)")
+    if metrics is not None and len(metrics):
+        lines += ["", "## Metrics", "", "| metric | type | value |", "|---|---|---|"]
+        for name, m in metrics.snapshot().items():
+            kind = m["type"]
+            if kind == "histogram":
+                val = (
+                    f"count={m['count']}"
+                    + (
+                        f", mean={m['mean']:.4g}, p50={m['p50']:.4g}, "
+                        f"p90={m['p90']:.4g}, p99={m['p99']:.4g}"
+                        if m["count"]
+                        else ""
+                    )
+                )
+            elif kind == "gauge":
+                val = f"{m['value']:.6g}" if m["value"] is not None else "-"
+            else:
+                val = f"{m['value']:g}"
+            lines.append(f"| {name} | {kind} | {val} |")
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Metrics registry: counters, gauges and histograms with percentile summaries.
+
+A deliberately small, Prometheus-flavoured surface:
+
+* :class:`Counter` — monotonically increasing totals
+  (``interactions_total``, ``kernel_launches_total``).
+* :class:`Gauge` — last-written values with min/max tracking
+  (``occupancy``, ``tree_depth``, ``gflops``).
+* :class:`Histogram` — full-sample distributions with percentile
+  summaries (``step_seconds``, ``kernel_seconds``).
+
+Metrics are host-process aggregates over a run (unlike spans they carry no
+timeline); :mod:`repro.obs.export` serialises a registry snapshot to JSON
+and renders it in the markdown summary.  Like the tracer, this module
+never consults the ``repro.obs.enabled`` switch — the facade does.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "percentile"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    s = sorted(values)
+    if len(s) == 1:
+        return float(s[0])
+    rank = (len(s) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(s[lo])
+    frac = rank - lo
+    return float(s[lo] * (1.0 - frac) + s[hi] * frac)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter '{self.name}' cannot decrease (got {amount})")
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A last-written value, tracking the min/max seen along the way."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.value: float | None = None
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        value = float(value)
+        self.value = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "gauge",
+            "name": self.name,
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class Histogram:
+    """A full-sample distribution with percentile summaries."""
+
+    #: Percentiles reported by :meth:`summary`.
+    SUMMARY_PERCENTILES = (50.0, 90.0, 99.0)
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.values))
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"histogram '{self.name}' has no samples")
+        return self.sum / self.count
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the recorded samples."""
+        if not self.values:
+            raise ValueError(f"histogram '{self.name}' has no samples")
+        return percentile(self.values, q)
+
+    def summary(self) -> dict[str, Any]:
+        """count/sum/mean/min/max plus the standard percentiles."""
+        out: dict[str, Any] = {"count": self.count, "sum": self.sum}
+        if self.values:
+            out.update(
+                mean=self.mean,
+                min=float(min(self.values)),
+                max=float(max(self.values)),
+            )
+            for q in self.SUMMARY_PERCENTILES:
+                out[f"p{q:g}"] = self.percentile(q)
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "histogram", "name": self.name, **self.summary()}
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use.
+
+    ``registry.counter("interactions_total").inc(n)`` — asking for an
+    existing name with a different instrument type raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name: str, description: str):
+        m = self._metrics.get(name)
+        if m is None:
+            m = cls(name, description)
+            self._metrics[name] = m
+        elif not isinstance(m, cls):
+            raise ValueError(
+                f"metric '{name}' already registered as {type(m).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return m
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(self, name: str, description: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, description)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The instrument registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Forget all instruments and their data."""
+        self._metrics.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable view of every instrument, keyed by name."""
+        return {name: m.to_dict() for name, m in sorted(self._metrics.items())}

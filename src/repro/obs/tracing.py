@@ -1,0 +1,226 @@
+"""Hierarchical span tracer on two timebases: wall clock and simulated.
+
+The tracer records *spans* (named intervals with attributes) that nest
+through a context-manager API::
+
+    with tracer.span("force_pass", plan="jw", n=4096):
+        with tracer.span("tree_build"):
+            ...
+
+Every span carries wall-clock timestamps (``time.perf_counter`` relative
+to the tracer's epoch).  Because this repository simulates its GPU, a
+second, *simulated* timeline coexists with the wall clock: the tracer owns
+a simulated clock (seconds on the modelled hardware) that instrumentation
+advances explicitly, and :meth:`SpanTracer.sim_span` records intervals on
+that timeline — per-step kernel/host/transfer windows, per-compute-unit
+execution intervals, pipeline batches.  Exporters
+(:mod:`repro.obs.export`) map the two timebases to separate trace
+processes so both are visible in one Perfetto view.
+
+This module is policy-free: it never checks the package-level
+``repro.obs.enabled`` switch.  The zero-cost-when-disabled guarantee is
+implemented by the :mod:`repro.obs` facade, which returns
+:data:`NULL_SPAN` without touching the tracer when tracing is off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Span", "SpanTracer", "NULL_SPAN"]
+
+
+@dataclass
+class Span:
+    """One named interval, on the wall-clock and/or simulated timeline.
+
+    ``t0_wall``/``t1_wall`` are seconds since the tracer's epoch
+    (``t1_wall`` is ``None`` while the span is open).  ``t0_sim``/``t1_sim``
+    are seconds on the simulated-hardware timeline, set only for simulated
+    spans.  ``track`` names the logical lane a simulated span belongs to
+    ("device", "host", "pcie", "CU03", ...); wall spans leave it ``None``
+    and nest on the single host thread.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+    t0_wall: float = 0.0
+    t1_wall: float | None = None
+    t0_sim: float | None = None
+    t1_sim: float | None = None
+    track: str | None = None
+    kind: str = "span"  # "span" | "sim" | "instant"
+
+    # -- context-manager protocol (wall spans) -------------------------
+    _tracer: "SpanTracer | None" = None
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._tracer is not None:
+            self._tracer._close(self)
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach or update attributes on an open span."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall duration (0.0 while the span is still open)."""
+        if self.t1_wall is None:
+            return 0.0
+        return self.t1_wall - self.t0_wall
+
+    @property
+    def sim_seconds(self) -> float:
+        """Simulated duration (0.0 for pure wall-clock spans)."""
+        if self.t0_sim is None or self.t1_sim is None:
+            return 0.0
+        return self.t1_sim - self.t0_sim
+
+
+class _NullSpan:
+    """Shared no-op span returned by the facade when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+#: The singleton no-op span (allocation-free disabled path).
+NULL_SPAN = _NullSpan()
+
+
+class SpanTracer:
+    """Collects finished spans and owns the simulated clock."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self.epoch = time.perf_counter()
+        self.sim_time = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all recorded spans and restart both clocks."""
+        self.spans.clear()
+        self._stack.clear()
+        self._next_id = 1
+        self.epoch = time.perf_counter()
+        self.sim_time = 0.0
+
+    def _new_id(self) -> int:
+        sid = self._next_id
+        self._next_id += 1
+        return sid
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def _parent_id(self) -> int | None:
+        return self._stack[-1].span_id if self._stack else None
+
+    # -- wall-clock spans ----------------------------------------------
+    def span(self, name: str, *, track: str | None = None, **attrs: Any) -> Span:
+        """Open a wall-clock span; use as a context manager."""
+        sp = Span(
+            name=name,
+            span_id=self._new_id(),
+            parent_id=self._parent_id(),
+            depth=len(self._stack),
+            attrs=attrs,
+            t0_wall=time.perf_counter() - self.epoch,
+            track=track,
+        )
+        sp._tracer = self
+        self._stack.append(sp)
+        return sp
+
+    def _close(self, sp: Span) -> None:
+        sp.t1_wall = time.perf_counter() - self.epoch
+        # tolerate out-of-order closes without corrupting the stack
+        if self._stack and self._stack[-1] is sp:
+            self._stack.pop()
+        elif sp in self._stack:  # pragma: no cover - defensive
+            self._stack.remove(sp)
+        self.spans.append(sp)
+
+    def instant(self, name: str, **attrs: Any) -> Span:
+        """Record a zero-duration wall-clock event."""
+        now = time.perf_counter() - self.epoch
+        sp = Span(
+            name=name,
+            span_id=self._new_id(),
+            parent_id=self._parent_id(),
+            depth=len(self._stack),
+            attrs=attrs,
+            t0_wall=now,
+            t1_wall=now,
+            kind="instant",
+        )
+        self.spans.append(sp)
+        return sp
+
+    # -- simulated timeline --------------------------------------------
+    def sim_span(
+        self, name: str, t0: float, t1: float, *, track: str = "device", **attrs: Any
+    ) -> Span:
+        """Record a completed interval on the simulated timeline.
+
+        ``t0``/``t1`` are absolute simulated seconds (usually offsets from
+        :attr:`sim_time` as it stood when the enclosing step started).
+        """
+        if t1 < t0:
+            raise ValueError(f"sim span '{name}' ends before it starts ({t0} > {t1})")
+        now = time.perf_counter() - self.epoch
+        sp = Span(
+            name=name,
+            span_id=self._new_id(),
+            parent_id=self._parent_id(),
+            depth=len(self._stack),
+            attrs=attrs,
+            t0_wall=now,
+            t1_wall=now,
+            t0_sim=float(t0),
+            t1_sim=float(t1),
+            track=track,
+            kind="sim",
+        )
+        self.spans.append(sp)
+        return sp
+
+    def advance_sim(self, dt: float) -> float:
+        """Advance the simulated clock by ``dt`` seconds; returns the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance the simulated clock by {dt}")
+        self.sim_time += float(dt)
+        return self.sim_time
+
+    # -- queries --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def by_name(self, name: str) -> list[Span]:
+        """All finished spans with the given name, in completion order."""
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span_id: int) -> list[Span]:
+        """Direct children of a span."""
+        return [s for s in self.spans if s.parent_id == span_id]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.nbody.forces import accelerations_from_sources
 from repro.tree.octree import Octree
 from repro.tree.walks import Walk, WalkSet
@@ -52,16 +53,20 @@ def accelerations_from_walks(
     """
     tree = walks.tree
     acc_sorted = np.full((tree.n_bodies, 3), np.nan, dtype=np.float64)
-    for w in walks:
-        src_pos, src_mass = walk_sources(tree, w)
-        acc_sorted[w.start : w.end] = accelerations_from_sources(
-            tree.positions[w.start : w.end],
-            src_pos,
-            src_mass,
-            softening=softening,
-            G=G,
-            dtype=dtype,
-        )
+    with obs.span(
+        "bh_force.walk_eval", n=tree.n_bodies, n_walks=len(walks)
+    ) as sp:
+        for w in walks:
+            src_pos, src_mass = walk_sources(tree, w)
+            acc_sorted[w.start : w.end] = accelerations_from_sources(
+                tree.positions[w.start : w.end],
+                src_pos,
+                src_mass,
+                softening=softening,
+                G=G,
+                dtype=dtype,
+            )
+        sp.set(interactions=walks.total_interactions)
     if np.isnan(acc_sorted).any():
         raise ValueError("walks do not cover every body")
     return tree.unsort(acc_sorted)

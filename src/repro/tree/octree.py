@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import TreeError
 from repro.tree import morton
 
@@ -279,6 +280,18 @@ def build_octree(
     if np.any(node_masses <= 0.0):
         raise TreeError("node with non-positive mass (zero-mass bodies?)")
     coms = (csum_mx[ends_a] - csum_mx[starts_a]) / node_masses[:, np.newaxis]
+
+    if obs.enabled:
+        obs.inc("octree_builds_total")
+        obs.set_gauge("tree_depth", max(depths))
+        obs.set_gauge("tree_nodes", len(centers))
+        obs.instant(
+            "octree_built",
+            n_bodies=n,
+            n_nodes=len(centers),
+            max_depth=max(depths),
+            leaf_size=leaf_size,
+        )
 
     return Octree(
         centers=np.asarray(centers),

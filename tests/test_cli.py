@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
 
 
@@ -52,3 +55,77 @@ class TestMain:
 
     def test_workload_option(self, capsys):
         assert main(["fig4", "--quick", "--workload", "uniform"]) == 0
+
+
+class TestFlagValidation:
+    """Inapplicable flags are rejected (exit 2), not silently dropped."""
+
+    def test_steps_rejected_for_sweep_experiment(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig4", "--steps", "10"])
+        assert exc.value.code == 2
+        assert "--steps" in capsys.readouterr().err
+
+    def test_output_rejected_outside_report(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig4", "--output", "x.md"])
+        assert exc.value.code == 2
+        assert "--output" in capsys.readouterr().err
+
+    def test_stray_target_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig4", "table2"])
+        assert exc.value.code == 2
+
+    def test_quick_warns_on_non_sweep(self, capsys):
+        assert main(["abl-queue", "--quick"]) == 0
+        assert "warning: --quick" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_profile_requires_target(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["profile"])
+        assert exc.value.code == 2
+
+    def test_profile_unknown_target(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["profile", "fig99"])
+        assert exc.value.code == 2
+
+    def test_profile_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        assert (
+            main(
+                [
+                    "profile",
+                    "table2",
+                    "--quick",
+                    "--steps",
+                    "5",
+                    "--trace-out",
+                    str(trace),
+                    "--metrics-out",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "## Span summary" in out
+        doc = json.loads(trace.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert events
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in events)
+        snap = json.loads(metrics.read_text())
+        assert snap["interactions_total"]["value"] > 0
+        # tracing is switched back off after the command
+        assert not obs.enabled
+
+    def test_trace_flag_writes_default_path(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["fig4", "--quick", "--trace"]) == 0
+        doc = json.loads((tmp_path / "trace.json").read_text())
+        assert doc["otherData"]["n_spans"] > 0
+        assert not obs.enabled

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.plans import IParallelPlan, JwParallelPlan, PlanConfig
 from repro.core.simulation import Simulation
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, StateError
 from repro.nbody.energy import total_energy
 from repro.nbody.forces import direct_forces
 from repro.nbody.ic import plummer
@@ -93,6 +93,9 @@ class TestCallbacks:
         with pytest.raises(ConfigurationError):
             Simulation(plummer(8, seed=1), IParallelPlan(), dt=0.0)
 
-    def test_empty_record_raises(self, sim):
-        with pytest.raises(ConfigurationError):
+    def test_empty_record_raises_state_error(self, sim):
+        # an empty record is a *state* problem, not a configuration one
+        with pytest.raises(StateError):
             _ = sim.record.mean_step_seconds
+        assert not issubclass(StateError, ConfigurationError)
+        assert issubclass(StateError, ReproError)

@@ -1,0 +1,291 @@
+"""Tests for the repro.obs tracing & metrics subsystem."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.nbody.ic import plummer
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, percentile
+from repro.obs.tracing import NULL_SPAN, SpanTracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts disabled with empty global state, and leaves it so."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+# ---------------------------------------------------------------------------
+# Span tracer
+# ---------------------------------------------------------------------------
+
+
+class TestSpanTracer:
+    def test_nesting_and_attributes(self):
+        tr = SpanTracer()
+        with tr.span("outer", plan="jw") as outer:
+            with tr.span("inner", n=128) as inner:
+                inner.set(extra=1)
+        assert len(tr) == 2
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1
+        assert outer.parent_id is None
+        assert outer.depth == 0
+        assert inner.attrs == {"n": 128, "extra": 1}
+        assert outer.attrs == {"plan": "jw"}
+        assert tr.children_of(outer.span_id) == [inner]
+
+    def test_wall_durations_monotone(self):
+        tr = SpanTracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        a = tr.by_name("a")[0]
+        b = tr.by_name("b")[0]
+        assert a.t0_wall <= b.t0_wall
+        assert b.t1_wall <= a.t1_wall
+        assert a.wall_seconds >= b.wall_seconds >= 0.0
+
+    def test_sim_spans_and_clock(self):
+        tr = SpanTracer()
+        tr.sim_span("kernel", 0.0, 0.5, track="device", plan="i")
+        tr.advance_sim(0.5)
+        assert tr.sim_time == pytest.approx(0.5)
+        tr.sim_span("kernel", tr.sim_time, tr.sim_time + 0.25)
+        spans = tr.by_name("kernel")
+        assert [s.sim_seconds for s in spans] == pytest.approx([0.5, 0.25])
+        assert spans[0].kind == "sim"
+        with pytest.raises(ValueError):
+            tr.sim_span("bad", 1.0, 0.5)
+        with pytest.raises(ValueError):
+            tr.advance_sim(-1.0)
+
+    def test_instant_and_reset(self):
+        tr = SpanTracer()
+        tr.instant("evt", x=1)
+        assert tr.spans[0].kind == "instant"
+        assert tr.spans[0].wall_seconds == 0.0
+        tr.reset()
+        assert len(tr) == 0
+        assert tr.sim_time == 0.0
+
+    def test_exception_closes_span(self):
+        tr = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        assert tr.current is None
+        assert tr.by_name("boom")[0].t1_wall is not None
+
+
+class TestFacade:
+    def test_disabled_is_noop(self):
+        assert not obs.enabled
+        with obs.span("x", a=1) as sp:
+            sp.set(b=2)
+        obs.instant("y")
+        obs.sim_span("z", 0.0, 1.0)
+        obs.advance_sim(1.0)
+        obs.inc("c")
+        obs.observe("h", 1.0)
+        obs.set_gauge("g", 1.0)
+        assert sp is NULL_SPAN
+        assert len(obs.tracer()) == 0
+        assert len(obs.metrics()) == 0
+        assert obs.sim_now() == 0.0
+
+    def test_direct_assignment_toggles(self):
+        obs.enabled = True
+        with obs.span("on"):
+            pass
+        obs.enabled = False
+        with obs.span("off"):
+            pass
+        names = [s.name for s in obs.tracer().spans]
+        assert names == ["on"]
+
+    def test_capture_restores_state(self):
+        with obs.capture() as (tr, mx):
+            assert obs.enabled
+            with obs.span("inside"):
+                obs.inc("n")
+        assert not obs.enabled
+        assert len(tr.by_name("inside")) == 1
+        assert mx.counter("n").value == 1
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_tracks_extremes(self):
+        g = Gauge("occ")
+        for v in (0.5, 0.9, 0.2):
+            g.set(v)
+        assert g.value == 0.2
+        assert g.min == 0.2
+        assert g.max == 0.9
+
+    def test_histogram_percentiles(self):
+        h = Histogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.mean == pytest.approx(50.5)
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(90) == pytest.approx(90.1)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        s = h.to_dict()
+        assert s["p50"] == pytest.approx(50.5)
+        assert s["p99"] == pytest.approx(99.01)
+
+    def test_percentile_edge_cases(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        assert percentile([7.0], 99) == 7.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_registry_type_conflict(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        assert "x" in reg
+        assert len(reg) == 1
+        snap = reg.snapshot()
+        assert snap["x"]["type"] == "counter"
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+class TestExport:
+    def _traced_run(self, n_steps=2):
+        from repro.core.plans import JwParallelPlan, PlanConfig
+        from repro.core.simulation import Simulation
+
+        particles = plummer(128, seed=7)
+        sim = Simulation(
+            particles, JwParallelPlan(PlanConfig(softening=1e-2)), dt=1e-3
+        )
+        with obs.capture() as (tr, mx):
+            sim.run(n_steps)
+        return tr, mx
+
+    def test_chrome_trace_valid_and_consistent(self, tmp_path):
+        tr, mx = self._traced_run()
+        out = obs.export.write_chrome_trace(tmp_path / "t.json", tr, mx)
+        doc = json.loads(out.read_text())
+        evs = doc["traceEvents"]
+        assert doc["otherData"]["n_spans"] == len(tr)
+        assert evs, "trace has no events"
+        for e in evs:
+            if e["ph"] == "M":
+                continue
+            assert e["ts"] >= 0.0
+            assert e.get("dur", 0.0) >= 0.0
+        # per-(pid, tid) start times are monotonically non-decreasing
+        lanes = {}
+        for e in evs:
+            if e["ph"] != "X":
+                continue
+            key = (e["pid"], e["tid"])
+            assert e["ts"] >= lanes.get(key, 0.0)
+            lanes[key] = e["ts"]
+        # simulated hardware shows up as its own process with named tracks
+        names = {
+            e["args"]["name"]
+            for e in evs
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "device" in names and "pcie" in names
+
+    def test_end_to_end_step_children(self):
+        tr, _ = self._traced_run(n_steps=3)
+        steps = tr.by_name("step")
+        assert len(steps) == 3
+        for st in steps:
+            kinds = {c.name for c in tr.children_of(st.span_id)}
+            assert {"kernel", "host", "transfer"} <= kinds
+        # one span per simulation step, each with positive sim durations
+        kernels = [s for s in tr.by_name("kernel") if s.kind == "sim"]
+        assert len(kernels) >= 3
+        assert all(k.sim_seconds > 0 for k in kernels)
+
+    def test_sim_clock_advances_per_step(self):
+        tr, _ = self._traced_run(n_steps=2)
+        assert tr.sim_time > 0.0
+        kernels = [s for s in tr.by_name("kernel") if s.kind == "sim"]
+        starts = [k.t0_sim for k in kernels]
+        assert starts == sorted(starts)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tr, mx = self._traced_run()
+        out = obs.export.write_jsonl(tmp_path / "t.jsonl", tr, mx)
+        recs = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(recs) == len(tr) + len(mx)
+        span_recs = [r for r in recs if "t0_wall" in r]
+        assert any(r["name"] == "simulation.run" for r in span_recs)
+
+    def test_summary_markdown(self):
+        tr, mx = self._traced_run()
+        md = obs.export.summary_markdown(tr, mx)
+        assert "## Span summary" in md
+        assert "simulation.run" in md
+        assert "interactions_total" in md
+
+    def test_metrics_collected(self):
+        _, mx = self._traced_run(n_steps=2)
+        snap = mx.snapshot()
+        assert snap["interactions_total"]["value"] > 0
+        assert snap["step_seconds"]["count"] >= 2
+        assert 0.0 < snap["occupancy"]["value"] <= 1.0
+        assert snap["tree_depth"]["value"] >= 1
+
+    def test_disabled_run_records_nothing(self):
+        from repro.core.plans import IParallelPlan, PlanConfig
+        from repro.core.simulation import Simulation
+
+        sim = Simulation(
+            plummer(64, seed=9), IParallelPlan(PlanConfig(softening=1e-2)), dt=1e-3
+        )
+        sim.run(2)
+        assert len(obs.tracer()) == 0
+        assert len(obs.metrics()) == 0
+
+
+class TestExecutionTraceEmission:
+    def test_cu_tracks_present(self):
+        tr, _ = self._run()
+        cu = {s.track for s in tr.spans if s.track and s.track.startswith("CU")}
+        assert cu, "no per-compute-unit spans emitted"
+
+    def _run(self):
+        from repro.core.plans import JwParallelPlan, PlanConfig
+        from repro.core.simulation import Simulation
+
+        sim = Simulation(
+            plummer(256, seed=11), JwParallelPlan(PlanConfig(softening=1e-2)), dt=1e-3
+        )
+        with obs.capture() as (tr, mx):
+            sim.run(1)
+        return tr, mx
