@@ -16,6 +16,7 @@ import sys
 import time
 from typing import Sequence
 
+from repro import exec as rexec
 from repro import obs
 from repro._version import __version__
 from repro.bench.experiments import EXPERIMENTS, run_experiment
@@ -87,6 +88,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="steps per run for the timed tables (default: 100, as in the paper)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="CPU workers for functional force passes (default: 1, or the "
+        "REPRO_WORKERS environment variable); results are bit-identical "
+        "to serial for any worker count",
+    )
+    parser.add_argument(
+        "--exec-backend",
+        default=None,
+        choices=sorted(rexec.BACKENDS),
+        help="parallel map backend for --workers (default: thread)",
     )
     parser.add_argument(
         "--trace",
@@ -192,6 +208,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     exp_ids = _validate_args(parser, args)
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.workers is not None or args.exec_backend is not None:
+        rexec.configure(
+            workers=args.workers or 1, backend=args.exec_backend
+        )
     tracing = (
         args.trace
         or args.trace_out is not None

@@ -23,8 +23,12 @@ __all__ = [
 ]
 
 
-def plan_by_name(name: str, config: PlanConfig | None = None) -> Plan:
-    """Instantiate a plan from its short name ("i", "j", "w", "jw")."""
+def plan_by_name(name: str, config: PlanConfig | None = None, *, engine=None) -> Plan:
+    """Instantiate a plan from its short name ("i", "j", "w", "jw").
+
+    ``engine`` (a :class:`repro.exec.ExecutionEngine`) controls how the
+    functional force path fans out; ``None`` uses the process default.
+    """
     classes = {
         "i": IParallelPlan,
         "j": JParallelPlan,
@@ -35,4 +39,4 @@ def plan_by_name(name: str, config: PlanConfig | None = None) -> Plan:
         cls = classes[name]
     except KeyError:
         raise ValueError(f"unknown plan '{name}'; choose from {sorted(classes)}") from None
-    return cls(config)
+    return cls(config, engine=engine)

@@ -23,6 +23,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.exec.engine import ExecutionEngine, get_default_engine
 from repro.gpu.device import RADEON_HD_5850, DeviceSpec
 from repro.gpu.timing import KernelTiming
 from repro.core.hostmodel import PENTIUM_E5300, HostCpuModel
@@ -152,8 +153,20 @@ class Plan(ABC):
     #: "pp" (all-pairs) or "bh" (treecode)
     method: str = "?"
 
-    def __init__(self, config: PlanConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: PlanConfig | None = None,
+        *,
+        engine: ExecutionEngine | None = None,
+    ) -> None:
         self.config = config or PlanConfig()
+        #: execution engine for the functional force path; ``None`` falls
+        #: back to :func:`repro.exec.get_default_engine` at call time.
+        self.engine = engine
+
+    def _engine(self) -> ExecutionEngine:
+        """The engine the functional path dispatches work through."""
+        return self.engine if self.engine is not None else get_default_engine()
 
     # -- functional ----------------------------------------------------
     @abstractmethod

@@ -12,18 +12,46 @@ plan.
 from __future__ import annotations
 
 import math
+from functools import partial
 
 import numpy as np
 
 from repro import obs
 from repro.core.plans.base import Plan, StepBreakdown
 from repro.gpu.counters import CostCounters
+from repro.gpu.device import DeviceSpec
 from repro.gpu.kernel import tile_loop_forces, tile_loop_work
 from repro.gpu.launch import KernelLaunch
 from repro.gpu.memory import BYTES_PER_ACCEL, BYTES_PER_BODY, TransferLog
 from repro.gpu.timing import time_kernel
 
 __all__ = ["IParallelPlan"]
+
+
+def _workgroup_task(
+    rng: tuple[int, int],
+    *,
+    positions: np.ndarray,
+    masses: np.ndarray,
+    wg_size: int,
+    softening: float,
+    G: float,
+    device: DeviceSpec,
+) -> tuple[np.ndarray, CostCounters]:
+    """Evaluate one work-group's target range (runs on an engine worker)."""
+    i0, i1 = rng
+    counters = CostCounters()
+    block = tile_loop_forces(
+        positions[i0:i1],
+        positions,
+        masses,
+        wg_size=wg_size,
+        softening=softening,
+        G=G,
+        device=device,
+        counters=counters,
+    )
+    return block, counters
 
 
 class IParallelPlan(Plan):
@@ -65,18 +93,21 @@ class IParallelPlan(Plan):
         cfg = self.config
         acc = np.empty((n, 3), dtype=np.float32)
         counters = CostCounters()
+        task = partial(
+            _workgroup_task,
+            positions=positions,
+            masses=masses,
+            wg_size=cfg.wg_size,
+            softening=cfg.softening,
+            G=cfg.G,
+            device=cfg.device,
+        )
+        ranges = self._workgroup_ranges(n)
         with obs.span("force_kernel", plan=self.name, n=n):
-            for i0, i1 in self._workgroup_ranges(n):
-                acc[i0:i1] = tile_loop_forces(
-                    positions[i0:i1],
-                    positions,
-                    masses,
-                    wg_size=cfg.wg_size,
-                    softening=cfg.softening,
-                    G=cfg.G,
-                    device=cfg.device,
-                    counters=counters,
-                )
+            results = self._engine().map(task, ranges, label="i.workgroup")
+        for (i0, i1), (block, c) in zip(ranges, results):
+            acc[i0:i1] = block
+            counters.add(c)
         expected = self._launch(n).total_interactions
         assert counters.interactions == expected, "functional/timing drift"
         return acc.astype(np.float64)

@@ -14,12 +14,14 @@ adds partial-force traffic and reduction work).
 from __future__ import annotations
 
 import math
+from functools import partial
 
 import numpy as np
 
 from repro import obs
 from repro.core.plans.base import Plan, StepBreakdown
 from repro.gpu.counters import CostCounters
+from repro.gpu.device import DeviceSpec
 from repro.gpu.kernel import reduction_work, tile_loop_forces, tile_loop_work
 from repro.gpu.launch import KernelLaunch
 from repro.gpu.memory import BYTES_PER_ACCEL, BYTES_PER_BODY, TransferLog
@@ -30,6 +32,42 @@ __all__ = ["JParallelPlan"]
 
 #: Work-groups per compute unit the split targets (fills the resident slots).
 _TARGET_WGS_PER_CU = 4
+
+
+def _iblock_task(
+    rng: tuple[int, int],
+    *,
+    positions: np.ndarray,
+    masses: np.ndarray,
+    segments: list[tuple[int, int]],
+    wg_size: int,
+    softening: float,
+    G: float,
+    device: DeviceSpec,
+) -> tuple[np.ndarray, CostCounters]:
+    """One i-block: partial forces per j-segment, then the fixed-order
+    float32 segment reduction (runs on an engine worker).
+
+    Summing over the segment axis per i-block is elementwise identical to
+    the whole-array reduction the serial path used to perform, so the
+    parallel decomposition cannot change a single bit of the result.
+    """
+    i0, i1 = rng
+    counters = CostCounters()
+    partials = np.zeros((len(segments), i1 - i0, 3), dtype=np.float32)
+    for k, (j0, j1) in enumerate(segments):
+        tile_loop_forces(
+            positions[i0:i1],
+            positions[j0:j1],
+            masses[j0:j1],
+            wg_size=wg_size,
+            softening=softening,
+            G=G,
+            device=device,
+            counters=counters,
+            out=partials[k],
+        )
+    return partials.sum(axis=0, dtype=np.float32), counters
 
 
 class JParallelPlan(Plan):
@@ -109,25 +147,27 @@ class JParallelPlan(Plan):
         p = cfg.wg_size
         counters = CostCounters()
         # partial forces per (i-block, j-segment), then a float32 reduction,
-        # matching the two-kernel structure
-        partials = np.zeros((s, n, 3), dtype=np.float32)
+        # matching the two-kernel structure; i-blocks fan out across the
+        # engine, each folding its own segments in fixed order
+        ranges = [(i0, min(i0 + p, n)) for i0 in range(0, n, p)]
+        task = partial(
+            _iblock_task,
+            positions=positions,
+            masses=masses,
+            segments=self._segments(n, s),
+            wg_size=p,
+            softening=cfg.softening,
+            G=cfg.G,
+            device=cfg.device,
+        )
         with obs.span("force_kernel", plan=self.name, n=n, split_factor=s):
-            for i0 in range(0, n, p):
-                i1 = min(i0 + p, n)
-                for k, (j0, j1) in enumerate(self._segments(n, s)):
-                    partials[k, i0:i1] = tile_loop_forces(
-                        positions[i0:i1],
-                        positions[j0:j1],
-                        masses[j0:j1],
-                        wg_size=p,
-                        softening=cfg.softening,
-                        G=cfg.G,
-                        device=cfg.device,
-                        counters=counters,
-                    )
+            results = self._engine().map(task, ranges, label="j.iblock")
+        acc = np.empty((n, 3), dtype=np.float32)
+        for (i0, i1), (block, c) in zip(ranges, results):
+            acc[i0:i1] = block
+            counters.add(c)
         launch, _ = self._force_launch(n)
         assert counters.interactions == launch.total_interactions, "functional/timing drift"
-        acc = partials.sum(axis=0, dtype=np.float32)
         return acc.astype(np.float64)
 
     # -- timing -------------------------------------------------------------

@@ -21,12 +21,14 @@ Combines the j- and w-parallel ideas under the PTPM analysis:
 from __future__ import annotations
 
 import math
+from functools import partial
 
 import numpy as np
 
 from repro import obs
-from repro.core.plans.base import StepBreakdown
+from repro.core.plans.base import PlanConfig, StepBreakdown
 from repro.core.plans.tree_base import TreePlanBase
+from repro.exec.workspace import local_workspace
 from repro.core.pipeline import overlapped_pipeline3, split_batches
 from repro.gpu.counters import CostCounters
 from repro.gpu.kernel import packed_tile_loop_work, reduction_work, tile_loop_forces
@@ -46,6 +48,36 @@ DEFAULT_PIPELINE_BATCHES = 16
 _TARGET_ITEMS_PER_CU = 4
 
 
+def _jw_walk_task(
+    item: tuple[int, int], *, walks: WalkSet, config: PlanConfig
+) -> tuple[np.ndarray, CostCounters]:
+    """One walk's packed segments, reduced in fixed segment order
+    (runs on an engine worker)."""
+    index, s = item
+    tree = walks.tree
+    w = walks[index]
+    ws = local_workspace()
+    counters = CostCounters()
+    src_pos, src_mass = walk_sources(tree, w, workspace=ws)
+    targets = tree.positions[w.start : w.end]
+    acc = np.zeros((w.n_bodies, 3), dtype=np.float32)
+    for a, b in JwParallelPlan._segments(w.list_length, s):
+        tile_loop_forces(
+            targets,
+            src_pos[a:b],
+            src_mass[a:b],
+            wg_size=config.wg_size,
+            softening=config.softening,
+            G=config.G,
+            device=config.device,
+            counters=counters,
+            out=acc,
+            accumulate=True,
+            workspace=ws,
+        )
+    return acc, counters
+
+
 class JwParallelPlan(TreePlanBase):
     """Barnes-Hut with packed walks, j-split work items, dynamic queue, overlap."""
 
@@ -58,8 +90,9 @@ class JwParallelPlan(TreePlanBase):
         pipeline_batches: int = DEFAULT_PIPELINE_BATCHES,
         overlap: bool = True,
         schedule: str = "hardware",
+        engine=None,
     ) -> None:
-        super().__init__(config)
+        super().__init__(config, engine=engine)
         if pipeline_batches < 1:
             raise ValueError(f"pipeline_batches must be >= 1, got {pipeline_batches}")
         self.pipeline_batches = pipeline_batches
@@ -146,22 +179,17 @@ class JwParallelPlan(TreePlanBase):
         splits = self.split_counts(walks)
         counters = CostCounters()
         acc_sorted = np.empty((tree.n_bodies, 3), dtype=np.float32)
-        for w, s in zip(walks, splits):
-            src_pos, src_mass = walk_sources(tree, w)
-            targets = tree.positions[w.start : w.end]
-            partial = np.zeros((w.n_bodies, 3), dtype=np.float32)
-            for a, b in self._segments(w.list_length, s):
-                partial += tile_loop_forces(
-                    targets,
-                    src_pos[a:b],
-                    src_mass[a:b],
-                    wg_size=cfg.wg_size,
-                    softening=cfg.softening,
-                    G=cfg.G,
-                    device=cfg.device,
-                    counters=counters,
-                )
-            acc_sorted[w.start : w.end] = partial
+        # (walk, split) items fan out across the engine; inside a task the
+        # j-segment partials accumulate in fixed segment order, so the
+        # reduction is bit-identical to the serial evaluation.
+        task = partial(_jw_walk_task, walks=walks, config=cfg)
+        with obs.span("force_kernel", plan=self.name, n_walks=len(walks)):
+            results = self._engine().map(
+                task, list(zip(range(len(walks)), splits)), label="jw.walk"
+            )
+        for w, (block, c) in zip(walks, results):
+            acc_sorted[w.start : w.end] = block
+            counters.add(c)
         assert counters.interactions == walks.total_interactions, (
             "functional/timing drift"
         )

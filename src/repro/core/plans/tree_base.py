@@ -10,10 +10,13 @@ differences.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro import obs
-from repro.core.plans.base import Plan
+from repro.core.plans.base import Plan, PlanConfig
+from repro.exec.workspace import local_workspace
 from repro.gpu.counters import CostCounters
 from repro.gpu.kernel import tile_loop_forces
 from repro.gpu.memory import BYTES_PER_ACCEL, BYTES_PER_BODY, TransferLog
@@ -22,6 +25,29 @@ from repro.tree.octree import Octree, build_octree
 from repro.tree.walks import WalkSet, generate_walks
 
 __all__ = ["TreePlanBase"]
+
+
+def _tree_walk_task(
+    index: int, *, walks: WalkSet, config: PlanConfig
+) -> tuple[np.ndarray, CostCounters]:
+    """Device-kernel evaluation of one walk (runs on an engine worker)."""
+    tree = walks.tree
+    w = walks[index]
+    ws = local_workspace()
+    counters = CostCounters()
+    src_pos, src_mass = walk_sources(tree, w, workspace=ws)
+    block = tile_loop_forces(
+        tree.positions[w.start : w.end],
+        src_pos,
+        src_mass,
+        wg_size=config.wg_size,
+        softening=config.softening,
+        G=config.G,
+        device=config.device,
+        counters=counters,
+        workspace=ws,
+    )
+    return block, counters
 
 
 class TreePlanBase(Plan):
@@ -55,24 +81,22 @@ class TreePlanBase(Plan):
         return self.accelerations_from_walks(walks)
 
     def accelerations_from_walks(self, walks: WalkSet) -> np.ndarray:
-        """Device-kernel evaluation of prepared walks (float32 tiles)."""
+        """Device-kernel evaluation of prepared walks (float32 tiles).
+
+        Walks fan out across the plan's execution engine; blocks are
+        written back in fixed walk order, so every backend and worker
+        count produces bit-identical accelerations.
+        """
         cfg = self.config
         tree = walks.tree
         counters = CostCounters()
         acc_sorted = np.empty((tree.n_bodies, 3), dtype=np.float32)
+        task = partial(_tree_walk_task, walks=walks, config=cfg)
         with obs.span("force_kernel", plan=self.name, n_walks=len(walks)):
-            for w in walks:
-                src_pos, src_mass = walk_sources(tree, w)
-                acc_sorted[w.start : w.end] = tile_loop_forces(
-                    tree.positions[w.start : w.end],
-                    src_pos,
-                    src_mass,
-                    wg_size=cfg.wg_size,
-                    softening=cfg.softening,
-                    G=cfg.G,
-                    device=cfg.device,
-                    counters=counters,
-                )
+            results = self._engine().map(task, range(len(walks)), label="w.walk")
+        for w, (block, c) in zip(walks, results):
+            acc_sorted[w.start : w.end] = block
+            counters.add(c)
         assert counters.interactions == walks.total_interactions, (
             "functional/timing drift"
         )

@@ -32,9 +32,18 @@ __all__ = ["Simulation", "SimulationRecord"]
 
 @dataclass
 class SimulationRecord:
-    """Accumulated accounting of a simulation run."""
+    """Accumulated accounting of a simulation run.
+
+    ``steps`` counts *leapfrog steps*; ``force_passes`` counts force
+    evaluations.  The two differ by one: the first step bootstraps the
+    kick-drift-kick cache with an extra force pass, every later step
+    performs exactly one.  (They used to be conflated — the record
+    counted force passes as steps, so ``mean_step_seconds`` was wrong
+    for short runs.)
+    """
 
     steps: int = 0
+    force_passes: int = 0
     simulated_seconds: float = 0.0
     kernel_seconds: float = 0.0
     host_seconds: float = 0.0
@@ -43,8 +52,8 @@ class SimulationRecord:
     breakdowns: list[StepBreakdown] = field(default_factory=list)
 
     def add(self, b: StepBreakdown) -> None:
-        """Fold one step's breakdown into the record."""
-        self.steps += 1
+        """Fold one *force pass's* breakdown into the record."""
+        self.force_passes += 1
         self.simulated_seconds += b.total_seconds
         self.kernel_seconds += b.kernel_seconds
         self.host_seconds += b.host_seconds
@@ -52,10 +61,16 @@ class SimulationRecord:
         self.interactions += b.interactions
         self.breakdowns.append(b)
 
+    def add_step(self) -> None:
+        """Count one completed leapfrog step."""
+        self.steps += 1
+
     @property
     def mean_step_seconds(self) -> float:
-        """Average simulated time per step.
+        """Average simulated time per leapfrog step.
 
+        Includes the bootstrap force pass in the numerator (it is real
+        simulated work) but divides by *steps*, not force passes.
         Raises :class:`~repro.errors.StateError` if no step has been
         recorded yet.
         """
@@ -113,8 +128,23 @@ class Simulation:
             obs.observe("kernel_seconds", b.kernel_seconds)
             obs.set_gauge("gflops", b.kernel_gflops())
 
+    def invalidate_forces(self) -> None:
+        """Drop the cached trailing acceleration.
+
+        Call after mutating :attr:`particles` externally (positions,
+        masses, or the set itself) — the next :meth:`step` then performs a
+        fresh bootstrap force pass instead of reusing a stale cache.
+        """
+        self._last_acc = None
+
     def step(self) -> StepBreakdown:
-        """Advance one leapfrog step; returns the step's timing breakdown."""
+        """Advance one leapfrog step; returns the step's timing breakdown.
+
+        The first step performs two force passes (bootstrap + trailing);
+        every later step one.  Both are accounted as force passes, but
+        ``record.steps`` — and the ``step`` span's ``index`` — count
+        leapfrog steps.
+        """
         p = self.particles
         with obs.span(
             "step", plan=self.plan.name, n=len(p), index=self.record.steps
@@ -131,6 +161,7 @@ class Simulation:
             p.velocities += 0.5 * self.dt * a1
             self._last_acc = a1
             self.time += self.dt
+            self.record.add_step()
         return b1
 
     def run(

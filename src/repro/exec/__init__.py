@@ -1,0 +1,57 @@
+"""repro.exec — execution engine: workspace pool + parallel map backend.
+
+The paper keeps the *device* saturated by choosing how force work maps
+onto compute units; this package does the same for the CPU substrate that
+hosts the reproduction:
+
+* :mod:`repro.exec.workspace` — preallocated, dtype-keyed scratch buffers
+  threaded through the force hot paths, so steady-state force passes
+  allocate nothing;
+* :mod:`repro.exec.engine` — a deterministic parallel ``map``
+  (serial / thread / process) that fans walk evaluation and blocked
+  kernel work across cores with per-worker workspaces, reducing results
+  in fixed index order so parallel output is bit-identical to serial.
+
+Typical use::
+
+    from repro import exec as rexec
+
+    engine = rexec.ExecutionEngine(backend="thread", workers=4)
+    plan = JwParallelPlan(engine=engine)
+
+or globally (what ``repro-nbody --workers 4`` does)::
+
+    rexec.configure(workers=4)
+"""
+
+from repro.exec.engine import (
+    BACKENDS,
+    ExecConfig,
+    ExecutionEngine,
+    configure,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.exec.workspace import (
+    Workspace,
+    local_workspace,
+    reset_local_workspace,
+    total_workspace_bytes,
+    uncached,
+    workspace_stats,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ExecConfig",
+    "ExecutionEngine",
+    "configure",
+    "get_default_engine",
+    "set_default_engine",
+    "Workspace",
+    "local_workspace",
+    "reset_local_workspace",
+    "total_workspace_bytes",
+    "uncached",
+    "workspace_stats",
+]

@@ -1,0 +1,285 @@
+"""Parallel map backend: serial / thread-pool / process-pool execution.
+
+The PTPM plans enumerate independent units of force work — work-group
+target ranges (i), i-block × j-segment rectangles (j), walks (w / jw).
+:class:`ExecutionEngine` fans those units out across CPU workers the same
+way the simulated device fans work-groups across compute units, subject to
+one hard rule: **parallel output is bit-identical to serial**.  Tasks are
+dispatched and their results reduced in fixed index order, each task's
+arithmetic is self-contained (per-worker workspaces, no shared
+accumulators), so the only thing a backend changes is wall-clock time.
+
+Backends
+--------
+``serial``
+    Plain in-order loop (the default; also the reference for the
+    bit-equality tests).
+``thread``
+    A persistent :class:`~concurrent.futures.ThreadPoolExecutor`.  NumPy
+    releases the GIL inside its C inner loops, so the blocked force
+    kernels overlap on multi-core hosts; per-worker scratch comes for
+    free because :func:`repro.exec.workspace.local_workspace` is
+    thread-local.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` for GIL-bound
+    workloads.  Task functions must be picklable — the plans use
+    ``functools.partial`` over module-level functions for exactly this
+    reason.
+
+Observability: every ``map`` emits an ``exec.dispatch`` span (backend,
+workers, task count), per-task ``exec.worker`` spans (serial and thread
+backends; process workers have incomparable clocks), the ``tasks_total``
+counter and the ``workspace_bytes`` gauge.
+
+The process-global default engine is serial; configure it with
+:func:`configure` (the CLI's ``--workers`` does this) or the
+``REPRO_WORKERS`` / ``REPRO_EXEC_BACKEND`` environment variables.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.exec.workspace import total_workspace_bytes
+
+__all__ = [
+    "BACKENDS",
+    "ExecConfig",
+    "ExecutionEngine",
+    "get_default_engine",
+    "set_default_engine",
+    "configure",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Recognised parallel map backends.
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """How force work fans out across CPU workers."""
+
+    backend: str = "serial"
+    workers: int = 1
+    #: tasks per process-pool submission; ``None`` derives one from the
+    #: task count (thread pools always submit per-task).
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown exec backend '{self.backend}'; choose from {BACKENDS}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this config can actually run tasks concurrently."""
+        return self.backend != "serial" and self.workers > 1
+
+
+class ExecutionEngine:
+    """Deterministic parallel ``map`` over independent force-work units."""
+
+    def __init__(
+        self,
+        config: ExecConfig | None = None,
+        *,
+        backend: str | None = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        if config is None:
+            config = ExecConfig(
+                backend=backend or ("serial" if (workers or 1) <= 1 else "thread"),
+                workers=workers or 1,
+                chunk_size=chunk_size,
+            )
+        elif backend is not None or workers is not None or chunk_size is not None:
+            raise ConfigurationError(
+                "pass either an ExecConfig or keyword overrides, not both"
+            )
+        self.config = config
+        self._pool: Executor | None = None
+        self._pool_lock = threading.Lock()
+        #: tasks dispatched over this engine's lifetime
+        self.tasks_total = 0
+        #: map calls dispatched over this engine's lifetime
+        self.dispatches = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return self.config.workers
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-friendly engine description (recorded in BENCH artifacts)."""
+        return {
+            "backend": self.config.backend,
+            "workers": self.config.workers,
+            "tasks_total": self.tasks_total,
+            "dispatches": self.dispatches,
+        }
+
+    # ------------------------------------------------------------------
+    def _executor(self) -> Executor:
+        with self._pool_lock:
+            if self._pool is None:
+                if self.config.backend == "thread":
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.config.workers,
+                        thread_name_prefix="repro-exec",
+                    )
+                else:
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.config.workers
+                    )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (a new one forms on next use)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        label: str = "tasks",
+    ) -> list[R]:
+        """Apply ``fn`` to every item; results in fixed index order.
+
+        The reduction-order guarantee is what makes parallel force passes
+        bit-identical to serial: whichever worker finishes first, result
+        ``i`` always lands in slot ``i`` and downstream reductions
+        consume slots in ascending order.
+        """
+        work: Sequence[T] = items if isinstance(items, Sequence) else list(items)
+        cfg = self.config
+        run_parallel = cfg.parallel and len(work) > 1
+        self.dispatches += 1
+        self.tasks_total += len(work)
+        with obs.span(
+            "exec.dispatch",
+            backend=cfg.backend if run_parallel else "serial",
+            workers=cfg.workers if run_parallel else 1,
+            tasks=len(work),
+            label=label,
+        ):
+            obs.inc("tasks_total", len(work))
+            if not run_parallel:
+                results = self._map_serial(fn, work, label)
+            elif cfg.backend == "thread":
+                results = self._map_threads(fn, work, label)
+            else:
+                results = self._map_processes(fn, work)
+            obs.set_gauge("workspace_bytes", total_workspace_bytes())
+        return results
+
+    # -- backends -------------------------------------------------------
+    def _map_serial(
+        self, fn: Callable[[T], R], work: Sequence[T], label: str
+    ) -> list[R]:
+        results: list[R] = []
+        for i, item in enumerate(work):
+            with obs.span("exec.worker", task=i, label=label):
+                results.append(fn(item))
+        return results
+
+    def _map_threads(
+        self, fn: Callable[[T], R], work: Sequence[T], label: str
+    ) -> list[R]:
+        def timed(pair: tuple[int, T]) -> tuple[R, float, float, str]:
+            _, item = pair
+            t0 = time.perf_counter()
+            result = fn(item)
+            return result, t0, time.perf_counter(), threading.current_thread().name
+
+        out = list(self._executor().map(timed, enumerate(work)))
+        results: list[R] = []
+        # Worker threads must not touch the (single-threaded) tracer, so
+        # the spans are emitted here, from the dispatching thread, in task
+        # order, with the wall times the workers measured.
+        for i, (result, t0, t1, worker) in enumerate(out):
+            obs.complete_span(
+                "exec.worker", t0, t1, task=i, label=label, worker=worker
+            )
+            results.append(result)
+        return results
+
+    def _map_processes(self, fn: Callable[[T], R], work: Sequence[T]) -> list[R]:
+        chunk = self.config.chunk_size or max(
+            1, len(work) // (self.config.workers * 4)
+        )
+        return list(self._executor().map(fn, work, chunksize=chunk))
+
+
+# ---------------------------------------------------------------------------
+# Process-global default engine
+# ---------------------------------------------------------------------------
+
+def _engine_from_env() -> ExecutionEngine:
+    workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+    backend = os.environ.get("REPRO_EXEC_BACKEND") or (
+        "thread" if workers > 1 else "serial"
+    )
+    return ExecutionEngine(ExecConfig(backend=backend, workers=workers))
+
+
+_default_engine: ExecutionEngine = _engine_from_env()
+
+
+def get_default_engine() -> ExecutionEngine:
+    """The engine plans fall back to when constructed without one."""
+    return _default_engine
+
+
+def set_default_engine(engine: ExecutionEngine | None) -> ExecutionEngine:
+    """Replace the default engine (``None`` restores a serial one)."""
+    global _default_engine
+    _default_engine = engine if engine is not None else ExecutionEngine()
+    return _default_engine
+
+
+def configure(
+    *, workers: int = 1, backend: str | None = None, chunk_size: int | None = None
+) -> ExecutionEngine:
+    """Configure the default engine (what the CLI's ``--workers`` calls)."""
+    return set_default_engine(
+        ExecutionEngine(
+            ExecConfig(
+                backend=backend or ("thread" if workers > 1 else "serial"),
+                workers=workers,
+                chunk_size=chunk_size,
+            )
+        )
+    )

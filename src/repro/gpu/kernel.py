@@ -20,6 +20,7 @@ import math
 
 import numpy as np
 
+from repro.exec.workspace import Workspace, local_workspace
 from repro.gpu.counters import CostCounters
 from repro.gpu.device import DeviceSpec
 from repro.gpu.launch import WorkGroupWork
@@ -45,6 +46,9 @@ def tile_loop_forces(
     device: DeviceSpec | None = None,
     counters: CostCounters | None = None,
     dtype: np.dtype | type = np.float32,
+    out: np.ndarray | None = None,
+    accumulate: bool = False,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
     """Functionally execute one work-group's tiled force loop.
 
@@ -53,21 +57,42 @@ def tile_loop_forces(
     through an emulated LDS tile of ``wg_size`` bodies at a time and the
     partial accelerations accumulate in ``dtype`` precision, reproducing
     device rounding behaviour.
+
+    ``out`` (``(nt, 3)`` of ``dtype``) receives the result — added in
+    place when ``accumulate`` is true, overwritten otherwise.  Tile
+    temporaries and input casts come from ``workspace`` (the calling
+    thread's local workspace by default), so steady-state evaluation
+    allocates nothing beyond a missing ``out``.
     """
     if wg_size < 1:
         raise ValueError(f"wg_size must be >= 1, got {wg_size}")
     if device is not None:
         check_lds_fit(device, wg_size * BYTES_PER_BODY)
-    targets = np.asarray(targets, dtype=dtype)
-    src_pos = np.asarray(src_pos, dtype=dtype)
-    src_mass = np.asarray(src_mass, dtype=dtype)
+    ws = workspace if workspace is not None else local_workspace()
+    targets = ws.cast("kernel.targets", np.asarray(targets), dtype)
+    src_pos = ws.cast("kernel.src_pos", np.asarray(src_pos), dtype)
+    src_mass = ws.cast("kernel.src_mass", np.asarray(src_mass), dtype)
     nt = targets.shape[0]
     ns = src_pos.shape[0]
-    acc = np.zeros((nt, 3), dtype=dtype)
+    if out is None:
+        acc = np.zeros((nt, 3), dtype=dtype)
+    else:
+        if out.shape != (nt, 3) or out.dtype != np.dtype(dtype):
+            raise ValueError(
+                f"out must be ({nt}, 3) of {np.dtype(dtype)}, got "
+                f"{out.shape} of {out.dtype}"
+            )
+        acc = out
+        if not accumulate:
+            acc[:] = 0.0
     eps2 = dtype(softening) ** 2
 
-    lds_pos = np.empty((wg_size, 3), dtype=dtype)
-    lds_mass = np.empty(wg_size, dtype=dtype)
+    lds_pos = ws.take("kernel.lds_pos", (wg_size, 3), dtype)
+    lds_mass = ws.take("kernel.lds_mass", (wg_size,), dtype)
+    tile = min(wg_size, ns)
+    d_buf = ws.take("kernel.d", (nt, tile, 3), dtype)
+    r2_buf = ws.take("kernel.r2", (nt, tile), dtype)
+    acc_buf = ws.take("kernel.acc", (nt, 3), dtype)
     n_tiles = 0
     for t0 in range(0, ns, wg_size):
         t1 = min(t0 + wg_size, ns)
@@ -75,11 +100,16 @@ def tile_loop_forces(
         # cooperative load into local memory (barrier), then the tile loop
         lds_pos[:k] = src_pos[t0:t1]
         lds_mass[:k] = src_mass[t0:t1]
-        d = lds_pos[np.newaxis, :k, :] - targets[:, np.newaxis, :]
-        r2 = np.einsum("ijk,ijk->ij", d, d) + eps2
-        inv_r3 = r2 ** dtype(-1.5)
-        w = inv_r3 * lds_mass[np.newaxis, :k]
-        acc += np.einsum("ij,ijk->ik", w, d).astype(dtype)
+        d = d_buf[:, :k]
+        np.subtract(lds_pos[np.newaxis, :k, :], targets[:, np.newaxis, :], out=d)
+        r2 = r2_buf[:, :k]
+        np.einsum("ijk,ijk->ij", d, d, out=r2)
+        r2 += eps2
+        inv_r3 = r2  # in place: r2 is dead after this point
+        np.power(r2, dtype(-1.5), out=inv_r3)
+        inv_r3 *= lds_mass[np.newaxis, :k]
+        np.einsum("ij,ijk->ik", inv_r3, d, out=acc_buf)
+        acc += acc_buf
         n_tiles += 1
 
     if counters is not None:

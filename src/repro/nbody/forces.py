@@ -18,11 +18,18 @@ Three implementations are provided:
 The GPU-kernel convention of including the (softening-neutralised)
 self-interaction is followed by default so flop accounting matches the
 paper; pass ``include_self=False`` for the mathematically minimal sum.
+
+The blocked temporaries (``d``, ``r2``, ``inv_r3``) are drawn from a
+:class:`repro.exec.workspace.Workspace` — the calling thread's local
+workspace by default — so repeated force passes reuse storage instead of
+re-allocating it every blocked pass.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.exec.workspace import Workspace, local_workspace
 
 __all__ = [
     "accelerations_from_sources",
@@ -48,6 +55,7 @@ def accelerations_from_sources(
     out: np.ndarray | None = None,
     accumulate: bool = False,
     dtype: np.dtype | type = np.float64,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
     """Accelerations exerted by point sources on target positions.
 
@@ -67,12 +75,17 @@ def accelerations_from_sources(
         temporary to ``nt x block`` so large problems stay cache-friendly
         instead of materialising the full ``nt x ns`` matrix.
     out:
-        Optional pre-allocated ``(nt, 3)`` output.
+        Optional pre-allocated ``(nt, 3)`` output of dtype ``dtype``;
+        anything else raises :class:`ValueError` (a mismatched ``out``
+        would silently truncate results through the in-place ``+=``).
     accumulate:
         When true, add into ``out`` instead of overwriting (used by tiled
         device kernels that stage sources through local memory).
     dtype:
         Arithmetic precision; device kernels use ``float32``.
+    workspace:
+        Scratch-buffer pool for the blocked temporaries; defaults to the
+        calling thread's :func:`~repro.exec.workspace.local_workspace`.
 
     Returns
     -------
@@ -97,19 +110,40 @@ def accelerations_from_sources(
     if out is None:
         out = np.zeros((nt, 3), dtype=dtype)
         accumulate = True  # freshly zeroed: accumulate == overwrite
-    elif not accumulate:
-        out[:] = 0.0
+    else:
+        if not isinstance(out, np.ndarray):
+            raise ValueError(f"out must be an ndarray, got {type(out).__name__}")
+        if out.shape != (nt, 3):
+            raise ValueError(f"out must have shape ({nt}, 3), got {out.shape}")
+        if out.dtype != np.dtype(dtype):
+            raise ValueError(
+                f"out dtype {out.dtype} does not match arithmetic dtype "
+                f"{np.dtype(dtype)}"
+            )
+        if not accumulate:
+            out[:] = 0.0
     eps2 = dtype(softening) * dtype(softening) if dtype is not np.float64 else softening**2
 
+    ws = workspace if workspace is not None else local_workspace()
+    nb = min(block, ns)
+    d_buf = ws.take("forces.d", (nt, nb, 3), dtype)
+    r2_buf = ws.take("forces.r2", (nt, nb), dtype)
+    w_buf = ws.take("forces.inv_r3", (nt, nb), dtype)
+    acc_buf = ws.take("forces.acc", (nt, 3), dtype)
     for s0 in range(0, ns, block):
         s1 = min(s0 + block, ns)
-        # (nt, nb, 3) displacement block
-        d = src_pos[s0:s1][np.newaxis, :, :] - targets[:, np.newaxis, :]
-        r2 = np.einsum("ijk,ijk->ij", d, d)
+        k = s1 - s0
+        # (nt, k, 3) displacement block
+        d = d_buf[:, :k]
+        np.subtract(src_pos[s0:s1][np.newaxis, :, :], targets[:, np.newaxis, :], out=d)
+        r2 = r2_buf[:, :k]
+        np.einsum("ijk,ijk->ij", d, d, out=r2)
         r2 += eps2
-        inv_r3 = r2 ** (-1.5)
-        w = inv_r3 * src_mass[s0:s1][np.newaxis, :]
-        out += np.einsum("ij,ijk->ik", w, d)
+        inv_r3 = w_buf[:, :k]
+        np.power(r2, -1.5, out=inv_r3)
+        inv_r3 *= src_mass[s0:s1][np.newaxis, :]  # becomes the weight w
+        np.einsum("ij,ijk->ik", inv_r3, d, out=acc_buf)
+        out += acc_buf
     if G != 1.0:
         out *= dtype(G)
     return out
@@ -124,12 +158,18 @@ def direct_forces(
     block: int = 2048,
     include_self: bool = True,
     dtype: np.dtype | type = np.float64,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
     """All-pairs accelerations of a particle set on itself (O(N^2)).
 
     With ``include_self=True`` (default, matching the GPU kernels) the
     i == j term is evaluated; it contributes exactly zero because the
     displacement is zero, softening only prevents the division blowing up.
+
+    With ``include_self=False`` and ``softening == 0`` coincident
+    *distinct* bodies have no finite pair force; that is detected and
+    raised as :class:`ValueError` (matching :func:`pairwise_force`) rather
+    than silently propagating ``inf``/``nan`` accelerations.
     """
     positions = np.asarray(positions, dtype=dtype)
     masses = np.asarray(masses, dtype=dtype)
@@ -137,23 +177,43 @@ def direct_forces(
         return accelerations_from_sources(
             positions, positions, masses,
             softening=softening, G=G, block=block, dtype=dtype,
+            workspace=workspace,
         )
-    # Exclude the diagonal explicitly: evaluate blocked and subtract nothing
-    # (the diagonal term is identically zero with softening > 0), but for
-    # softening == 0 we must mask it to avoid 0/0.
+    # Exclude the diagonal explicitly: evaluate blocked and mask the i == j
+    # slot (its force is identically zero); for softening == 0 any *other*
+    # zero distance is a coincident distinct pair — an error, not a nan.
     n = positions.shape[0]
     acc = np.zeros((n, 3), dtype=dtype)
     eps2 = softening * softening
+    ws = workspace if workspace is not None else local_workspace()
+    nb = min(block, n)
+    d_buf = ws.take("forces.d", (n, nb, 3), dtype)
+    r2_buf = ws.take("forces.r2", (n, nb), dtype)
+    acc_buf = ws.take("forces.acc", (n, 3), dtype)
     for s0 in range(0, n, block):
         s1 = min(s0 + block, n)
-        d = positions[s0:s1][np.newaxis, :, :] - positions[:, np.newaxis, :]
-        r2 = np.einsum("ijk,ijk->ij", d, d) + eps2
-        with np.errstate(divide="ignore", invalid="ignore"):
-            inv_r3 = r2 ** (-1.5)
+        k = s1 - s0
+        d = d_buf[:, :k]
+        np.subtract(
+            positions[s0:s1][np.newaxis, :, :], positions[:, np.newaxis, :], out=d
+        )
+        r2 = r2_buf[:, :k]
+        np.einsum("ijk,ijk->ij", d, d, out=r2)
+        r2 += eps2
         rows = np.arange(s0, s1)
-        inv_r3[rows, rows - s0] = 0.0
-        w = inv_r3 * masses[s0:s1][np.newaxis, :]
-        acc += np.einsum("ij,ijk->ik", w, d)
+        # Masking via +inf: inf**-1.5 == 0.0 exactly, so the diagonal
+        # contributes nothing — same result as zeroing inv_r3 afterwards.
+        r2[rows, rows - s0] = np.inf
+        if eps2 == 0.0 and not np.all(r2 > 0.0):
+            raise ValueError(
+                "coincident distinct bodies with zero softening have "
+                "undefined force"
+            )
+        inv_r3 = r2  # reciprocal in place; r2 is not needed afterwards
+        np.power(r2, -1.5, out=inv_r3)
+        inv_r3 *= masses[s0:s1][np.newaxis, :]
+        np.einsum("ij,ijk->ik", inv_r3, d, out=acc_buf)
+        acc += acc_buf
     if G != 1.0:
         acc *= dtype(G)
     return acc

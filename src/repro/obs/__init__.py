@@ -46,6 +46,7 @@ __all__ = [
     "metrics",
     "span",
     "instant",
+    "complete_span",
     "sim_span",
     "advance_sim",
     "sim_now",
@@ -131,6 +132,12 @@ def instant(name: str, **attrs: Any) -> None:
     """Record a zero-duration event."""
     if enabled:
         _tracer.instant(name, **attrs)
+
+
+def complete_span(name: str, t0_wall: float, t1_wall: float, **attrs: Any) -> None:
+    """Record an already-finished wall span (absolute perf_counter times)."""
+    if enabled:
+        _tracer.complete_span(name, t0_wall, t1_wall, **attrs)
 
 
 def sim_span(

@@ -162,6 +162,33 @@ class SpanTracer:
             self._stack.remove(sp)
         self.spans.append(sp)
 
+    def complete_span(
+        self, name: str, t0_wall: float, t1_wall: float, **attrs: Any
+    ) -> Span:
+        """Record an already-finished wall-clock span.
+
+        ``t0_wall``/``t1_wall`` are absolute ``time.perf_counter`` values
+        (they are rebased onto the tracer's epoch here).  Used by the
+        execution engine to log worker-measured task intervals from the
+        dispatching thread — pool workers must never touch the tracer's
+        (single-threaded) span stack.
+        """
+        if t1_wall < t0_wall:
+            raise ValueError(
+                f"span '{name}' ends before it starts ({t0_wall} > {t1_wall})"
+            )
+        sp = Span(
+            name=name,
+            span_id=self._new_id(),
+            parent_id=self._parent_id(),
+            depth=len(self._stack),
+            attrs=attrs,
+            t0_wall=t0_wall - self.epoch,
+            t1_wall=t1_wall - self.epoch,
+        )
+        self.spans.append(sp)
+        return sp
+
     def instant(self, name: str, **attrs: Any) -> Span:
         """Record a zero-duration wall-clock event."""
         now = time.perf_counter() - self.epoch

@@ -11,9 +11,13 @@ The simulated GPU kernels are validated against this function exactly
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro import obs
+from repro.exec.engine import ExecutionEngine, get_default_engine
+from repro.exec.workspace import Workspace
 from repro.nbody.forces import accelerations_from_sources
 from repro.tree.octree import Octree
 from repro.tree.walks import Walk, WalkSet
@@ -26,17 +30,57 @@ __all__ = [
 ]
 
 
-def walk_sources(tree: Octree, walk: Walk) -> tuple[np.ndarray, np.ndarray]:
+def walk_sources(
+    tree: Octree, walk: Walk, *, workspace: Workspace | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """The dense source array of one walk: cell monopoles then leaf bodies.
 
     Returns ``(src_pos (L, 3), src_mass (L,))`` with
-    ``L == walk.list_length``.
+    ``L == walk.list_length``.  With a ``workspace``, the arrays are views
+    into reused scratch buffers (valid until the next call with the same
+    workspace) instead of fresh concatenations.
     """
     cl = walk.cell_list
     pl = walk.particle_list
-    src_pos = np.concatenate([tree.coms[cl], tree.positions[pl]])
-    src_mass = np.concatenate([tree.node_masses[cl], tree.masses[pl]])
+    if workspace is None:
+        src_pos = np.concatenate([tree.coms[cl], tree.positions[pl]])
+        src_mass = np.concatenate([tree.node_masses[cl], tree.masses[pl]])
+        return src_pos, src_mass
+    nc = int(cl.size)
+    length = nc + int(pl.size)
+    src_pos = workspace.take("walk.src_pos", (length, 3), tree.positions.dtype)
+    src_mass = workspace.take("walk.src_mass", (length,), tree.masses.dtype)
+    src_pos[:nc] = tree.coms[cl]
+    src_pos[nc:] = tree.positions[pl]
+    src_mass[:nc] = tree.node_masses[cl]
+    src_mass[nc:] = tree.masses[pl]
     return src_pos, src_mass
+
+
+def _walk_task(
+    index: int,
+    *,
+    walks: WalkSet,
+    softening: float,
+    G: float,
+    dtype: np.dtype | type,
+) -> np.ndarray:
+    """Evaluate one walk's group block (runs on an engine worker)."""
+    tree = walks.tree
+    w = walks[index]
+    from repro.exec.workspace import local_workspace
+
+    ws = local_workspace()
+    src_pos, src_mass = walk_sources(tree, w, workspace=ws)
+    return accelerations_from_sources(
+        tree.positions[w.start : w.end],
+        src_pos,
+        src_mass,
+        softening=softening,
+        G=G,
+        dtype=dtype,
+        workspace=ws,
+    )
 
 
 def accelerations_from_walks(
@@ -45,27 +89,28 @@ def accelerations_from_walks(
     softening: float = 0.0,
     G: float = 1.0,
     dtype: np.dtype | type = np.float64,
+    engine: ExecutionEngine | None = None,
 ) -> np.ndarray:
     """Accelerations of all bodies from their walks, in **original** body order.
 
     Walks must cover every body exactly once (which
-    :func:`repro.tree.walks.generate_walks` guarantees).
+    :func:`repro.tree.walks.generate_walks` guarantees).  Walk evaluation
+    fans out across ``engine`` (default: the process-global engine); walk
+    blocks are written back in fixed walk order, so the result is
+    bit-identical for every backend and worker count.
     """
     tree = walks.tree
+    eng = engine if engine is not None else get_default_engine()
     acc_sorted = np.full((tree.n_bodies, 3), np.nan, dtype=np.float64)
     with obs.span(
         "bh_force.walk_eval", n=tree.n_bodies, n_walks=len(walks)
     ) as sp:
-        for w in walks:
-            src_pos, src_mass = walk_sources(tree, w)
-            acc_sorted[w.start : w.end] = accelerations_from_sources(
-                tree.positions[w.start : w.end],
-                src_pos,
-                src_mass,
-                softening=softening,
-                G=G,
-                dtype=dtype,
-            )
+        task = partial(
+            _walk_task, walks=walks, softening=softening, G=G, dtype=dtype
+        )
+        blocks = eng.map(task, range(len(walks)), label="bh.walk")
+        for w, block in zip(walks, blocks):
+            acc_sorted[w.start : w.end] = block
         sp.set(interactions=walks.total_interactions)
     if np.isnan(acc_sorted).any():
         raise ValueError("walks do not cover every body")

@@ -30,10 +30,15 @@ class TestStepping:
     def test_record_accumulates(self, sim):
         sim.run(3)
         # first step costs two force evaluations (cold start), then one each
-        assert sim.record.steps == 4
+        assert sim.record.steps == 3
+        assert sim.record.force_passes == 4
         assert sim.record.simulated_seconds > 0
         assert sim.record.interactions == 4 * 256 * 256
         assert sim.record.mean_step_seconds > 0
+        # mean is per leapfrog step, not per force pass
+        assert sim.record.mean_step_seconds == pytest.approx(
+            sim.record.simulated_seconds / 3
+        )
 
     def test_matches_plain_integrate(self):
         """The driver reproduces the generic leapfrog trajectory."""
@@ -61,7 +66,8 @@ class TestStepping:
         particles = plummer(512, seed=34)
         sim = Simulation(particles, JwParallelPlan(PlanConfig(softening=EPS)), dt=1e-3)
         rec = sim.run(2)
-        assert rec.steps == 3
+        assert rec.steps == 2
+        assert rec.force_passes == 3
         assert all(b.plan == "jw" for b in rec.breakdowns)
 
     def test_forces_consistent_with_direct(self):
