@@ -1,12 +1,24 @@
-"""Command-line interface: regenerate the paper's tables and figures.
+"""Command-line interface: experiments, profiling, and resumable runs.
+
+Subcommands::
+
+    repro-nbody bench <experiment> [...]   # the paper's tables/figures
+    repro-nbody profile <experiment> [...] # one experiment with tracing on
+    repro-nbody run [...]                  # a checkpointed simulation run
+    repro-nbody resume <rundir>            # continue an interrupted run
 
 Examples::
 
-    python -m repro fig5
-    python -m repro table2 --quick --trace
-    python -m repro all --workload uniform
-    repro-nbody table1 --steps 100
+    repro-nbody bench fig5
+    repro-nbody bench table2 --quick --trace
     repro-nbody profile table2 --quick --trace-out t.json --metrics-out m.json
+    repro-nbody run --n 4096 --plan jw --steps 200 --checkpoint-every 25 \\
+        --out runs/demo
+    repro-nbody resume runs/demo
+
+The pre-subcommand flat form (``repro-nbody table2 --quick``) keeps
+working: an unrecognised leading token is routed through a hidden
+compatibility path that prefixes ``bench``.
 """
 
 from __future__ import annotations
@@ -16,11 +28,12 @@ import sys
 import time
 from typing import Sequence
 
-from repro import exec as rexec
 from repro import obs
 from repro._version import __version__
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.workloads import PAPER_N_SWEEP, QUICK_N_SWEEP, WORKLOADS
+from repro.config import configure
+from repro.exec.engine import BACKENDS
 
 __all__ = ["main", "build_parser"]
 
@@ -43,35 +56,61 @@ _WORKLOAD_EXPERIMENTS = _SWEEP_EXPERIMENTS | {
 #: Default trace path for ``--trace`` without an explicit ``--trace-out``.
 DEFAULT_TRACE_PATH = "trace.json"
 
+#: The CLI's subcommands (used by the flat-form compatibility shim).
+SUBCOMMANDS = ("run", "profile", "bench", "resume")
 
-def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for tests)."""
-    parser = argparse.ArgumentParser(
-        prog="repro-nbody",
-        description=(
-            "Reproduce the evaluation of 'Parallel Time-Space Processing "
-            "Model Based Fast N-body Simulation on GPUs'"
-        ),
-    )
-    parser.add_argument("--version", action="version", version=__version__)
-    parser.add_argument(
-        "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report", "profile"],
-        help="experiment id (table/figure of the paper), 'all', "
-        "'report' (write every experiment to a markdown file), or "
-        "'profile <experiment>' (run one experiment with tracing on)",
-    )
-    parser.add_argument(
-        "target",
-        nargs="?",
+#: Plans accepted by ``run`` (the four named PTPM plans).
+_RUN_PLANS = ("i", "j", "w", "jw")
+
+
+def _common_parser() -> argparse.ArgumentParser:
+    """Flags shared by every subcommand (execution, fault handling, tracing)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--workers",
+        type=int,
         default=None,
-        help="experiment to profile (only with the 'profile' command)",
+        metavar="N",
+        help="CPU workers for functional force passes (default: 1, or the "
+        "REPRO_WORKERS environment variable); results are bit-identical "
+        "to serial for any worker count",
     )
-    parser.add_argument(
-        "--output",
+    common.add_argument(
+        "--exec-backend",
         default=None,
-        help="output path for the 'report' command (default: repro_report.md)",
+        choices=sorted(BACKENDS),
+        help="parallel map backend for --workers (default: thread)",
     )
+    common.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry each failed force task up to N times (default: 0; "
+        "a dead worker pool additionally degrades process->thread->serial)",
+    )
+    common.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a repro.obs trace of the run and write it to "
+        f"{DEFAULT_TRACE_PATH} (Chrome trace-event JSON; open in Perfetto)",
+    )
+    common.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the Chrome trace JSON to PATH (implies --trace)",
+    )
+    common.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics snapshot JSON to PATH (implies --trace)",
+    )
+    return common
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -89,43 +128,135 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="steps per run for the timed tables (default: 100, as in the paper)",
     )
-    parser.add_argument(
-        "--workers",
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-nbody",
+        description=(
+            "Reproduce the evaluation of 'Parallel Time-Space Processing "
+            "Model Based Fast N-body Simulation on GPUs'"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    common = _common_parser()
+    sub = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
+
+    bench = sub.add_parser(
+        "bench",
+        parents=[common],
+        help="regenerate the paper's tables and figures",
+    )
+    bench.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "report"],
+        help="experiment id (table/figure of the paper), 'all', or "
+        "'report' (write every experiment to a markdown file)",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        help="output path for the 'report' experiment (default: repro_report.md)",
+    )
+    _add_sweep_flags(bench)
+
+    profile = sub.add_parser(
+        "profile",
+        parents=[common],
+        help="run one experiment with tracing on and print a span summary",
+    )
+    profile.add_argument(
+        "target",
+        choices=sorted(EXPERIMENTS),
+        help="experiment to profile",
+    )
+    _add_sweep_flags(profile)
+
+    run = sub.add_parser(
+        "run",
+        parents=[common],
+        help="run a checkpointed simulation (resumable after interruption)",
+    )
+    run.add_argument(
+        "--n", type=int, default=4096, metavar="N", help="number of bodies"
+    )
+    run.add_argument(
+        "--plan",
+        default="jw",
+        choices=_RUN_PLANS,
+        help="PTPM plan (default: jw)",
+    )
+    run.add_argument(
+        "--workload",
+        default="plummer",
+        choices=sorted(WORKLOADS),
+        help="initial-condition generator (default: plummer)",
+    )
+    run.add_argument(
+        "--seed", type=int, default=0, help="workload RNG seed (default: 0)"
+    )
+    run.add_argument(
+        "--dt", type=float, default=1e-3, help="leapfrog time step (default: 1e-3)"
+    )
+    run.add_argument(
+        "--steps",
         type=int,
         default=None,
-        metavar="N",
-        help="CPU workers for functional force passes (default: 1, or the "
-        "REPRO_WORKERS environment variable); results are bit-identical "
-        "to serial for any worker count",
+        help="total leapfrog steps to reach (default: 100; with --resume, "
+        "the manifest's recorded target)",
     )
-    parser.add_argument(
-        "--exec-backend",
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="checkpoint every K steps (default: 0 = final state only)",
+    )
+    run.add_argument(
+        "--out",
+        default="run_out",
+        metavar="DIR",
+        help="run directory for manifest + checkpoints (default: run_out)",
+    )
+    run.add_argument(
+        "--resume",
         default=None,
-        choices=sorted(rexec.BACKENDS),
-        help="parallel map backend for --workers (default: thread)",
+        metavar="DIR",
+        help="resume the run in DIR instead of starting fresh "
+        "(workload/plan flags are then taken from its manifest)",
     )
-    parser.add_argument(
-        "--trace",
-        action="store_true",
-        help="record a repro.obs trace of the run and write it to "
-        f"{DEFAULT_TRACE_PATH} (Chrome trace-event JSON; open in Perfetto)",
+
+    resume = sub.add_parser(
+        "resume",
+        parents=[common],
+        help="continue an interrupted run from its last checkpoint",
     )
-    parser.add_argument(
-        "--trace-out",
+    resume.add_argument("rundir", help="run directory holding manifest.json")
+    resume.add_argument(
+        "--steps",
+        type=int,
         default=None,
-        metavar="PATH",
-        help="write the Chrome trace JSON to PATH (implies --trace)",
-    )
-    parser.add_argument(
-        "--metrics-out",
-        default=None,
-        metavar="PATH",
-        help="write the metrics snapshot JSON to PATH (implies --trace)",
+        help="new total step target (default: the manifest's target)",
     )
     return parser
 
 
-def _validate_args(
+def _compat_argv(argv: Sequence[str]) -> list[str]:
+    """Route the pre-subcommand flat form through ``bench``.
+
+    ``repro-nbody table2 --quick`` becomes ``repro-nbody bench table2
+    --quick``; the old flat ``profile <target>`` shape coincides with the
+    ``profile`` subcommand and passes through untouched, as do help and
+    version flags.
+    """
+    argv = list(argv)
+    if argv and not argv[0].startswith("-") and argv[0] not in SUBCOMMANDS:
+        return ["bench", *argv]
+    return argv
+
+
+def _validate_bench_args(
     parser: argparse.ArgumentParser, args: argparse.Namespace
 ) -> list[str]:
     """Reject or warn on flags that do not apply to the chosen experiment.
@@ -134,23 +265,8 @@ def _validate_args(
     (``parser.error``, exit code 2) for flags that would otherwise be
     silently dropped; warnings on stderr for soft mismatches.
     """
-    if args.experiment == "profile":
-        if args.target is None:
-            parser.error("'profile' requires a target experiment, e.g. "
-                         "'repro-nbody profile table2'")
-        if args.target not in EXPERIMENTS:
-            parser.error(
-                f"unknown profile target '{args.target}'; "
-                f"choose from {sorted(EXPERIMENTS)}"
-            )
-        exp_ids = [args.target]
-    elif args.target is not None:
-        parser.error(
-            f"unexpected argument '{args.target}' "
-            f"(a target is only valid with the 'profile' command)"
-        )
-    elif args.experiment == "report":
-        exp_ids = []
+    if args.experiment == "report":
+        exp_ids: list[str] = []
     elif args.experiment == "all":
         exp_ids = sorted(EXPERIMENTS)
     else:
@@ -203,46 +319,122 @@ def _write_trace_outputs(args: argparse.Namespace) -> None:
         print(f"metrics written to {mout}")
 
 
+# ---------------------------------------------------------------------------
+# Subcommand handlers
+# ---------------------------------------------------------------------------
+
+def _cmd_bench(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    exp_ids = _validate_bench_args(parser, args)
+    if args.experiment == "report":
+        from repro.bench.report import DEFAULT_REPORT_PATH, generate_report
+
+        out = generate_report(
+            args.output or DEFAULT_REPORT_PATH,
+            quick=args.quick,
+            workload=args.workload or "plummer",
+        )
+        print(f"report written to {out}")
+        return
+    for exp_id in exp_ids:
+        result = run_experiment(exp_id, **_experiment_kwargs(exp_id, args))
+        print(result.render())
+        print()
+
+
+def _cmd_profile(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    if args.steps is not None and args.target not in _STEPS_EXPERIMENTS:
+        parser.error(
+            f"--steps does not apply to '{args.target}' "
+            f"(only to {sorted(_STEPS_EXPERIMENTS)})"
+        )
+    if args.quick and args.target not in _SWEEP_EXPERIMENTS:
+        print(f"warning: --quick has no effect on '{args.target}'", file=sys.stderr)
+    t0 = time.perf_counter()
+    result = run_experiment(args.target, **_experiment_kwargs(args.target, args))
+    print(result.render())
+    print()
+    wall = time.perf_counter() - t0
+    print(obs.export.summary_markdown(obs.tracer(), obs.metrics()))
+    print()
+    print(f"profiled '{args.target}' in {wall:.2f} s wall-clock")
+
+
+def _print_run_summary(session) -> None:
+    record = session.simulation.record
+    sim = session.simulation
+    print(
+        f"run {'complete' if session.complete else 'stopped'}: "
+        f"plan={sim.plan.name} n={len(sim.particles)} "
+        f"steps={record.steps} force_passes={record.force_passes} "
+        f"simulated={record.simulated_seconds:.6g}s "
+        f"checkpoints={len(session.manifest.checkpoints)}"
+    )
+    print(f"run directory: {session.directory}")
+
+
+def _cmd_run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    from repro.bench.workloads import make_workload
+    from repro.core.plans import plan_by_name
+    from repro.core.simulation import Simulation
+    from repro.runtime import RunSession
+
+    if args.resume is not None:
+        session = RunSession.resume(args.resume)
+        session.run(args.steps)
+    else:
+        particles = make_workload(args.workload, args.n, seed=args.seed)
+        sim = Simulation(particles, plan_by_name(args.plan), dt=args.dt)
+        session = RunSession(
+            sim, args.out, checkpoint_every=args.checkpoint_every
+        )
+        session.run(args.steps if args.steps is not None else 100)
+    _print_run_summary(session)
+
+
+def _cmd_resume(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    from repro.runtime import RunSession
+
+    session = RunSession.resume(args.rundir)
+    session.run(args.steps)
+    _print_run_summary(session)
+
+
+_HANDLERS = {
+    "bench": _cmd_bench,
+    "profile": _cmd_profile,
+    "run": _cmd_run,
+    "resume": _cmd_resume,
+}
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
-    args = parser.parse_args(argv)
-    exp_ids = _validate_args(parser, args)
+    args = parser.parse_args(_compat_argv(argv if argv is not None else sys.argv[1:]))
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
-    if args.workers is not None or args.exec_backend is not None:
-        rexec.configure(
-            workers=args.workers or 1, backend=args.exec_backend
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
+    if (
+        args.workers is not None
+        or args.exec_backend is not None
+        or args.max_retries is not None
+    ):
+        configure(
+            workers=args.workers,
+            exec_backend=args.exec_backend,
+            max_retries=args.max_retries,
         )
     tracing = (
         args.trace
         or args.trace_out is not None
         or args.metrics_out is not None
-        or args.experiment == "profile"
+        or args.command == "profile"
     )
     if tracing:
         obs.enable(reset=True)
     try:
-        if args.experiment == "report":
-            from repro.bench.report import DEFAULT_REPORT_PATH, generate_report
-
-            out = generate_report(
-                args.output or DEFAULT_REPORT_PATH,
-                quick=args.quick,
-                workload=args.workload or "plummer",
-            )
-            print(f"report written to {out}")
-        else:
-            t0 = time.perf_counter()
-            for exp_id in exp_ids:
-                result = run_experiment(exp_id, **_experiment_kwargs(exp_id, args))
-                print(result.render())
-                print()
-            if args.experiment == "profile":
-                wall = time.perf_counter() - t0
-                print(obs.export.summary_markdown(obs.tracer(), obs.metrics()))
-                print()
-                print(f"profiled '{exp_ids[0]}' in {wall:.2f} s wall-clock")
+        _HANDLERS[args.command](parser, args)
         if tracing:
             _write_trace_outputs(args)
     finally:

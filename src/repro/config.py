@@ -1,0 +1,104 @@
+"""Unified configuration entry point for the repro library.
+
+One call configures everything the CLI flags configure — execution
+parallelism, fault tolerance, and observability::
+
+    import repro
+
+    repro.configure(workers=4, exec_backend="process", max_retries=3,
+                    trace=True)
+
+Exec-related keywords rebuild the process-global default
+:class:`~repro.exec.ExecutionEngine` (what plans constructed without an
+explicit ``engine=`` dispatch through); ``trace`` switches
+:mod:`repro.obs` on or off.  Keywords left as ``None`` leave that
+subsystem untouched, so ``repro.configure(trace=True)`` does not clobber
+a previously configured engine.
+
+This subsumes the older per-module entry points (``repro.exec.configure``
+is now a deprecation shim delegating here).
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.exec.engine import (
+    ExecConfig,
+    ExecutionEngine,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.exec.faults import FaultInjector, RetryPolicy
+
+__all__ = ["configure"]
+
+
+def configure(
+    *,
+    workers: int | None = None,
+    exec_backend: str | None = None,
+    chunk_size: int | None = None,
+    max_retries: int | None = None,
+    retry_backoff_s: float | None = None,
+    deadline_s: float | None = None,
+    fault_injector: FaultInjector | None = None,
+    trace: bool | None = None,
+) -> ExecutionEngine:
+    """Configure the library's global execution and observability state.
+
+    Parameters
+    ----------
+    workers:
+        CPU workers for the default execution engine (1 = serial).
+    exec_backend:
+        ``"serial"`` / ``"thread"`` / ``"process"``; defaults to
+        ``"thread"`` when ``workers > 1``.
+    chunk_size:
+        Tasks per process-pool submission.
+    max_retries, retry_backoff_s, deadline_s:
+        Per-task retry policy for the default engine (see
+        :class:`~repro.exec.RetryPolicy`).
+    fault_injector:
+        Deterministic fault source (tests/CI only).
+    trace:
+        ``True`` enables :mod:`repro.obs` (clearing prior data),
+        ``False`` disables it, ``None`` leaves it unchanged.
+
+    Returns the default :class:`~repro.exec.ExecutionEngine` after any
+    reconfiguration, so the call is a drop-in replacement for the old
+    ``repro.exec.configure``.
+    """
+    exec_kwargs = (
+        workers,
+        exec_backend,
+        chunk_size,
+        max_retries,
+        retry_backoff_s,
+        deadline_s,
+        fault_injector,
+    )
+    if any(v is not None for v in exec_kwargs):
+        n_workers = 1 if workers is None else workers
+        backend = exec_backend or ("thread" if n_workers > 1 else "serial")
+        retry = None
+        if any(v is not None for v in (max_retries, retry_backoff_s, deadline_s)):
+            retry = RetryPolicy(
+                max_retries=0 if max_retries is None else max_retries,
+                backoff_s=0.0 if retry_backoff_s is None else retry_backoff_s,
+                deadline_s=deadline_s,
+            )
+        set_default_engine(
+            ExecutionEngine(
+                ExecConfig(
+                    backend=backend, workers=n_workers, chunk_size=chunk_size
+                ),
+                retry=retry,
+                fault_injector=fault_injector,
+            )
+        )
+    if trace is not None:
+        if trace:
+            obs.enable(reset=True)
+        else:
+            obs.disable()
+    return get_default_engine()

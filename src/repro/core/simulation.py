@@ -65,6 +65,40 @@ class SimulationRecord:
         """Count one completed leapfrog step."""
         self.steps += 1
 
+    def to_dict(self) -> dict:
+        """JSON-friendly totals (checkpoint manifests; drops breakdowns).
+
+        Python's ``json`` round-trips floats bit-exactly (``repr`` based),
+        so a record restored via :meth:`from_dict` continues accumulating
+        from the exact values it was saved with.
+        """
+        return {
+            "steps": self.steps,
+            "force_passes": self.force_passes,
+            "simulated_seconds": self.simulated_seconds,
+            "kernel_seconds": self.kernel_seconds,
+            "host_seconds": self.host_seconds,
+            "transfer_seconds": self.transfer_seconds,
+            "interactions": self.interactions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Per-pass ``breakdowns`` are in-memory only; a restored record
+        starts with an empty list and keeps exact running totals.
+        """
+        return cls(
+            steps=int(data["steps"]),
+            force_passes=int(data["force_passes"]),
+            simulated_seconds=float(data["simulated_seconds"]),
+            kernel_seconds=float(data["kernel_seconds"]),
+            host_seconds=float(data["host_seconds"]),
+            transfer_seconds=float(data["transfer_seconds"]),
+            interactions=int(data["interactions"]),
+        )
+
     @property
     def mean_step_seconds(self) -> float:
         """Average simulated time per leapfrog step.
@@ -127,6 +161,32 @@ class Simulation:
             obs.observe("step_seconds", b.total_seconds)
             obs.observe("kernel_seconds", b.kernel_seconds)
             obs.set_gauge("gflops", b.kernel_gflops())
+
+    @property
+    def last_acceleration(self) -> np.ndarray | None:
+        """The cached trailing acceleration (``None`` before the first step).
+
+        Together with ``particles``, ``time`` and ``record`` this is the
+        complete integrator state — :mod:`repro.runtime` persists it so a
+        resumed run replays the exact kick-drift-kick sequence without an
+        extra bootstrap force pass.
+        """
+        return self._last_acc
+
+    def seed_forces(self, acc: np.ndarray) -> None:
+        """Restore a previously cached trailing acceleration.
+
+        The inverse of reading :attr:`last_acceleration`; used when
+        rebuilding a simulation from a checkpoint.  ``acc`` must match
+        the particle array shape.
+        """
+        acc = np.ascontiguousarray(acc, dtype=np.float64)
+        if acc.shape != self.particles.positions.shape:
+            raise ConfigurationError(
+                f"acceleration shape {acc.shape} does not match particles "
+                f"{self.particles.positions.shape}"
+            )
+        self._last_acc = acc
 
     def invalidate_forces(self) -> None:
         """Drop the cached trailing acceleration.

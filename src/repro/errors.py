@@ -39,5 +39,22 @@ class TreeError(ReproError):
     """Octree construction or traversal failed an internal invariant."""
 
 
+class ExecutionError(ReproError):
+    """Parallel task execution failed permanently.
+
+    Raised by :class:`~repro.exec.ExecutionEngine` when a dispatch
+    exceeds its deadline or a task keeps failing after every configured
+    retry and backend fallback.
+    """
+
+
+class CheckpointError(ReproError):
+    """A run checkpoint or manifest is missing, corrupt, or unusable.
+
+    Raised by :mod:`repro.runtime` when a session directory cannot be
+    created, read back, or resumed from.
+    """
+
+
 class WorkloadError(ReproError):
     """An initial-condition or workload generator was given invalid parameters."""

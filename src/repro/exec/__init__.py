@@ -21,16 +21,29 @@ Typical use::
 
 or globally (what ``repro-nbody --workers 4`` does)::
 
-    rexec.configure(workers=4)
+    repro.configure(workers=4)
+
+Fault tolerance: the engine retries failed tasks per a
+:class:`~repro.exec.faults.RetryPolicy`, degrades
+``process -> thread -> serial`` when a worker pool dies, and accepts a
+deterministic :class:`~repro.exec.faults.FaultInjector` so those paths
+are testable (see :mod:`repro.exec.faults`).
 """
 
 from repro.exec.engine import (
     BACKENDS,
+    FALLBACK_CHAIN,
     ExecConfig,
     ExecutionEngine,
     configure,
     get_default_engine,
     set_default_engine,
+)
+from repro.exec.faults import (
+    FaultInjector,
+    InjectedBackendDeath,
+    InjectedFault,
+    RetryPolicy,
 )
 from repro.exec.workspace import (
     Workspace,
@@ -43,8 +56,13 @@ from repro.exec.workspace import (
 
 __all__ = [
     "BACKENDS",
+    "FALLBACK_CHAIN",
     "ExecConfig",
     "ExecutionEngine",
+    "FaultInjector",
+    "InjectedBackendDeath",
+    "InjectedFault",
+    "RetryPolicy",
     "configure",
     "get_default_engine",
     "set_default_engine",

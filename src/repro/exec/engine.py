@@ -26,13 +26,34 @@ Backends
     ``functools.partial`` over module-level functions for exactly this
     reason.
 
+Failure handling
+----------------
+Long campaigns survive worker failures instead of losing the run:
+
+* **per-task retry** — a :class:`~repro.exec.faults.RetryPolicy` retries
+  failed tasks with exponential backoff, bounded by an optional
+  per-dispatch deadline;
+* **graceful degradation** — when a backend's pool dies
+  (``BrokenProcessPool`` et al.), the engine falls back along
+  ``process -> thread -> serial`` and re-dispatches; the degradation is
+  sticky for the engine's lifetime (the dead backend is not retried);
+* **deterministic fault injection** — a
+  :class:`~repro.exec.faults.FaultInjector` plugged into the engine
+  exercises both paths reproducibly in tests and CI.
+
+Because every task is a pure function of its inputs (per-worker
+workspaces, fixed reduction order), retried and re-dispatched work is
+idempotent and the bit-equality guarantee survives every failure path.
+
 Observability: every ``map`` emits an ``exec.dispatch`` span (backend,
 workers, task count), per-task ``exec.worker`` spans (serial and thread
-backends; process workers have incomparable clocks), the ``tasks_total``
-counter and the ``workspace_bytes`` gauge.
+backends; process workers have incomparable clocks), ``exec.retry``
+spans for recovered tasks, ``exec.fallback`` spans around degraded
+re-dispatches, the ``tasks_total`` / ``task_retries_total`` /
+``exec_fallbacks_total`` counters and the ``workspace_bytes`` gauge.
 
 The process-global default engine is serial; configure it with
-:func:`configure` (the CLI's ``--workers`` does this) or the
+:func:`repro.configure` (the CLI's ``--workers`` does this) or the
 ``REPRO_WORKERS`` / ``REPRO_EXEC_BACKEND`` environment variables.
 """
 
@@ -41,16 +62,30 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import warnings
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro import obs
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExecutionError
+from repro.exec.faults import (
+    FaultInjector,
+    InjectedBackendDeath,
+    RetryPolicy,
+)
 from repro.exec.workspace import total_workspace_bytes
 
 __all__ = [
     "BACKENDS",
+    "FALLBACK_CHAIN",
     "ExecConfig",
     "ExecutionEngine",
     "get_default_engine",
@@ -63,6 +98,12 @@ R = TypeVar("R")
 
 #: Recognised parallel map backends.
 BACKENDS = ("serial", "thread", "process")
+
+#: Degradation chain when a backend's pool dies mid-dispatch.
+FALLBACK_CHAIN = {"process": "thread", "thread": "serial"}
+
+#: Backend rank for sticky degradation (never climb back up the chain).
+_BACKEND_RANK = {"serial": 0, "thread": 1, "process": 2}
 
 
 @dataclass(frozen=True)
@@ -93,6 +134,68 @@ class ExecConfig:
         return self.backend != "serial" and self.workers > 1
 
 
+# ---------------------------------------------------------------------------
+# Retrying task wrappers (module-level so process pools can pickle them)
+# ---------------------------------------------------------------------------
+
+def _run_task(
+    fn: Callable[[T], R],
+    item: T,
+    index: int,
+    policy: RetryPolicy | None,
+    injector: FaultInjector | None,
+    deadline: float | None,
+) -> tuple[R, int, float, float]:
+    """Run one task with retry/backoff.
+
+    Returns ``(result, retries, retry_t0, retry_t1)`` where the last two
+    bracket the recovery phase on :func:`time.perf_counter` (both 0.0
+    when the first attempt succeeded).  ``deadline`` is an absolute
+    :func:`time.monotonic` instant past which no further retry is
+    attempted (monotonic clocks are system-wide on the platforms we run
+    on, so the instant is meaningful inside pool workers too).
+    """
+    max_retries = policy.max_retries if policy is not None else 0
+    attempt = 0
+    retry_t0 = retry_t1 = 0.0
+    while True:
+        try:
+            if injector is not None:
+                injector.maybe_fail_task(index, attempt)
+            result = fn(item)
+            if attempt:
+                retry_t1 = time.perf_counter()
+            return result, attempt, retry_t0, retry_t1
+        except (KeyboardInterrupt, SystemExit, InjectedBackendDeath):
+            raise
+        except Exception:
+            if attempt == 0:
+                retry_t0 = time.perf_counter()
+            if attempt >= max_retries:
+                raise
+            if deadline is not None and time.monotonic() >= deadline:
+                raise
+            delay = policy.backoff_for(attempt) if policy is not None else 0.0
+            if delay > 0.0:
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline - time.monotonic()))
+                time.sleep(delay)
+            attempt += 1
+
+
+def _process_task(
+    fn: Callable[[T], R],
+    policy: RetryPolicy | None,
+    injector: FaultInjector | None,
+    deadline: float | None,
+    pair: tuple[int, T],
+) -> tuple[R, int]:
+    """Process-pool adapter around :func:`_run_task` (drops wall times)."""
+    index, item = pair
+    result, retries, _, _ = _run_task(fn, item, index, policy, injector, deadline)
+    return result, retries
+
+
 class ExecutionEngine:
     """Deterministic parallel ``map`` over independent force-work units."""
 
@@ -103,6 +206,8 @@ class ExecutionEngine:
         backend: str | None = None,
         workers: int | None = None,
         chunk_size: int | None = None,
+        retry: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if config is None:
             config = ExecConfig(
@@ -115,12 +220,23 @@ class ExecutionEngine:
                 "pass either an ExecConfig or keyword overrides, not both"
             )
         self.config = config
+        #: per-task retry policy (``None`` = fail fast, no deadline)
+        self.retry = retry
+        #: deterministic fault source for tests/CI (``None`` in production)
+        self.fault_injector = fault_injector
         self._pool: Executor | None = None
+        self._pool_backend: str | None = None
         self._pool_lock = threading.Lock()
+        #: sticky degraded backend after a pool death (never climbs back)
+        self._degraded_backend: str | None = None
         #: tasks dispatched over this engine's lifetime
         self.tasks_total = 0
         #: map calls dispatched over this engine's lifetime
         self.dispatches = 0
+        #: task retries performed over this engine's lifetime
+        self.retries_total = 0
+        #: backend degradations, as ``(from, to)`` pairs in order
+        self.fallbacks: list[tuple[str, str]] = []
 
     # ------------------------------------------------------------------
     @property
@@ -131,20 +247,35 @@ class ExecutionEngine:
     def backend(self) -> str:
         return self.config.backend
 
+    @property
+    def effective_backend(self) -> str:
+        """The backend dispatches actually use (after any degradation)."""
+        if self._degraded_backend is None:
+            return self.config.backend
+        if _BACKEND_RANK[self._degraded_backend] < _BACKEND_RANK[self.config.backend]:
+            return self._degraded_backend
+        return self.config.backend
+
     def describe(self) -> dict[str, Any]:
         """JSON-friendly engine description (recorded in BENCH artifacts)."""
         return {
             "backend": self.config.backend,
+            "effective_backend": self.effective_backend,
             "workers": self.config.workers,
             "tasks_total": self.tasks_total,
             "dispatches": self.dispatches,
+            "retries_total": self.retries_total,
+            "fallbacks": [list(pair) for pair in self.fallbacks],
         }
 
     # ------------------------------------------------------------------
-    def _executor(self) -> Executor:
+    def _executor(self, backend: str) -> Executor:
         with self._pool_lock:
+            if self._pool is not None and self._pool_backend != backend:
+                self._pool.shutdown(wait=False)
+                self._pool = None
             if self._pool is None:
-                if self.config.backend == "thread":
+                if backend == "thread":
                     self._pool = ThreadPoolExecutor(
                         max_workers=self.config.workers,
                         thread_name_prefix="repro-exec",
@@ -153,7 +284,16 @@ class ExecutionEngine:
                     self._pool = ProcessPoolExecutor(
                         max_workers=self.config.workers
                     )
+                self._pool_backend = backend
             return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a (possibly broken) pool without waiting on it."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+                self._pool_backend = None
 
     def close(self) -> None:
         """Shut down the worker pool (a new one forms on next use)."""
@@ -161,6 +301,7 @@ class ExecutionEngine:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+                self._pool_backend = None
 
     def __enter__(self) -> "ExecutionEngine":
         return self
@@ -185,62 +326,173 @@ class ExecutionEngine:
         """
         work: Sequence[T] = items if isinstance(items, Sequence) else list(items)
         cfg = self.config
-        run_parallel = cfg.parallel and len(work) > 1
+        backend = self.effective_backend
+        run_parallel = (
+            backend != "serial" and cfg.workers > 1 and len(work) > 1
+        )
+        if not run_parallel:
+            backend = "serial"
         self.dispatches += 1
         self.tasks_total += len(work)
+        dispatch_index = self.dispatches - 1
         with obs.span(
             "exec.dispatch",
-            backend=cfg.backend if run_parallel else "serial",
+            backend=backend,
             workers=cfg.workers if run_parallel else 1,
             tasks=len(work),
             label=label,
         ):
             obs.inc("tasks_total", len(work))
-            if not run_parallel:
-                results = self._map_serial(fn, work, label)
-            elif cfg.backend == "thread":
-                results = self._map_threads(fn, work, label)
-            else:
-                results = self._map_processes(fn, work)
+            results = self._dispatch(fn, work, label, backend, dispatch_index)
             obs.set_gauge("workspace_bytes", total_workspace_bytes())
         return results
 
+    def _dispatch(
+        self,
+        fn: Callable[[T], R],
+        work: Sequence[T],
+        label: str,
+        backend: str,
+        dispatch_index: int,
+    ) -> list[R]:
+        """Run one map on ``backend``, degrading down the chain on pool death."""
+        deadline = None
+        if self.retry is not None and self.retry.deadline_s is not None:
+            deadline = time.monotonic() + self.retry.deadline_s
+        try:
+            if backend == "serial":
+                return self._map_serial(fn, work, label, deadline)
+            if self.fault_injector is not None:
+                self.fault_injector.maybe_kill_dispatch(dispatch_index, backend)
+            if backend == "thread":
+                return self._map_threads(fn, work, label, deadline)
+            return self._map_processes(fn, work, deadline)
+        except FuturesTimeoutError as exc:
+            if deadline is None:
+                raise
+            raise ExecutionError(
+                f"dispatch '{label}' ({len(work)} tasks, backend '{backend}') "
+                f"exceeded its {self.retry.deadline_s:.3g}s deadline"
+            ) from exc
+        except (BrokenExecutor, InjectedBackendDeath) as exc:
+            next_backend = FALLBACK_CHAIN[backend]
+            self._discard_pool()
+            self._degraded_backend = next_backend
+            self.fallbacks.append((backend, next_backend))
+            obs.inc("exec_fallbacks_total")
+            warnings.warn(
+                f"exec backend '{backend}' died ({type(exc).__name__}); "
+                f"falling back to '{next_backend}' for this engine",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            with obs.span(
+                "exec.fallback",
+                label=label,
+                from_backend=backend,
+                to_backend=next_backend,
+                reason=type(exc).__name__,
+            ):
+                return self._dispatch(fn, work, label, next_backend, dispatch_index)
+
+    def _account_retries(
+        self, task: int, retries: int, label: str, rt0: float, rt1: float
+    ) -> None:
+        """Fold one task's recovery into engine stats and the obs stream."""
+        if retries <= 0:
+            return
+        self.retries_total += retries
+        obs.inc("task_retries_total", retries)
+        if rt1 > rt0 > 0.0:
+            obs.complete_span(
+                "exec.retry", rt0, rt1, task=task, label=label, retries=retries
+            )
+
     # -- backends -------------------------------------------------------
     def _map_serial(
-        self, fn: Callable[[T], R], work: Sequence[T], label: str
+        self,
+        fn: Callable[[T], R],
+        work: Sequence[T],
+        label: str,
+        deadline: float | None,
     ) -> list[R]:
         results: list[R] = []
         for i, item in enumerate(work):
             with obs.span("exec.worker", task=i, label=label):
-                results.append(fn(item))
+                result, retries, rt0, rt1 = _run_task(
+                    fn, item, i, self.retry, self.fault_injector, deadline
+                )
+            self._account_retries(i, retries, label, rt0, rt1)
+            results.append(result)
         return results
 
     def _map_threads(
-        self, fn: Callable[[T], R], work: Sequence[T], label: str
+        self,
+        fn: Callable[[T], R],
+        work: Sequence[T],
+        label: str,
+        deadline: float | None,
     ) -> list[R]:
-        def timed(pair: tuple[int, T]) -> tuple[R, float, float, str]:
-            _, item = pair
-            t0 = time.perf_counter()
-            result = fn(item)
-            return result, t0, time.perf_counter(), threading.current_thread().name
+        retry, injector = self.retry, self.fault_injector
 
-        out = list(self._executor().map(timed, enumerate(work)))
+        def timed(pair: tuple[int, T]) -> tuple[R, int, float, float, float, float, str]:
+            i, item = pair
+            t0 = time.perf_counter()
+            result, retries, rt0, rt1 = _run_task(
+                fn, item, i, retry, injector, deadline
+            )
+            return (
+                result,
+                retries,
+                rt0,
+                rt1,
+                t0,
+                time.perf_counter(),
+                threading.current_thread().name,
+            )
+
+        timeout = None
+        if deadline is not None:
+            timeout = max(0.0, deadline - time.monotonic())
+        out = list(
+            self._executor("thread").map(timed, enumerate(work), timeout=timeout)
+        )
         results: list[R] = []
         # Worker threads must not touch the (single-threaded) tracer, so
         # the spans are emitted here, from the dispatching thread, in task
         # order, with the wall times the workers measured.
-        for i, (result, t0, t1, worker) in enumerate(out):
+        for i, (result, retries, rt0, rt1, t0, t1, worker) in enumerate(out):
             obs.complete_span(
                 "exec.worker", t0, t1, task=i, label=label, worker=worker
             )
+            self._account_retries(i, retries, label, rt0, rt1)
             results.append(result)
         return results
 
-    def _map_processes(self, fn: Callable[[T], R], work: Sequence[T]) -> list[R]:
+    def _map_processes(
+        self, fn: Callable[[T], R], work: Sequence[T], deadline: float | None
+    ) -> list[R]:
         chunk = self.config.chunk_size or max(
             1, len(work) // (self.config.workers * 4)
         )
-        return list(self._executor().map(fn, work, chunksize=chunk))
+        task_fn = partial(
+            _process_task, fn, self.retry, self.fault_injector, deadline
+        )
+        timeout = None
+        if deadline is not None:
+            timeout = max(0.0, deadline - time.monotonic())
+        out = list(
+            self._executor("process").map(
+                task_fn, list(enumerate(work)), chunksize=chunk, timeout=timeout
+            )
+        )
+        results: list[R] = []
+        # Process workers have incomparable perf_counter clocks, so only
+        # the retry *counts* survive the boundary (no exec.retry spans).
+        for i, (result, retries) in enumerate(out):
+            self._account_retries(i, retries, "", 0.0, 0.0)
+            results.append(result)
+        return results
 
 
 # ---------------------------------------------------------------------------
@@ -273,13 +525,17 @@ def set_default_engine(engine: ExecutionEngine | None) -> ExecutionEngine:
 def configure(
     *, workers: int = 1, backend: str | None = None, chunk_size: int | None = None
 ) -> ExecutionEngine:
-    """Configure the default engine (what the CLI's ``--workers`` calls)."""
-    return set_default_engine(
-        ExecutionEngine(
-            ExecConfig(
-                backend=backend or ("thread" if workers > 1 else "serial"),
-                workers=workers,
-                chunk_size=chunk_size,
-            )
-        )
+    """Deprecated: use :func:`repro.configure` instead.
+
+    Thin shim kept for backwards compatibility; delegates to the unified
+    top-level entry point with identical behaviour.
+    """
+    warnings.warn(
+        "repro.exec.configure() is deprecated; use "
+        "repro.configure(workers=..., exec_backend=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.config import configure as _configure
+
+    return _configure(workers=workers, exec_backend=backend, chunk_size=chunk_size)

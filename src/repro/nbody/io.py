@@ -100,9 +100,22 @@ class SnapshotSeries:
         return out
 
     def from_simulation(self, sim) -> None:
-        """Simulation-callback adapter: snapshots the current state."""
-        self.write(sim.particles, time=sim.time,
-                   metadata={"plan": sim.plan.name, "steps": sim.record.steps})
+        """Simulation-callback adapter: snapshots the current state.
+
+        Metadata records both sides of the steps/force-passes split plus
+        the simulated-hardware seconds accumulated so far, so a series is
+        self-describing about where in the run each snapshot was taken.
+        """
+        self.write(
+            sim.particles,
+            time=sim.time,
+            metadata={
+                "plan": sim.plan.name,
+                "steps": sim.record.steps,
+                "force_passes": sim.record.force_passes,
+                "simulated_seconds": sim.record.simulated_seconds,
+            },
+        )
 
     def __iter__(self) -> Iterator[tuple[ParticleSet, float, dict[str, Any]]]:
         """Iterate ``(particles, time, metadata)`` over written snapshots."""

@@ -24,7 +24,15 @@ The switch is the plain module attribute ``obs.enabled`` — every facade
 helper re-reads it per call, so both ``obs.enable()`` and a direct
 ``obs.enabled = True`` assignment take effect immediately.  The usual
 entry points are ``repro-nbody profile <experiment>`` and the ``--trace``
-flag on any CLI experiment.
+flag on any CLI subcommand.
+
+The run-runtime and fault-tolerance layers report through here too:
+``repro.runtime`` emits ``runtime.run`` / ``runtime.checkpoint`` spans, a
+``runtime.resume`` instant and the ``checkpoints_total`` counter;
+``repro.exec`` adds ``exec.retry`` spans with ``task_retries_total`` for
+recovered task failures, and ``exec.fallback`` spans with
+``exec_fallbacks_total`` when a dying pool backend degrades along
+process → thread → serial.
 """
 
 from __future__ import annotations

@@ -1,0 +1,283 @@
+"""Fault-tolerant run sessions: periodic checkpoints, bit-exact resume.
+
+:class:`RunSession` wraps a :class:`~repro.core.simulation.Simulation`
+and drives it toward a target step count, persisting the complete
+integrator state every ``checkpoint_every`` steps through
+:mod:`repro.runtime.checkpoint`.  A run killed between checkpoints —
+crash, SIGTERM, injected fault — resumes from the last completed
+checkpoint with :meth:`RunSession.resume` and produces positions and
+velocities **bit-identical** to an uninterrupted run:
+
+* particle arrays and the physical time round-trip losslessly as
+  float64;
+* the kick-drift-kick integrator's one piece of hidden state — the
+  cached trailing acceleration — is saved and re-seeded, so the resumed
+  run replays the exact force-pass sequence (same ``force_passes``
+  accounting, no spurious bootstrap pass);
+* force evaluation itself is deterministic on every
+  :class:`~repro.exec.ExecutionEngine` backend (parallel is bit-identical
+  to serial), so recomputed steps match regardless of worker count.
+
+Usage::
+
+    sim = Simulation(plummer(4096, seed=1), plan_by_name("jw"), dt=1e-3)
+    session = RunSession(sim, "runs/plummer4k", checkpoint_every=25)
+    session.run(1000)
+
+    # later, after a crash anywhere in those 1000 steps:
+    session = RunSession.resume("runs/plummer4k")
+    session.run()          # continues to the original target
+
+Observability: each checkpoint emits a ``runtime.checkpoint`` span and
+bumps the ``checkpoints_total`` counter; the stepping loop runs inside a
+``runtime.run`` span and resume emits a ``runtime.resume`` instant.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro import obs
+from repro.core.plans import Plan, plan_by_name
+from repro.core.simulation import Simulation, SimulationRecord
+from repro.errors import CheckpointError, ConfigurationError
+from repro.exec.engine import ExecutionEngine
+from repro.runtime.checkpoint import (
+    CheckpointInfo,
+    RunManifest,
+    plan_config_from_dict,
+    plan_config_to_dict,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+__all__ = ["RunSession"]
+
+
+class RunSession:
+    """Checkpointed, resumable execution of a :class:`Simulation`.
+
+    Parameters
+    ----------
+    simulation:
+        The simulation to drive.  For resumable runs its plan must be one
+        of the four named PTPM plans (``plan_by_name``-constructible).
+    directory:
+        Run directory for the manifest and checkpoints.  Must not already
+        contain a manifest — resuming an existing run goes through
+        :meth:`resume`, which protects against two sessions silently
+        interleaving checkpoints into one directory.
+    checkpoint_every:
+        Steps between periodic checkpoints; ``0`` checkpoints only at
+        completion.  The final state is always checkpointed.
+    """
+
+    def __init__(
+        self,
+        simulation: Simulation,
+        directory: str | Path,
+        *,
+        checkpoint_every: int = 0,
+        _manifest: RunManifest | None = None,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        self.simulation = simulation
+        self.directory = Path(directory)
+        self.checkpoint_every = checkpoint_every
+        #: checkpoints written by *this* session object
+        self.checkpoints_written = 0
+        if _manifest is not None:
+            self.manifest: RunManifest | None = _manifest
+        else:
+            if (self.directory / "manifest.json").exists():
+                raise CheckpointError(
+                    f"{self.directory} already holds a run manifest; use "
+                    "RunSession.resume() to continue it or pick a fresh directory"
+                )
+            self.manifest = None
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        target_steps: int | None = None,
+        *,
+        callback: Callable[[Simulation], None] | None = None,
+        callback_every: int = 1,
+    ) -> SimulationRecord:
+        """Advance the simulation to ``target_steps`` *total* steps.
+
+        Unlike :meth:`Simulation.run` (which advances a relative count),
+        the target here is absolute so that fresh and resumed sessions
+        share one notion of "done": a fresh ``run(100)`` and a resumed
+        ``run()`` both finish at step 100.  ``None`` reuses the target
+        recorded in the manifest (the resume case); passing a larger
+        target extends a finished run.
+        """
+        sim = self.simulation
+        if target_steps is None:
+            if self.manifest is None:
+                raise ConfigurationError(
+                    "target_steps is required for a fresh session"
+                )
+            target_steps = self.manifest.target_steps
+        if target_steps < 1:
+            raise ConfigurationError(
+                f"target_steps must be >= 1, got {target_steps}"
+            )
+        if callback_every < 1:
+            raise ConfigurationError(
+                f"callback_every must be >= 1, got {callback_every}"
+            )
+        if target_steps < sim.record.steps:
+            raise ConfigurationError(
+                f"target_steps {target_steps} is behind the simulation "
+                f"(already at step {sim.record.steps})"
+            )
+        self._ensure_manifest(target_steps)
+        with obs.span(
+            "runtime.run",
+            plan=sim.plan.name,
+            n=len(sim.particles),
+            target_steps=target_steps,
+            from_step=sim.record.steps,
+        ):
+            while sim.record.steps < target_steps:
+                sim.step()
+                k = sim.record.steps
+                if (
+                    self.checkpoint_every
+                    and k % self.checkpoint_every == 0
+                    and k < target_steps
+                ):
+                    self.checkpoint()
+                if callback is not None and (
+                    k % callback_every == 0 or k == target_steps
+                ):
+                    callback(sim)
+            self.checkpoint(final=True)
+        return sim.record
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, *, final: bool = False) -> Path:
+        """Persist the current state; returns the checkpoint directory.
+
+        The checkpoint directory is fully written before the manifest is
+        updated to list it, so an interrupted checkpoint is invisible to
+        :meth:`resume` rather than half-loaded.
+        """
+        sim = self.simulation
+        if self.manifest is None:
+            raise CheckpointError("checkpoint() before run(): no manifest yet")
+        step = sim.record.steps
+        name = f"ckpt_{step:08d}"
+        with obs.span("runtime.checkpoint", step=step, final=final):
+            write_checkpoint(
+                self.directory / name,
+                particles=sim.particles,
+                time=sim.time,
+                plan_name=sim.plan.name,
+                record=sim.record.to_dict(),
+                last_acceleration=sim.last_acceleration,
+            )
+            if not any(c.step == step for c in self.manifest.checkpoints):
+                self.manifest.checkpoints.append(
+                    CheckpointInfo(
+                        step=step,
+                        time=sim.time,
+                        path=name,
+                        force_passes=sim.record.force_passes,
+                    )
+                )
+            self.manifest.status = "complete" if final else "running"
+            self.manifest.write(self.directory)
+        obs.inc("checkpoints_total")
+        self.checkpoints_written += 1
+        return self.directory / name
+
+    def _ensure_manifest(self, target_steps: int) -> None:
+        if self.manifest is None:
+            self.manifest = RunManifest(
+                plan=self.simulation.plan.name,
+                plan_config=plan_config_to_dict(self.simulation.plan.config),
+                dt=self.simulation.dt,
+                target_steps=target_steps,
+                checkpoint_every=self.checkpoint_every,
+            )
+        else:
+            self.manifest.target_steps = target_steps
+            self.manifest.checkpoint_every = self.checkpoint_every
+            self.manifest.status = "running"
+        self.manifest.write(self.directory)
+
+    # ------------------------------------------------------------------
+    # resuming
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(
+        cls,
+        directory: str | Path,
+        *,
+        plan: Plan | None = None,
+        engine: ExecutionEngine | None = None,
+    ) -> "RunSession":
+        """Rebuild a session from the last completed checkpoint.
+
+        ``plan`` overrides plan reconstruction (required when the
+        original run used a custom device/host spec or a plan outside
+        ``plan_by_name``); ``engine`` rewires force execution — safe for
+        any backend/worker count because parallel execution is
+        bit-identical to serial.
+        """
+        directory = Path(directory)
+        manifest = RunManifest.read(directory)
+        info = manifest.latest
+        particles, time, record, last_acc = read_checkpoint(
+            directory / info.path
+        )
+        if plan is None:
+            plan = plan_by_name(
+                manifest.plan,
+                plan_config_from_dict(manifest.plan_config),
+                engine=engine,
+            )
+        elif engine is not None:
+            plan.engine = engine
+        sim = Simulation(particles, plan, dt=manifest.dt)
+        sim.time = time
+        sim.record = SimulationRecord.from_dict(record)
+        if last_acc is not None:
+            sim.seed_forces(last_acc)
+        obs.instant(
+            "runtime.resume",
+            step=sim.record.steps,
+            target_steps=manifest.target_steps,
+            plan=manifest.plan,
+        )
+        session = cls(
+            sim,
+            directory,
+            checkpoint_every=manifest.checkpoint_every,
+            _manifest=manifest,
+        )
+        return session
+
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        """Whether the run has reached its manifest target."""
+        return self.manifest is not None and self.manifest.status == "complete"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        step = self.simulation.record.steps
+        return (
+            f"RunSession(dir={str(self.directory)!r}, step={step}, "
+            f"checkpoint_every={self.checkpoint_every})"
+        )

@@ -21,6 +21,28 @@ PACKAGES = [
     "repro.core.plans",
     "repro.perfmodel",
     "repro.bench",
+    "repro.exec",
+    "repro.obs",
+    "repro.runtime",
+]
+
+#: The documented stable facade: ``from repro import <name>`` must work.
+FACADE_EXPORTS = [
+    "Simulation",
+    "SimulationRecord",
+    "ParticleSet",
+    "PlanConfig",
+    "IParallelPlan",
+    "JParallelPlan",
+    "WParallelPlan",
+    "JwParallelPlan",
+    "plan_by_name",
+    "RunSession",
+    "ExecutionEngine",
+    "RetryPolicy",
+    "FaultInjector",
+    "configure",
+    "ReproError",
 ]
 
 
@@ -47,6 +69,87 @@ class TestExports:
         from repro.core import JwParallelPlan, PlanConfig, Simulation  # noqa: F401
         from repro.nbody import plummer, total_energy  # noqa: F401
 
+    def test_facade_pins(self):
+        """Every documented front-door name resolves from the package root."""
+        for name in FACADE_EXPORTS:
+            assert name in repro.__all__, f"facade export '{name}' not pinned"
+            assert hasattr(repro, name), f"repro.{name} does not resolve"
+
+    def test_facade_names_match_canonical_definitions(self):
+        from repro.core.simulation import Simulation
+        from repro.nbody.particles import ParticleSet
+        from repro.runtime import RunSession
+
+        assert repro.Simulation is Simulation
+        assert repro.ParticleSet is ParticleSet
+        assert repro.RunSession is RunSession
+
+    def test_facade_rejects_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.NoSuchThing
+
+    def test_dir_includes_facade(self):
+        listing = dir(repro)
+        for name in FACADE_EXPORTS:
+            assert name in listing
+
+
+class TestUnifiedConfigure:
+    """repro.configure subsumes the per-module entry points."""
+
+    def test_configure_builds_default_engine(self):
+        from repro.exec import get_default_engine, set_default_engine
+
+        prior = get_default_engine()
+        try:
+            engine = repro.configure(workers=2, exec_backend="thread")
+            assert get_default_engine() is engine
+            assert engine.workers == 2
+            assert engine.backend == "thread"
+        finally:
+            set_default_engine(prior)
+
+    def test_configure_sets_retry_policy(self):
+        from repro.exec import get_default_engine, set_default_engine
+
+        prior = get_default_engine()
+        try:
+            engine = repro.configure(workers=1, max_retries=3)
+            assert engine.retry is not None
+            assert engine.retry.max_retries == 3
+        finally:
+            set_default_engine(prior)
+
+    def test_configure_trace_toggle(self):
+        from repro import obs
+
+        repro.configure(trace=True)
+        assert obs.enabled
+        repro.configure(trace=False)
+        assert not obs.enabled
+
+    def test_trace_only_call_keeps_engine(self):
+        from repro.exec import get_default_engine
+
+        before = get_default_engine()
+        repro.configure(trace=False)
+        assert get_default_engine() is before
+
+    def test_old_exec_configure_warns_and_delegates(self):
+        import repro.exec as rexec
+        from repro.exec import get_default_engine, set_default_engine
+
+        prior = get_default_engine()
+        try:
+            with pytest.warns(DeprecationWarning, match="repro.configure"):
+                engine = rexec.configure(workers=2, backend="thread")
+            # same behaviour as the unified entry point
+            assert get_default_engine() is engine
+            assert engine.workers == 2
+            assert engine.backend == "thread"
+        finally:
+            set_default_engine(prior)
+
 
 class TestErrorHierarchy:
     def test_all_errors_derive_from_base(self):
@@ -56,6 +159,8 @@ class TestErrorHierarchy:
             "DeviceError",
             "TreeError",
             "WorkloadError",
+            "ExecutionError",
+            "CheckpointError",
         ):
             cls = getattr(errors, name)
             assert issubclass(cls, errors.ReproError)

@@ -1,33 +1,56 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface (subcommands + flat compat path)."""
 
 import json
 
 import pytest
 
 from repro import obs
-from repro.cli import build_parser, main
+from repro.cli import _compat_argv, build_parser, main
 
 
 class TestParser:
-    def test_experiment_required(self):
+    def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
     def test_known_experiments_accepted(self):
-        args = build_parser().parse_args(["fig4"])
+        args = build_parser().parse_args(["bench", "fig4"])
+        assert args.command == "bench"
         assert args.experiment == "fig4"
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["fig99"])
+            build_parser().parse_args(["bench", "fig99"])
 
     def test_flags(self):
         args = build_parser().parse_args(
-            ["table2", "--quick", "--workload", "uniform", "--steps", "10"]
+            ["bench", "table2", "--quick", "--workload", "uniform", "--steps", "10"]
         )
         assert args.quick
         assert args.workload == "uniform"
         assert args.steps == 10
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "--n", "256",
+                "--plan", "j",
+                "--steps", "20",
+                "--checkpoint-every", "5",
+                "--out", "rundir",
+                "--max-retries", "3",
+            ]
+        )
+        assert args.command == "run"
+        assert args.n == 256
+        assert args.plan == "j"
+        assert args.checkpoint_every == 5
+        assert args.max_retries == 3
+
+    def test_resume_requires_rundir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resume"])
 
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -35,9 +58,28 @@ class TestParser:
         assert exc.value.code == 0
 
 
+class TestCompatPath:
+    """The pre-subcommand flat form is rewritten to 'bench ...'."""
+
+    def test_experiment_id_prefixed(self):
+        assert _compat_argv(["fig4", "--quick"]) == ["bench", "fig4", "--quick"]
+
+    def test_subcommands_pass_through(self):
+        for argv in (["bench", "fig4"], ["profile", "table2"], ["run"], ["resume", "d"]):
+            assert _compat_argv(argv) == argv
+
+    def test_flags_pass_through(self):
+        assert _compat_argv(["--version"]) == ["--version"]
+        assert _compat_argv([]) == []
+
+    def test_flat_invocation_runs(self, capsys):
+        assert main(["fig4", "--quick"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+
 class TestMain:
     def test_fig4_quick(self, capsys):
-        assert main(["fig4", "--quick"]) == 0
+        assert main(["bench", "fig4", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 4" in out
         assert "GFLOPS" in out
@@ -54,7 +96,7 @@ class TestMain:
         assert "dynamic" in out
 
     def test_workload_option(self, capsys):
-        assert main(["fig4", "--quick", "--workload", "uniform"]) == 0
+        assert main(["bench", "fig4", "--quick", "--workload", "uniform"]) == 0
 
 
 class TestFlagValidation:
@@ -80,6 +122,11 @@ class TestFlagValidation:
     def test_quick_warns_on_non_sweep(self, capsys):
         assert main(["abl-queue", "--quick"]) == 0
         assert "warning: --quick" in capsys.readouterr().err
+
+    def test_negative_max_retries_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig4", "--quick", "--max-retries", "-1"])
+        assert exc.value.code == 2
 
 
 class TestProfile:
@@ -129,3 +176,50 @@ class TestProfile:
         doc = json.loads((tmp_path / "trace.json").read_text())
         assert doc["otherData"]["n_spans"] > 0
         assert not obs.enabled
+
+
+class TestRunResume:
+    def test_run_writes_checkpoints_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert (
+            main(
+                [
+                    "run",
+                    "--n", "64",
+                    "--plan", "j",
+                    "--steps", "6",
+                    "--checkpoint-every", "2",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "run complete" in text
+        assert "steps=6" in text
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["status"] == "complete"
+        assert [c["step"] for c in manifest["checkpoints"]] == [2, 4, 6]
+
+    def test_resume_extends_target(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert (
+            main(
+                ["run", "--n", "64", "--plan", "j", "--steps", "4",
+                 "--checkpoint-every", "2", "--out", str(out)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["resume", str(out), "--steps", "8"]) == 0
+        text = capsys.readouterr().out
+        assert "steps=8" in text
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["target_steps"] == 8
+        assert manifest["status"] == "complete"
+
+    def test_resume_missing_dir_raises(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            main(["resume", str(tmp_path / "nope")])

@@ -26,7 +26,6 @@ from repro.exec import (
     ExecConfig,
     ExecutionEngine,
     Workspace,
-    configure,
     get_default_engine,
     local_workspace,
     set_default_engine,
@@ -169,13 +168,15 @@ class TestEngine:
             assert d["tasks_total"] == 8
 
     def test_default_engine_configure_roundtrip(self):
+        import repro
+
         prior = get_default_engine()
         try:
-            eng = configure(workers=2, backend="thread")
+            eng = repro.configure(workers=2, exec_backend="thread")
             assert get_default_engine() is eng
             assert eng.workers == 2
             assert eng.backend == "thread"
-            serial = configure(workers=1)
+            serial = repro.configure(workers=1)
             assert serial.backend == "serial"
         finally:
             set_default_engine(prior)

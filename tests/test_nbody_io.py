@@ -82,3 +82,22 @@ class TestSnapshotSeries:
         _, t_last, meta = list(series)[-1]
         assert t_last == pytest.approx(4e-3)
         assert meta["plan"] == "i"
+
+    def test_simulation_callback_metadata_round_trip(self, tmp_path):
+        """from_simulation records the steps/force-passes split and the
+        simulated time, and all of it survives the .npz round trip."""
+        from repro.core import IParallelPlan, PlanConfig, Simulation
+
+        particles = plummer(64, seed=62)
+        sim = Simulation(particles, IParallelPlan(PlanConfig(softening=1e-2)), dt=1e-3)
+        series = SnapshotSeries(tmp_path / "traj")
+        sim.run(3, callback=series.from_simulation, callback_every=3)
+        assert len(series) == 1
+        loaded, t_last, meta = next(iter(series))
+        assert t_last == sim.time
+        assert meta["steps"] == 3
+        # first step bootstraps the force cache: one extra pass
+        assert meta["force_passes"] == 4
+        assert meta["force_passes"] == sim.record.force_passes
+        assert meta["simulated_seconds"] == sim.record.simulated_seconds
+        assert np.array_equal(loaded.positions, sim.particles.positions)

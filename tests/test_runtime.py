@@ -1,0 +1,435 @@
+"""Tests for repro.runtime and the repro.exec fault-tolerance layer.
+
+The contracts under test:
+
+1. a run interrupted between checkpoints resumes via ``RunSession.resume``
+   and finishes **bit-identical** to an uninterrupted run (positions,
+   velocities, time, record totals) — including when resumed onto a
+   different execution backend;
+2. per-task retry, dispatch deadline, and backend fallback in
+   ``ExecutionEngine`` each recover deterministically under an injected
+   fault, observably (spans + counters);
+3. the checkpoint format is crash-safe: unlisted checkpoint directories
+   are ignored, manifests are atomically replaced.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.plans import PlanConfig, plan_by_name
+from repro.core.simulation import Simulation, SimulationRecord
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    ExecutionError,
+)
+from repro.exec import (
+    ExecutionEngine,
+    FaultInjector,
+    InjectedFault,
+    RetryPolicy,
+)
+from repro.nbody.ic import plummer
+from repro.runtime import RunManifest, RunSession
+from repro.runtime.checkpoint import plan_config_from_dict, plan_config_to_dict
+
+EPS = 1e-2
+
+
+def make_sim(plan_name="j", n=96, seed=7, engine=None, wg_size=256):
+    particles = plummer(n, seed=seed)
+    plan = plan_by_name(
+        plan_name, PlanConfig(softening=EPS, wg_size=wg_size), engine=engine
+    )
+    return Simulation(particles, plan, dt=1e-3)
+
+
+class Interrupt(RuntimeError):
+    """Stands in for a crash/SIGTERM mid-run."""
+
+
+def interrupt_at(step):
+    def callback(sim):
+        if sim.record.steps == step:
+            raise Interrupt(f"killed at step {step}")
+
+    return callback
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / resume
+# ---------------------------------------------------------------------------
+
+class TestRunSession:
+    def test_interrupted_run_resumes_bit_identical(self, tmp_path):
+        ref = make_sim()
+        ref.run(12)
+
+        session = RunSession(make_sim(), tmp_path / "run", checkpoint_every=4)
+        with pytest.raises(Interrupt):
+            session.run(12, callback=interrupt_at(6))
+        assert [c.step for c in session.manifest.checkpoints] == [4]
+
+        resumed = RunSession.resume(tmp_path / "run")
+        assert resumed.simulation.record.steps == 4
+        record = resumed.run()
+
+        assert record.steps == ref.record.steps
+        assert record.force_passes == ref.record.force_passes
+        assert record.simulated_seconds == ref.record.simulated_seconds
+        assert record.interactions == ref.record.interactions
+        assert resumed.simulation.time == ref.time
+        assert np.array_equal(
+            resumed.simulation.particles.positions, ref.particles.positions
+        )
+        assert np.array_equal(
+            resumed.simulation.particles.velocities, ref.particles.velocities
+        )
+        assert resumed.complete
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_resume_onto_parallel_backend_stays_bit_identical(
+        self, tmp_path, backend
+    ):
+        ref = make_sim()
+        ref.run(8)
+
+        session = RunSession(make_sim(), tmp_path / "run", checkpoint_every=3)
+        with pytest.raises(Interrupt):
+            session.run(8, callback=interrupt_at(5))
+
+        with ExecutionEngine(backend=backend, workers=2) as engine:
+            resumed = RunSession.resume(tmp_path / "run", engine=engine)
+            resumed.run()
+        assert np.array_equal(
+            resumed.simulation.particles.positions, ref.particles.positions
+        )
+        assert np.array_equal(
+            resumed.simulation.particles.velocities, ref.particles.velocities
+        )
+
+    def test_uninterrupted_session_matches_plain_run(self, tmp_path):
+        ref = make_sim()
+        ref.run(6)
+        session = RunSession(make_sim(), tmp_path / "run", checkpoint_every=2)
+        session.run(6)
+        assert np.array_equal(
+            session.simulation.particles.positions, ref.particles.positions
+        )
+        assert session.complete
+        # intermediate checkpoints at 2 and 4, final at 6
+        assert [c.step for c in session.manifest.checkpoints] == [2, 4, 6]
+
+    def test_resume_without_acc_cache_still_bit_identical(self, tmp_path):
+        """Dropping last_acc costs one bootstrap pass, never physics."""
+        ref = make_sim()
+        ref.run(10)
+        session = RunSession(make_sim(), tmp_path / "run", checkpoint_every=5)
+        with pytest.raises(Interrupt):
+            session.run(10, callback=interrupt_at(7))
+        (tmp_path / "run" / "ckpt_00000005" / "last_acc.npy").unlink()
+        resumed = RunSession.resume(tmp_path / "run")
+        assert resumed.simulation.last_acceleration is None
+        record = resumed.run()
+        assert np.array_equal(
+            resumed.simulation.particles.positions, ref.particles.positions
+        )
+        # the extra bootstrap pass is the only accounting difference
+        assert record.force_passes == ref.record.force_passes + 1
+
+    def test_unlisted_checkpoint_dir_is_ignored(self, tmp_path):
+        session = RunSession(make_sim(), tmp_path / "run", checkpoint_every=2)
+        with pytest.raises(Interrupt):
+            session.run(8, callback=interrupt_at(5))
+        # emulate a crash mid-checkpoint: a partial dir not in the manifest
+        partial = tmp_path / "run" / "ckpt_00000099"
+        partial.mkdir()
+        (partial / "garbage").write_text("not a checkpoint")
+        resumed = RunSession.resume(tmp_path / "run")
+        assert resumed.simulation.record.steps == 4
+
+    def test_fresh_session_refuses_existing_manifest(self, tmp_path):
+        session = RunSession(make_sim(), tmp_path / "run", checkpoint_every=2)
+        session.run(2)
+        with pytest.raises(CheckpointError):
+            RunSession(make_sim(), tmp_path / "run")
+
+    def test_resume_missing_manifest(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            RunSession.resume(tmp_path / "nope")
+
+    def test_resume_with_no_checkpoints(self, tmp_path):
+        RunManifest(
+            plan="j", plan_config=plan_config_to_dict(PlanConfig()),
+            dt=1e-3, target_steps=10, checkpoint_every=0,
+        ).write(tmp_path / "run")
+        with pytest.raises(CheckpointError):
+            RunSession.resume(tmp_path / "run")
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            RunSession(make_sim(), tmp_path / "a", checkpoint_every=-1)
+        session = RunSession(make_sim(), tmp_path / "b")
+        with pytest.raises(ConfigurationError):
+            session.run()  # fresh session needs a target
+        with pytest.raises(ConfigurationError):
+            session.run(0)
+        session.run(2)
+        with pytest.raises(ConfigurationError):
+            session.run(1)  # target behind current step
+
+    def test_checkpoint_spans_and_counter(self, tmp_path):
+        obs.enable(reset=True)
+        try:
+            session = RunSession(make_sim(), tmp_path / "run", checkpoint_every=2)
+            session.run(4)
+            names = [s.name for s in obs.tracer().spans]
+            assert "runtime.run" in names
+            assert names.count("runtime.checkpoint") == 2  # step 2 + final
+            snap = obs.metrics().snapshot()
+            assert snap["checkpoints_total"]["value"] == 2
+        finally:
+            obs.disable()
+
+    def test_plan_config_round_trip(self):
+        cfg = PlanConfig(softening=EPS, wg_size=128, theta=0.4, leaf_size=16)
+        restored = plan_config_from_dict(plan_config_to_dict(cfg))
+        assert restored == cfg
+
+    def test_manifest_rejects_unknown_device(self, tmp_path):
+        data = plan_config_to_dict(PlanConfig())
+        data["device"] = "NVIDIA H100"
+        with pytest.raises(CheckpointError):
+            plan_config_from_dict(data)
+
+    def test_record_round_trip_is_exact(self):
+        sim = make_sim()
+        sim.run(3)
+        restored = SimulationRecord.from_dict(
+            json.loads(json.dumps(sim.record.to_dict()))
+        )
+        assert restored.steps == sim.record.steps
+        assert restored.force_passes == sim.record.force_passes
+        assert restored.simulated_seconds == sim.record.simulated_seconds
+        assert restored.kernel_seconds == sim.record.kernel_seconds
+
+
+# ---------------------------------------------------------------------------
+# Engine fault tolerance
+# ---------------------------------------------------------------------------
+
+def _square(x):
+    return x * x
+
+
+class TestRetry:
+    def test_serial_retry_recovers(self):
+        eng = ExecutionEngine(
+            retry=RetryPolicy(max_retries=2),
+            fault_injector=FaultInjector(fail_tasks=[3]),
+        )
+        assert eng.map(_square, range(6)) == [i * i for i in range(6)]
+        assert eng.retries_total == 1
+
+    def test_without_retry_fault_propagates(self):
+        eng = ExecutionEngine(fault_injector=FaultInjector(fail_tasks=[2]))
+        with pytest.raises(InjectedFault):
+            eng.map(_square, range(6))
+
+    def test_retries_exhausted_raises(self):
+        eng = ExecutionEngine(
+            retry=RetryPolicy(max_retries=1),
+            fault_injector=FaultInjector(fail_tasks=[2], fail_attempts=5),
+        )
+        with pytest.raises(InjectedFault):
+            eng.map(_square, range(6))
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_retry_recovers(self, backend):
+        with ExecutionEngine(
+            backend=backend,
+            workers=2,
+            retry=RetryPolicy(max_retries=2),
+            fault_injector=FaultInjector(fail_tasks=[0, 5]),
+        ) as eng:
+            assert eng.map(_square, range(8)) == [i * i for i in range(8)]
+            assert eng.retries_total == 2
+
+    def test_retry_emits_span_and_counter(self):
+        obs.enable(reset=True)
+        try:
+            eng = ExecutionEngine(
+                retry=RetryPolicy(max_retries=1),
+                fault_injector=FaultInjector(fail_tasks=[1]),
+            )
+            eng.map(_square, range(4), label="unit")
+            spans = [s for s in obs.tracer().spans if s.name == "exec.retry"]
+            assert len(spans) == 1
+            assert spans[0].attrs["task"] == 1
+            assert obs.metrics().snapshot()["task_retries_total"]["value"] == 1
+        finally:
+            obs.disable()
+
+    def test_seeded_failure_rate_is_deterministic(self):
+        inj = FaultInjector(seed=42, task_failure_rate=0.5)
+        draws = [inj.task_fault(i, 0) for i in range(64)]
+        assert draws == [
+            FaultInjector(seed=42, task_failure_rate=0.5).task_fault(i, 0)
+            for i in range(64)
+        ]
+        assert any(draws) and not all(draws)
+        # a different seed gives a different fault pattern
+        other = [FaultInjector(seed=43, task_failure_rate=0.5).task_fault(i, 0)
+                 for i in range(64)]
+        assert draws != other
+
+    def test_deadline_stops_retries(self):
+        eng = ExecutionEngine(
+            retry=RetryPolicy(max_retries=50, backoff_s=0.05, deadline_s=0.05),
+            fault_injector=FaultInjector(fail_tasks=[0], fail_attempts=1000),
+        )
+        with pytest.raises(InjectedFault):
+            eng.map(_square, range(2))
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(deadline_s=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultInjector(task_failure_rate=1.5)
+
+
+class TestFallback:
+    def test_thread_death_falls_back_to_serial(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with ExecutionEngine(
+                backend="thread",
+                workers=2,
+                fault_injector=FaultInjector(
+                    die_on_dispatch=[0], die_backends=["thread"]
+                ),
+            ) as eng:
+                assert eng.map(_square, range(8)) == [i * i for i in range(8)]
+                assert eng.fallbacks == [("thread", "serial")]
+                assert eng.effective_backend == "serial"
+                # degradation is sticky: later maps stay serial
+                assert eng.map(_square, range(8)) == [i * i for i in range(8)]
+                assert eng.describe()["effective_backend"] == "serial"
+
+    def test_process_death_degrades_down_the_chain(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with ExecutionEngine(
+                backend="process",
+                workers=2,
+                fault_injector=FaultInjector(die_on_dispatch=[0]),
+            ) as eng:
+                assert eng.map(_square, range(8)) == [i * i for i in range(8)]
+                assert eng.fallbacks == [
+                    ("process", "thread"),
+                    ("thread", "serial"),
+                ]
+
+    def test_fallback_emits_span_and_counter(self):
+        obs.enable(reset=True)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                with ExecutionEngine(
+                    backend="thread",
+                    workers=2,
+                    fault_injector=FaultInjector(
+                        die_on_dispatch=[0], die_backends=["thread"]
+                    ),
+                ) as eng:
+                    eng.map(_square, range(8))
+            spans = [s for s in obs.tracer().spans if s.name == "exec.fallback"]
+            assert len(spans) == 1
+            assert spans[0].attrs["from_backend"] == "thread"
+            assert spans[0].attrs["to_backend"] == "serial"
+            snap = obs.metrics().snapshot()
+            assert snap["exec_fallbacks_total"]["value"] == 1
+        finally:
+            obs.disable()
+
+    def test_results_bit_identical_across_fallback(self, plummer_small):
+        """A force pass that survives a backend death matches serial exactly."""
+        cfg = PlanConfig(softening=EPS)
+        ref = plan_by_name("j", cfg).accelerations(
+            plummer_small.positions, plummer_small.masses
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with ExecutionEngine(
+                backend="thread",
+                workers=2,
+                fault_injector=FaultInjector(
+                    die_on_dispatch=[0], die_backends=["thread"]
+                ),
+            ) as eng:
+                acc = plan_by_name("j", cfg, engine=eng).accelerations(
+                    plummer_small.positions, plummer_small.masses
+                )
+        assert np.array_equal(acc, ref)
+
+    def test_serial_backend_cannot_die(self):
+        eng = ExecutionEngine(
+            fault_injector=FaultInjector(die_on_dispatch=[0, 1, 2])
+        )
+        assert eng.map(_square, range(4)) == [0, 1, 4, 9]
+        assert eng.fallbacks == []
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: faults during a checkpointed run
+# ---------------------------------------------------------------------------
+
+class TestFaultsEndToEnd:
+    def test_interrupt_retry_fallback_resume_bit_identical(self, tmp_path):
+        """The full gauntlet: task faults + a backend death + an interrupt,
+        then resume — final state matches a clean serial run bit for bit.
+
+        ``wg_size=32`` gives each force pass several i-block tasks, so
+        dispatches really run parallel and the injected death can fire.
+        """
+        ref = make_sim(wg_size=32)
+        ref.run(9)
+
+        injector = FaultInjector(
+            seed=1, task_failure_rate=0.1, die_on_dispatch=[2],
+            die_backends=["thread"],
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with ExecutionEngine(
+                backend="thread", workers=2,
+                retry=RetryPolicy(max_retries=3), fault_injector=injector,
+            ) as engine:
+                session = RunSession(
+                    make_sim(engine=engine, wg_size=32),
+                    tmp_path / "run",
+                    checkpoint_every=3,
+                )
+                with pytest.raises(Interrupt):
+                    session.run(9, callback=interrupt_at(5))
+                assert engine.fallbacks == [("thread", "serial")]
+
+            resumed = RunSession.resume(tmp_path / "run")
+            assert resumed.simulation.record.steps == 3
+            resumed.run()
+
+        assert np.array_equal(
+            resumed.simulation.particles.positions, ref.particles.positions
+        )
+        assert np.array_equal(
+            resumed.simulation.particles.velocities, ref.particles.velocities
+        )
+        assert resumed.simulation.record.force_passes == ref.record.force_passes
