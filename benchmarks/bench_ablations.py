@@ -14,7 +14,7 @@ from repro.bench.experiments import (
     ablation_theta,
     ablation_tile,
 )
-from repro.core import PlanConfig, WParallelPlan
+from repro.core import PlanConfig, get_plan
 from repro.core.scheduler import schedule_walks
 from repro.nbody import plummer
 from repro.tree import build_octree, generate_walks
@@ -46,9 +46,7 @@ class TestThetaAblation:
 
     def test_bench_theta_point(self, result, benchmark):
         particles = plummer(2048, seed=4)
-        from repro.core import JwParallelPlan
-
-        plan = JwParallelPlan(PlanConfig(theta=0.6))
+        plan = get_plan("jw", PlanConfig(theta=0.6))
 
         def functional_step():
             return plan.compute_step(particles.positions, particles.masses)
@@ -67,7 +65,7 @@ class TestQueueAblation:
 
     def test_bench_scheduling(self, result, benchmark):
         particles = plummer(16384, seed=5)
-        plan = WParallelPlan(PlanConfig())
+        plan = get_plan("w", PlanConfig())
         walks = plan.prepare(particles.positions, particles.masses)
         costs = walks.interactions_per_walk().astype(float)
 

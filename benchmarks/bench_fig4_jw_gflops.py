@@ -10,7 +10,7 @@ import pytest
 
 from benchmarks.conftest import BENCH_N_SWEEP, emit
 from repro.bench.experiments import fig4
-from repro.core import JwParallelPlan, PlanConfig
+from repro.core import PlanConfig, get_plan
 from repro.nbody import plummer
 
 
@@ -28,7 +28,7 @@ def test_fig4_regenerates(figure, benchmark):
     assert rows[-1].kernel_gflops > 250
 
     particles = plummer(16384, seed=1)
-    plan = JwParallelPlan(PlanConfig())
+    plan = get_plan("jw", PlanConfig())
 
     def point():
         return plan.step_breakdown(particles.positions, particles.masses)

@@ -10,7 +10,7 @@ import pytest
 
 from benchmarks.conftest import emit
 from repro.bench.tables import format_table, fmt_seconds
-from repro.core import JwParallelPlan, PlanConfig
+from repro.core import PlanConfig, get_plan
 from repro.nbody import direct_forces, plummer
 from repro.tree import build_octree, generate_walks
 from repro.tree.traversal import bh_accelerations
@@ -63,7 +63,7 @@ def test_bench_direct_forces_2k(p2k, benchmark):
 
 
 def test_bench_jw_functional_2k(p2k, benchmark):
-    plan = JwParallelPlan(PlanConfig(softening=1e-2))
+    plan = get_plan("jw", PlanConfig(softening=1e-2))
 
     def functional():
         return plan.accelerations(p2k.positions, p2k.masses)

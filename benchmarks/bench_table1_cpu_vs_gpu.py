@@ -11,7 +11,7 @@ import pytest
 
 from benchmarks.conftest import BENCH_N_SWEEP, emit
 from repro.bench.experiments import table1
-from repro.core import JwParallelPlan, PlanConfig
+from repro.core import PlanConfig, get_plan
 from repro.nbody import direct_forces, plummer
 
 
@@ -37,7 +37,7 @@ def test_table1_cpu_reference(table, particles, benchmark):
 
 
 def test_table1_gpu_functional(table, particles, benchmark):
-    plan = JwParallelPlan(PlanConfig(softening=1e-2))
+    plan = get_plan("jw", PlanConfig(softening=1e-2))
     pos, m = particles.positions, particles.masses
 
     def gpu():

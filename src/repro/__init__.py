@@ -53,8 +53,18 @@ _EXPORTS = {
     "WParallelPlan": "repro.core.plans",
     "JwParallelPlan": "repro.core.plans",
     "plan_by_name": "repro.core.plans",
+    "available_plans": "repro.core.plans",
+    "get_plan": "repro.core.plans",
+    "register": "repro.plans",
+    "resolve_plan": "repro.core.plans",
     "RunSession": "repro.runtime",
     "ExecutionEngine": "repro.exec",
+    "EnginePool": "repro.exec",
+    "Client": "repro.serve",
+    "JobHandle": "repro.serve",
+    "JobResult": "repro.serve",
+    "JobService": "repro.serve",
+    "JobSpec": "repro.serve",
     "RetryPolicy": "repro.exec",
     "FaultInjector": "repro.exec",
     "configure": "repro.config",

@@ -33,7 +33,7 @@ from repro.bench.runner import PAPER_N_STEPS, SweepRow, run_plan_point, run_swee
 from repro.bench.tables import fmt_gflops, fmt_ratio, fmt_seconds, format_table
 from repro.bench.workloads import PAPER_N_SWEEP, make_workload
 from repro.core.hostmodel import PENTIUM_E5300
-from repro.core.plans import PlanConfig, JwParallelPlan, WParallelPlan
+from repro.core.plans import PlanConfig, get_plan
 from repro.core.scheduler import schedule_walks
 from repro.nbody.forces import direct_forces
 from repro.tree.bh_force import rms_relative_error
@@ -315,7 +315,7 @@ def ablation_theta(
     times = []
     for theta in thetas:
         cfg = PlanConfig(theta=theta)
-        plan = JwParallelPlan(cfg)
+        plan = get_plan("jw", cfg)
         acc, step = plan.compute_step(particles.positions, particles.masses)
         err = rms_relative_error(acc, ref)
         errors.append(err)
@@ -349,7 +349,7 @@ def ablation_queue(
     """Dynamic walk queue vs static assignment (the jw scheduling claim)."""
     cfg = PlanConfig()
     particles = make_workload(workload, n, seed=seed)
-    plan = WParallelPlan(cfg)
+    plan = get_plan("w", cfg)
     walks = plan.prepare(particles.positions, particles.masses)
     costs = walks.interactions_per_walk().astype(float)
     table_rows = []

@@ -6,6 +6,8 @@ Subcommands::
     repro-nbody profile <experiment> [...] # one experiment with tracing on
     repro-nbody run [...]                  # a checkpointed simulation run
     repro-nbody resume <rundir>            # continue an interrupted run
+    repro-nbody serve --jobs FILE [...]    # batch of jobs over one pool
+    repro-nbody submit [...]               # one cached job (spec flags)
 
 Examples::
 
@@ -15,6 +17,8 @@ Examples::
     repro-nbody run --n 4096 --plan jw --steps 200 --checkpoint-every 25 \\
         --out runs/demo
     repro-nbody resume runs/demo
+    repro-nbody serve --jobs jobs.json --max-concurrent 4 --cache-dir cache
+    repro-nbody submit --n 2048 --plan jw --steps 100 --cache-dir cache
 
 The pre-subcommand flat form (``repro-nbody table2 --quick``) keeps
 working: an unrecognised leading token is routed through a hidden
@@ -57,10 +61,14 @@ _WORKLOAD_EXPERIMENTS = _SWEEP_EXPERIMENTS | {
 DEFAULT_TRACE_PATH = "trace.json"
 
 #: The CLI's subcommands (used by the flat-form compatibility shim).
-SUBCOMMANDS = ("run", "profile", "bench", "resume")
+SUBCOMMANDS = ("run", "profile", "bench", "resume", "serve", "submit")
 
-#: Plans accepted by ``run`` (the four named PTPM plans).
-_RUN_PLANS = ("i", "j", "w", "jw")
+
+def _run_plans() -> tuple[str, ...]:
+    """Plans accepted by ``run``/``submit`` — whatever is registered."""
+    from repro.core.plans import available_plans
+
+    return available_plans()
 
 
 def _common_parser() -> argparse.ArgumentParser:
@@ -184,8 +192,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--plan",
         default="jw",
-        choices=_RUN_PLANS,
-        help="PTPM plan (default: jw)",
+        choices=_run_plans(),
+        help="PTPM plan, by registered name (default: jw)",
     )
     run.add_argument(
         "--workload",
@@ -239,7 +247,77 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="new total step target (default: the manifest's target)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="execute a batch of jobs over one shared worker pool",
+    )
+    serve.add_argument(
+        "--jobs",
+        required=True,
+        metavar="FILE",
+        help="JSON file: a list of job-spec objects (workload/n/seed/plan/"
+        "dt/steps[/plan_config/checkpoint_every/priority])",
+    )
+    _add_serve_flags(serve)
+    serve.add_argument(
+        "--summary-out",
+        default=None,
+        metavar="PATH",
+        help="write a JSON summary of per-job outcomes to PATH",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        parents=[common],
+        help="run one job spec through the cached job service",
+    )
+    submit.add_argument("--n", type=int, default=4096, metavar="N")
+    submit.add_argument("--plan", default="jw", choices=_run_plans())
+    submit.add_argument("--workload", default="plummer", choices=sorted(WORKLOADS))
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--dt", type=float, default=1e-3)
+    submit.add_argument("--steps", type=int, default=100)
+    submit.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="K",
+        help="checkpoint cadence inside the cached run directory",
+    )
+    _add_serve_flags(submit)
     return parser
+
+
+def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
+    """Serve-layer knobs shared by ``serve`` and ``submit``.
+
+    Defaults are ``None`` so unset flags fall through the documented
+    precedence chain: ``repro.configure`` values, then ``REPRO_SERVE_*``
+    environment variables, then the built-in defaults.
+    """
+    parser.add_argument(
+        "--max-concurrent", type=int, default=None, metavar="J",
+        help="sessions the scheduler keeps live at once",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=None, metavar="N",
+        help="pending jobs before submissions are rejected",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache root (default: .repro_cache)",
+    )
+    parser.add_argument(
+        "--pool-backend", default="thread", choices=sorted(BACKENDS),
+        help="shared worker-pool backend (default: thread)",
+    )
+    parser.add_argument(
+        "--pool-workers", type=int, default=2, metavar="N",
+        help="workers in the shared pool (default: 2)",
+    )
+    parser.add_argument(
+        "--steps-per-slice", type=int, default=8, metavar="K",
+        help="steps a live session advances per scheduler slice (default: 8)",
+    )
 
 
 def _compat_argv(argv: Sequence[str]) -> list[str]:
@@ -399,11 +477,132 @@ def _cmd_resume(parser: argparse.ArgumentParser, args: argparse.Namespace) -> No
     _print_run_summary(session)
 
 
+def _make_service(args: argparse.Namespace):
+    from repro.serve import JobService
+
+    return JobService(
+        max_concurrent_jobs=args.max_concurrent,
+        queue_capacity=args.queue_capacity,
+        cache_dir=args.cache_dir,
+        pool_backend=args.pool_backend,
+        pool_workers=args.pool_workers,
+        steps_per_slice=args.steps_per_slice,
+    )
+
+
+def _job_row(handle, wall: float) -> dict:
+    row = {
+        "spec_hash": handle.spec_hash,
+        "workload": handle.spec.workload,
+        "n": handle.spec.n,
+        "seed": handle.spec.seed,
+        "plan": handle.spec.plan,
+        "steps": handle.spec.steps,
+        "status": handle.status,
+        "from_cache": handle.from_cache,
+        "wall_s": wall,
+    }
+    if handle.error is not None:
+        row["error"] = f"{type(handle.error).__name__}: {handle.error}"
+    return row
+
+
+def _print_job_rows(rows: list[dict]) -> None:
+    header = f"{'hash':12}  {'plan':4} {'n':>7} {'steps':>6}  {'status':8} cached"
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print(
+            f"{r['spec_hash'][:12]}  {r['plan']:4} {r['n']:>7} "
+            f"{r['steps']:>6}  {r['status']:8} {'yes' if r['from_cache'] else 'no'}"
+        )
+
+
+def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    import json
+
+    from repro.errors import ServeError
+    from repro.serve import JobSpec
+
+    try:
+        entries = json.loads(open(args.jobs).read())
+    except (OSError, json.JSONDecodeError) as exc:
+        parser.error(f"cannot read job file {args.jobs}: {exc}")
+    if not isinstance(entries, list) or not entries:
+        parser.error(f"{args.jobs} must hold a non-empty JSON list of job specs")
+    t0 = time.perf_counter()
+    service = _make_service(args)
+    handles = []
+    try:
+        for i, entry in enumerate(entries):
+            priority = int(entry.pop("priority", 0))
+            try:
+                spec = JobSpec.from_dict(entry)
+            except ServeError as exc:
+                parser.error(f"job {i} in {args.jobs}: {exc}")
+            handles.append(service.submit(spec, priority=priority))
+        for h in handles:
+            h.wait()
+    finally:
+        service.close()
+    wall = time.perf_counter() - t0
+    rows = [_job_row(h, wall) for h in handles]
+    _print_job_rows(rows)
+    done = sum(r["status"] == "complete" for r in rows)
+    cached = sum(r["from_cache"] for r in rows)
+    print(
+        f"\n{done}/{len(rows)} jobs complete ({cached} from cache, "
+        f"{service.deduped} deduped) in {wall:.2f} s wall-clock"
+    )
+    if args.summary_out:
+        summary = {
+            "jobs": rows,
+            "wall_s": wall,
+            "service": service.describe(),
+        }
+        with open(args.summary_out, "w") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"summary written to {args.summary_out}")
+    if done != len(rows):
+        raise SystemExit(1)
+
+
+def _cmd_submit(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    from repro.serve import JobSpec
+
+    spec = JobSpec(
+        workload=args.workload,
+        n=args.n,
+        seed=args.seed,
+        plan=args.plan,
+        dt=args.dt,
+        steps=args.steps,
+        checkpoint_every=args.checkpoint_every,
+    )
+    service = _make_service(args)
+    try:
+        t0 = time.perf_counter()
+        result = service.run(spec)
+        wall = time.perf_counter() - t0
+    finally:
+        service.close()
+    source = "cache" if result.from_cache else "fresh run"
+    print(
+        f"job {result.spec_hash[:12]} complete from {source}: "
+        f"plan={spec.plan} n={spec.n} steps={result.steps} "
+        f"simulated={result.record['simulated_seconds']:.6g}s "
+        f"in {wall:.2f} s wall-clock"
+    )
+    print(f"result directory: {result.run_dir}")
+
+
 _HANDLERS = {
     "bench": _cmd_bench,
     "profile": _cmd_profile,
     "run": _cmd_run,
     "resume": _cmd_resume,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

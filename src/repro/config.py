@@ -43,6 +43,9 @@ def configure(
     deadline_s: float | None = None,
     fault_injector: FaultInjector | None = None,
     trace: bool | None = None,
+    max_concurrent_jobs: int | None = None,
+    queue_capacity: int | None = None,
+    cache_dir: str | None = None,
 ) -> ExecutionEngine:
     """Configure the library's global execution and observability state.
 
@@ -63,6 +66,13 @@ def configure(
     trace:
         ``True`` enables :mod:`repro.obs` (clearing prior data),
         ``False`` disables it, ``None`` leaves it unchanged.
+    max_concurrent_jobs, queue_capacity, cache_dir:
+        Defaults for :mod:`repro.serve` services created afterwards.
+        Precedence (first hit wins): explicit ``JobService`` /
+        ``Client`` keywords, then these values, then the
+        ``REPRO_SERVE_MAX_CONCURRENT_JOBS`` /
+        ``REPRO_SERVE_QUEUE_CAPACITY`` / ``REPRO_SERVE_CACHE_DIR``
+        environment variables, then the built-in defaults.
 
     Returns the default :class:`~repro.exec.ExecutionEngine` after any
     reconfiguration, so the call is a drop-in replacement for the old
@@ -95,6 +105,16 @@ def configure(
                 retry=retry,
                 fault_injector=fault_injector,
             )
+        )
+    if any(
+        v is not None for v in (max_concurrent_jobs, queue_capacity, cache_dir)
+    ):
+        from repro.serve.settings import set_overrides
+
+        set_overrides(
+            max_concurrent_jobs=max_concurrent_jobs,
+            queue_capacity=queue_capacity,
+            cache_dir=cache_dir,
         )
     if trace is not None:
         if trace:

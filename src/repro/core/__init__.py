@@ -26,7 +26,10 @@ from repro.core.plans import (
     StepBreakdown,
     TreePlanBase,
     WParallelPlan,
+    available_plans,
+    get_plan,
     plan_by_name,
+    resolve_plan,
 )
 from repro.core.simulation import Simulation, SimulationRecord
 
@@ -55,7 +58,10 @@ __all__ = [
     "StepBreakdown",
     "TreePlanBase",
     "WParallelPlan",
+    "available_plans",
+    "get_plan",
     "plan_by_name",
+    "resolve_plan",
     "Simulation",
     "SimulationRecord",
 ]

@@ -1,6 +1,20 @@
-"""The four PTPM plans: i-parallel, j-parallel, w-parallel, jw-parallel."""
+"""The four PTPM plans: i-parallel, j-parallel, w-parallel, jw-parallel.
+
+Plans are addressed by short name through the registry
+(:mod:`repro.core.plans.registry`, re-exported at :mod:`repro.plans`):
+the CLI, the benchmarks, checkpoint manifests and the job service all
+resolve ``"i" / "j" / "w" / "jw"`` via :func:`get_plan` instead of
+importing plan classes directly.
+"""
 
 from repro.core.plans.base import Plan, PlanConfig, RunTiming, StepBreakdown
+from repro.core.plans.registry import (
+    available_plans,
+    get_plan,
+    register,
+    resolve_plan,
+    unregister,
+)
 from repro.core.plans.i_parallel import IParallelPlan
 from repro.core.plans.j_parallel import JParallelPlan
 from repro.core.plans.tree_base import TreePlanBase
@@ -20,23 +34,19 @@ __all__ = [
     "JwParallelPlan",
     "MultiDeviceJwPlan",
     "DEFAULT_PIPELINE_BATCHES",
+    "available_plans",
+    "get_plan",
+    "plan_by_name",
+    "register",
+    "resolve_plan",
+    "unregister",
 ]
 
 
 def plan_by_name(name: str, config: PlanConfig | None = None, *, engine=None) -> Plan:
     """Instantiate a plan from its short name ("i", "j", "w", "jw").
 
-    ``engine`` (a :class:`repro.exec.ExecutionEngine`) controls how the
-    functional force path fans out; ``None`` uses the process default.
+    Kept as a documented alias of :func:`get_plan` (the registry entry
+    point, which additionally accepts config fields as keywords).
     """
-    classes = {
-        "i": IParallelPlan,
-        "j": JParallelPlan,
-        "w": WParallelPlan,
-        "jw": JwParallelPlan,
-    }
-    try:
-        cls = classes[name]
-    except KeyError:
-        raise ValueError(f"unknown plan '{name}'; choose from {sorted(classes)}") from None
-    return cls(config, engine=engine)
+    return get_plan(name, config, engine=engine)

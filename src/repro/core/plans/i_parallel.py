@@ -18,6 +18,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.plans.base import Plan, StepBreakdown
+from repro.core.plans.registry import register
 from repro.gpu.counters import CostCounters
 from repro.gpu.device import DeviceSpec
 from repro.gpu.kernel import tile_loop_forces, tile_loop_work
@@ -54,6 +55,7 @@ def _workgroup_task(
     return block, counters
 
 
+@register()
 class IParallelPlan(Plan):
     """All-pairs, thread-per-target-body (GPU Gems 3)."""
 

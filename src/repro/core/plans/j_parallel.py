@@ -20,6 +20,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.plans.base import Plan, StepBreakdown
+from repro.core.plans.registry import register
 from repro.gpu.counters import CostCounters
 from repro.gpu.device import DeviceSpec
 from repro.gpu.kernel import reduction_work, tile_loop_forces, tile_loop_work
@@ -70,6 +71,7 @@ def _iblock_task(
     return partials.sum(axis=0, dtype=np.float32), counters
 
 
+@register()
 class JParallelPlan(Plan):
     """All-pairs with source-dimension splitting (chamomile scheme)."""
 

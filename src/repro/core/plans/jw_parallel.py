@@ -28,6 +28,7 @@ import numpy as np
 from repro import obs
 from repro.core.plans.base import PlanConfig, StepBreakdown
 from repro.core.plans.tree_base import TreePlanBase
+from repro.core.plans.registry import register
 from repro.exec.workspace import local_workspace
 from repro.core.pipeline import overlapped_pipeline3, split_batches
 from repro.gpu.counters import CostCounters
@@ -78,6 +79,7 @@ def _jw_walk_task(
     return acc, counters
 
 
+@register()
 class JwParallelPlan(TreePlanBase):
     """Barnes-Hut with packed walks, j-split work items, dynamic queue, overlap."""
 

@@ -15,6 +15,7 @@ import numpy as np
 from repro import obs
 from repro.core.plans.base import StepBreakdown
 from repro.core.plans.tree_base import TreePlanBase
+from repro.core.plans.registry import register
 from repro.core.pipeline import serial_pipeline
 from repro.gpu.kernel import tile_loop_work
 from repro.gpu.launch import KernelLaunch
@@ -26,6 +27,7 @@ from repro.tree.walks import WalkSet, cell_groups
 __all__ = ["WParallelPlan"]
 
 
+@register()
 class WParallelPlan(TreePlanBase):
     """Barnes-Hut, one block per tree-cell walk (multiple-walk method)."""
 

@@ -16,13 +16,15 @@ histograms.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from repro import obs
-from repro.core.plans.base import Plan, StepBreakdown
+from repro.core.plans.base import Plan, PlanConfig, StepBreakdown
+from repro.core.plans.registry import resolve_plan
 from repro.errors import ConfigurationError, StateError
 from repro.nbody.integrators import LeapfrogKDK
 from repro.nbody.particles import ParticleSet
@@ -116,6 +118,13 @@ class SimulationRecord:
 class Simulation:
     """Advance a :class:`ParticleSet` under a PTPM plan.
 
+    ``plan`` is a :class:`Plan` instance or a registered plan name
+    (``"i"``, ``"j"``, ``"w"``, ``"jw"``, or anything added through
+    :func:`repro.plans.register`); a name is resolved with
+    ``plan_config`` (default :class:`PlanConfig`).  Everything after
+    ``plan`` is keyword-only; a positional ``dt`` is accepted for one
+    release with a :class:`DeprecationWarning`.
+
     The integrator is a kick-drift-kick leapfrog; each step performs two
     half-kicks but only one *new* force evaluation (the trailing
     acceleration is cached), matching the paper's one-force-pass-per-step
@@ -125,14 +134,28 @@ class Simulation:
     def __init__(
         self,
         particles: ParticleSet,
-        plan: Plan,
-        *,
+        plan: Plan | str,
+        *args,
         dt: float = 1e-3,
+        plan_config: PlanConfig | None = None,
     ) -> None:
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    f"Simulation() takes at most 3 positional arguments "
+                    f"({2 + len(args)} given); pass dt= as a keyword"
+                )
+            warnings.warn(
+                "passing dt positionally is deprecated; use "
+                "Simulation(particles, plan, dt=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            dt = args[0]
         if dt <= 0.0:
             raise ConfigurationError(f"dt must be positive, got {dt}")
         self.particles = particles
-        self.plan = plan
+        self.plan = resolve_plan(plan, plan_config)
         self.dt = dt
         self.time = 0.0
         self.record = SimulationRecord()

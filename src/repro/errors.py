@@ -58,3 +58,22 @@ class CheckpointError(ReproError):
 
 class WorkloadError(ReproError):
     """An initial-condition or workload generator was given invalid parameters."""
+
+
+class ServeError(ReproError):
+    """A job-service operation failed (bad spec, closed service, dead job).
+
+    Raised by :mod:`repro.serve` for lifecycle violations — submitting to
+    a closed service, waiting on a job whose run raised, or a malformed
+    :class:`~repro.serve.JobSpec`.
+    """
+
+
+class AdmissionError(ServeError):
+    """The job queue refused a submission.
+
+    Backpressure signal from :class:`~repro.serve.JobQueue`: the queue is
+    at ``queue_capacity`` and the service is configured to reject rather
+    than block.  Resubmit after draining or raise the capacity via
+    ``repro.configure(queue_capacity=...)``.
+    """

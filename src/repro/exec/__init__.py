@@ -33,6 +33,7 @@ are testable (see :mod:`repro.exec.faults`).
 from repro.exec.engine import (
     BACKENDS,
     FALLBACK_CHAIN,
+    EnginePool,
     ExecConfig,
     ExecutionEngine,
     configure,
@@ -57,6 +58,7 @@ from repro.exec.workspace import (
 __all__ = [
     "BACKENDS",
     "FALLBACK_CHAIN",
+    "EnginePool",
     "ExecConfig",
     "ExecutionEngine",
     "FaultInjector",

@@ -87,6 +87,7 @@ __all__ = [
     "BACKENDS",
     "FALLBACK_CHAIN",
     "ExecConfig",
+    "EnginePool",
     "ExecutionEngine",
     "get_default_engine",
     "set_default_engine",
@@ -208,6 +209,7 @@ class ExecutionEngine:
         chunk_size: int | None = None,
         retry: RetryPolicy | None = None,
         fault_injector: FaultInjector | None = None,
+        shared_pool: Executor | None = None,
     ) -> None:
         if config is None:
             config = ExecConfig(
@@ -227,6 +229,13 @@ class ExecutionEngine:
         self._pool: Executor | None = None
         self._pool_backend: str | None = None
         self._pool_lock = threading.Lock()
+        #: externally owned executor for this engine's configured backend
+        #: (vended by :class:`EnginePool`); never shut down by this engine
+        self._shared_pool = shared_pool
+        #: set when a (possibly shared) pool died under this engine — the
+        #: engine stops using the shared pool but leaves it running for
+        #: its siblings (per-engine fault domain)
+        self._shared_detached = False
         #: sticky degraded backend after a pool death (never climbs back)
         self._degraded_backend: str | None = None
         #: tasks dispatched over this engine's lifetime
@@ -262,6 +271,7 @@ class ExecutionEngine:
             "backend": self.config.backend,
             "effective_backend": self.effective_backend,
             "workers": self.config.workers,
+            "shared_pool": self._shared_pool is not None,
             "tasks_total": self.tasks_total,
             "dispatches": self.dispatches,
             "retries_total": self.retries_total,
@@ -270,6 +280,12 @@ class ExecutionEngine:
 
     # ------------------------------------------------------------------
     def _executor(self, backend: str) -> Executor:
+        if (
+            self._shared_pool is not None
+            and not self._shared_detached
+            and backend == self.config.backend
+        ):
+            return self._shared_pool
         with self._pool_lock:
             if self._pool is not None and self._pool_backend != backend:
                 self._pool.shutdown(wait=False)
@@ -288,15 +304,23 @@ class ExecutionEngine:
             return self._pool
 
     def _discard_pool(self) -> None:
-        """Drop a (possibly broken) pool without waiting on it."""
+        """Drop a (possibly broken) pool without waiting on it.
+
+        A shared pool (from an :class:`EnginePool`) is *detached*, not shut
+        down: the death may be specific to this engine (an injected fault)
+        and sibling engines keep dispatching into the shared executor.
+        """
         with self._pool_lock:
+            self._shared_detached = True
             if self._pool is not None:
                 self._pool.shutdown(wait=False)
                 self._pool = None
                 self._pool_backend = None
 
     def close(self) -> None:
-        """Shut down the worker pool (a new one forms on next use)."""
+        """Shut down the engine-owned worker pool (a new one forms on next
+        use).  A shared pool belongs to its :class:`EnginePool` and is left
+        running."""
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
@@ -493,6 +517,124 @@ class ExecutionEngine:
             self._account_retries(i, retries, "", 0.0, 0.0)
             results.append(result)
         return results
+
+
+# ---------------------------------------------------------------------------
+# Shared worker pools
+# ---------------------------------------------------------------------------
+
+class EnginePool:
+    """One worker pool shared by many :class:`ExecutionEngine` instances.
+
+    The job service runs several small-N simulations at once; giving each
+    its own thread/process pool would oversubscribe the host, while a
+    single engine shared across jobs would entangle their failure state.
+    ``EnginePool`` splits the difference, mirroring the paper's occupancy
+    argument (many independent work streams feeding one set of compute
+    units):
+
+    * **pool sharing** — every vended engine dispatches into the same
+      executor, so concurrent jobs interleave their force tasks across
+      one fixed set of workers;
+    * **per-engine fault domains** — retry policy, fault injection and
+      backend-degradation state live on each vended engine.  When a
+      dispatch dies under one engine it *detaches* from the shared pool
+      and degrades down the fallback chain alone; sibling engines keep
+      using the pool untouched.
+
+    The ``serial`` backend vends plain serial engines (no pool exists).
+    The pool owns the executor: closing a vended engine never shuts it
+    down, closing the pool does.
+    """
+
+    def __init__(
+        self,
+        backend: str = "thread",
+        workers: int = 2,
+        *,
+        chunk_size: int | None = None,
+    ) -> None:
+        # ExecConfig performs the backend/workers/chunk_size validation.
+        self.config = ExecConfig(
+            backend=backend, workers=workers, chunk_size=chunk_size
+        )
+        self._executor: Executor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        #: engines vended over this pool's lifetime
+        self.engines_vended = 0
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def workers(self) -> int:
+        return self.config.workers
+
+    def _shared_executor(self) -> Executor | None:
+        if self.config.backend == "serial":
+            return None
+        with self._lock:
+            if self._closed:
+                raise ExecutionError("EnginePool is closed")
+            if self._executor is None:
+                if self.config.backend == "thread":
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.config.workers,
+                        thread_name_prefix="repro-pool",
+                    )
+                else:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.config.workers
+                    )
+            return self._executor
+
+    def engine(
+        self,
+        *,
+        retry: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
+    ) -> ExecutionEngine:
+        """Vend an engine with its own fault domain over the shared pool."""
+        engine = ExecutionEngine(
+            self.config,
+            retry=retry,
+            fault_injector=fault_injector,
+            shared_pool=self._shared_executor(),
+        )
+        self.engines_vended += 1
+        return engine
+
+    def close(self) -> None:
+        """Shut down the shared executor (vended engines must be done)."""
+        with self._lock:
+            self._closed = True
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def describe(self) -> dict:
+        """Introspection snapshot (backend, workers, vend count, state)."""
+        return {
+            "backend": self.config.backend,
+            "workers": self.config.workers,
+            "chunk_size": self.config.chunk_size,
+            "engines_vended": self.engines_vended,
+            "closed": self._closed,
+        }
+
+    def __enter__(self) -> "EnginePool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EnginePool(backend={self.config.backend!r}, "
+            f"workers={self.config.workers}, vended={self.engines_vended})"
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,39 @@
+"""repro.plans — the public plan-registry API.
+
+Stable import path for resolving PTPM plans by name::
+
+    from repro import plans
+
+    plans.available_plans()          # ('i', 'j', 'jw', 'w')
+    plan = plans.get_plan("jw", wg_size=128)
+
+    @plans.register("my-plan")
+    class MyPlan(plans.Plan):
+        name = "my-plan"
+        ...
+
+A registered plan is addressable everywhere a name is accepted: the CLI
+(``repro-nbody run --plan``), :class:`repro.Simulation`,
+:meth:`repro.RunSession.resume`, job specs submitted to the serve layer,
+and the benchmark sweeps.  Canonical implementations live in
+:mod:`repro.core.plans.registry`.
+"""
+
+from repro.core.plans.base import Plan, PlanConfig
+from repro.core.plans.registry import (
+    available_plans,
+    get_plan,
+    register,
+    resolve_plan,
+    unregister,
+)
+
+__all__ = [
+    "Plan",
+    "PlanConfig",
+    "available_plans",
+    "get_plan",
+    "register",
+    "resolve_plan",
+    "unregister",
+]

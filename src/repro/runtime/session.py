@@ -35,13 +35,14 @@ bumps the ``checkpoints_total`` counter; the stepping loop runs inside a
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Callable
 
 from repro import obs
 from repro.core.plans import Plan, plan_by_name
 from repro.core.simulation import Simulation, SimulationRecord
-from repro.errors import CheckpointError, ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError, StateError
 from repro.exec.engine import ExecutionEngine
 from repro.runtime.checkpoint import (
     CheckpointInfo,
@@ -77,10 +78,23 @@ class RunSession:
         self,
         simulation: Simulation,
         directory: str | Path,
-        *,
+        *args,
         checkpoint_every: int = 0,
         _manifest: RunManifest | None = None,
     ) -> None:
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    f"RunSession() takes at most 3 positional arguments "
+                    f"({2 + len(args)} given); pass checkpoint_every= as a keyword"
+                )
+            warnings.warn(
+                "passing checkpoint_every positionally is deprecated; use "
+                "RunSession(simulation, directory, checkpoint_every=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            checkpoint_every = args[0]
         if checkpoint_every < 0:
             raise ConfigurationError(
                 f"checkpoint_every must be >= 0, got {checkpoint_every}"
@@ -103,21 +117,15 @@ class RunSession:
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
-    def run(
-        self,
-        target_steps: int | None = None,
-        *,
-        callback: Callable[[Simulation], None] | None = None,
-        callback_every: int = 1,
-    ) -> SimulationRecord:
-        """Advance the simulation to ``target_steps`` *total* steps.
+    def start(self, target_steps: int | None = None) -> int:
+        """Validate and record the absolute step target; returns it.
 
-        Unlike :meth:`Simulation.run` (which advances a relative count),
-        the target here is absolute so that fresh and resumed sessions
-        share one notion of "done": a fresh ``run(100)`` and a resumed
-        ``run()`` both finish at step 100.  ``None`` reuses the target
-        recorded in the manifest (the resume case); passing a larger
-        target extends a finished run.
+        Prepares (or extends) the manifest without advancing the
+        simulation — the first half of :meth:`run`, split out so a
+        scheduler can interleave many sessions through repeated
+        :meth:`advance` slices.  ``None`` reuses the target recorded in
+        the manifest (the resume case); a larger target extends a
+        finished run.
         """
         sim = self.simulation
         if target_steps is None:
@@ -130,16 +138,88 @@ class RunSession:
             raise ConfigurationError(
                 f"target_steps must be >= 1, got {target_steps}"
             )
-        if callback_every < 1:
-            raise ConfigurationError(
-                f"callback_every must be >= 1, got {callback_every}"
-            )
         if target_steps < sim.record.steps:
             raise ConfigurationError(
                 f"target_steps {target_steps} is behind the simulation "
                 f"(already at step {sim.record.steps})"
             )
         self._ensure_manifest(target_steps)
+        return target_steps
+
+    def advance(
+        self,
+        max_steps: int | None = None,
+        *,
+        callback: Callable[[Simulation], None] | None = None,
+        callback_every: int = 1,
+    ) -> bool:
+        """Advance up to ``max_steps`` steps toward the manifest target.
+
+        Returns ``True`` once the target is reached (the final checkpoint
+        is then written), ``False`` while work remains.  ``None`` runs to
+        the target in one call.  Periodic checkpoints and callbacks fire
+        exactly as in :meth:`run`, and the step sequence — hence the
+        physics — is bit-identical for every slicing: a session advanced
+        in 1-step slices by a job scheduler interleaving other sessions
+        equals the same session run alone.
+        """
+        if self.manifest is None:
+            raise StateError("advance() before start()/run(): no target yet")
+        if max_steps is not None and max_steps < 1:
+            raise ConfigurationError(
+                f"max_steps must be >= 1 or None, got {max_steps}"
+            )
+        if callback_every < 1:
+            raise ConfigurationError(
+                f"callback_every must be >= 1, got {callback_every}"
+            )
+        sim = self.simulation
+        target = self.manifest.target_steps
+        if sim.record.steps >= target and self.complete:
+            return True
+        done = 0
+        while sim.record.steps < target:
+            sim.step()
+            done += 1
+            k = sim.record.steps
+            if (
+                self.checkpoint_every
+                and k % self.checkpoint_every == 0
+                and k < target
+            ):
+                self.checkpoint()
+            if callback is not None and (
+                k % callback_every == 0 or k == target
+            ):
+                callback(sim)
+            if max_steps is not None and done >= max_steps:
+                break
+        if sim.record.steps >= target:
+            self.checkpoint(final=True)
+            return True
+        return False
+
+    def run(
+        self,
+        target_steps: int | None = None,
+        *,
+        callback: Callable[[Simulation], None] | None = None,
+        callback_every: int = 1,
+    ) -> SimulationRecord:
+        """Advance the simulation to ``target_steps`` *total* steps.
+
+        Unlike :meth:`Simulation.run` (which advances a relative count),
+        the target here is absolute so that fresh and resumed sessions
+        share one notion of "done": a fresh ``run(100)`` and a resumed
+        ``run()`` both finish at step 100.  Equivalent to :meth:`start`
+        followed by one unbounded :meth:`advance`.
+        """
+        sim = self.simulation
+        if callback_every < 1:
+            raise ConfigurationError(
+                f"callback_every must be >= 1, got {callback_every}"
+            )
+        target_steps = self.start(target_steps)
         with obs.span(
             "runtime.run",
             plan=sim.plan.name,
@@ -147,20 +227,7 @@ class RunSession:
             target_steps=target_steps,
             from_step=sim.record.steps,
         ):
-            while sim.record.steps < target_steps:
-                sim.step()
-                k = sim.record.steps
-                if (
-                    self.checkpoint_every
-                    and k % self.checkpoint_every == 0
-                    and k < target_steps
-                ):
-                    self.checkpoint()
-                if callback is not None and (
-                    k % callback_every == 0 or k == target_steps
-                ):
-                    callback(sim)
-            self.checkpoint(final=True)
+            self.advance(None, callback=callback, callback_every=callback_every)
         return sim.record
 
     # ------------------------------------------------------------------
@@ -225,14 +292,16 @@ class RunSession:
         cls,
         directory: str | Path,
         *,
-        plan: Plan | None = None,
+        plan: Plan | str | None = None,
         engine: ExecutionEngine | None = None,
     ) -> "RunSession":
         """Rebuild a session from the last completed checkpoint.
 
-        ``plan`` overrides plan reconstruction (required when the
-        original run used a custom device/host spec or a plan outside
-        ``plan_by_name``); ``engine`` rewires force execution — safe for
+        ``plan`` overrides plan reconstruction: an instance is used as-is
+        (required when the original run used a custom device/host spec),
+        a registered name re-resolves with the *manifest's* plan config —
+        e.g. ``resume(d, plan="w")`` replays a ``jw`` run under the
+        w-parallel plan.  ``engine`` rewires force execution — safe for
         any backend/worker count because parallel execution is
         bit-identical to serial.
         """
@@ -242,9 +311,9 @@ class RunSession:
         particles, time, record, last_acc = read_checkpoint(
             directory / info.path
         )
-        if plan is None:
+        if plan is None or isinstance(plan, str):
             plan = plan_by_name(
-                manifest.plan,
+                manifest.plan if plan is None else plan,
                 plan_config_from_dict(manifest.plan_config),
                 engine=engine,
             )

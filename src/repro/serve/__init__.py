@@ -1,0 +1,54 @@
+"""repro.serve — batched multi-run job service.
+
+Submit many :class:`JobSpec` jobs; the service interleaves their steps
+over one shared worker pool (the paper's time-axis overlap applied to
+whole runs), answers repeated specs from a content-addressed result
+cache, coalesces identical in-flight submissions, and isolates faults
+per job.  Results are **bit-identical** whether a job runs alone,
+batched against siblings, or is served from cache.
+
+Quick start::
+
+    from repro.serve import Client, JobSpec
+
+    with Client(max_concurrent_jobs=4, cache_dir="cache") as client:
+        specs = [JobSpec(workload="plummer", n=2048, plan=p, steps=50)
+                 for p in ("i", "j", "w", "jw")]
+        results = client.map(specs)
+
+    # resubmitting any of those specs is now a cache hit
+
+Layers (each importable on its own):
+
+* :mod:`~repro.serve.spec` — :class:`JobSpec`: canonical, content-hashed
+  job descriptions.
+* :mod:`~repro.serve.queue` — :class:`JobQueue`: bounded priority queue
+  with :class:`~repro.errors.AdmissionError` backpressure.
+* :mod:`~repro.serve.cache` — :class:`ResultCache` / :class:`JobResult`:
+  spec-hash → completed run directory.
+* :mod:`~repro.serve.scheduler` — :class:`Scheduler`: round-robin step
+  slicing of live sessions.
+* :mod:`~repro.serve.service` — :class:`JobService`, :class:`JobHandle`,
+  :class:`Client`.
+* :mod:`~repro.serve.settings` — knob resolution (configure/env/defaults).
+"""
+
+from repro.serve.cache import JobResult, ResultCache
+from repro.serve.queue import JobQueue
+from repro.serve.scheduler import Scheduler
+from repro.serve.service import Client, JobHandle, JobService
+from repro.serve.settings import ServeSettings, current_settings
+from repro.serve.spec import JobSpec
+
+__all__ = [
+    "Client",
+    "JobHandle",
+    "JobQueue",
+    "JobResult",
+    "JobService",
+    "JobSpec",
+    "ResultCache",
+    "Scheduler",
+    "ServeSettings",
+    "current_settings",
+]

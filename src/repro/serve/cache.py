@@ -1,0 +1,164 @@
+"""Content-addressed result cache: spec hash → completed run directory.
+
+A cache entry *is* a :mod:`repro.runtime` run directory — manifest plus
+checkpoints — stored at ``<root>/<spec_hash>``.  The job's final
+checkpoint doubles as the cache payload: nothing is copied or re-encoded
+at publish time, and a cached result loads through the exact same
+``read_checkpoint`` path as a resume, so cached and fresh results are
+bit-identical by construction.
+
+Validity is the manifest's own completion protocol: an entry counts as a
+hit only when its manifest reads back with ``status == "complete"`` and
+a final checkpoint at the spec's step target.  A job that crashed
+mid-run leaves an incomplete entry which :meth:`ResultCache.claim`
+silently wipes and re-runs — crash safety by ordering, no lock files.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CheckpointError, ServeError
+from repro.nbody.particles import ParticleSet
+from repro.runtime.checkpoint import MANIFEST_NAME, RunManifest, read_checkpoint
+from repro.serve.spec import JobSpec
+
+__all__ = ["JobResult", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """The outcome of one job: final state plus run accounting.
+
+    ``particles`` / ``time`` are the final integrator state loaded from
+    the run's last checkpoint; ``record`` is the
+    :class:`~repro.core.simulation.SimulationRecord` totals dict;
+    ``from_cache`` tells whether the service replayed a stored entry
+    instead of stepping the simulation.
+    """
+
+    spec: JobSpec
+    spec_hash: str
+    run_dir: Path
+    particles: ParticleSet
+    time: float
+    record: dict[str, Any]
+    from_cache: bool
+
+    @property
+    def steps(self) -> int:
+        return int(self.record["steps"])
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self.particles.positions
+
+    @property
+    def velocities(self) -> np.ndarray:
+        return self.particles.velocities
+
+
+class ResultCache:
+    """Spec-hash-addressed store of completed run directories."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: lookup outcomes (observability)
+        self.hits = 0
+        self.misses = 0
+
+    def entry_dir(self, spec: JobSpec) -> Path:
+        """Where ``spec``'s run directory lives (existing or not)."""
+        return self.root / spec.spec_hash()
+
+    # ------------------------------------------------------------------
+    def _complete_manifest(self, spec: JobSpec) -> RunManifest | None:
+        path = self.entry_dir(spec)
+        if not (path / MANIFEST_NAME).exists():
+            return None
+        try:
+            manifest = RunManifest.read(path)
+        except CheckpointError:
+            return None
+        if manifest.status != "complete" or not manifest.checkpoints:
+            return None
+        if manifest.checkpoints[-1].step < spec.steps:
+            return None
+        return manifest
+
+    def lookup(self, spec: JobSpec) -> JobResult | None:
+        """Load ``spec``'s cached result, or ``None`` on a miss.
+
+        Incomplete or corrupt entries count as misses (and are left for
+        :meth:`claim` to wipe); a hit loads the final checkpoint.
+        """
+        manifest = self._complete_manifest(spec)
+        if manifest is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self.load(spec, from_cache=True)
+
+    def load(self, spec: JobSpec, *, from_cache: bool) -> JobResult:
+        """Load the result stored for ``spec`` (entry must be complete)."""
+        path = self.entry_dir(spec)
+        manifest = RunManifest.read(path)
+        info = manifest.latest
+        particles, time, record, _last_acc = read_checkpoint(path / info.path)
+        return JobResult(
+            spec=spec,
+            spec_hash=spec.spec_hash(),
+            run_dir=path,
+            particles=particles,
+            time=time,
+            record=record,
+            from_cache=from_cache,
+        )
+
+    def claim(self, spec: JobSpec) -> Path:
+        """Reserve ``spec``'s entry directory for a fresh run.
+
+        Wipes a stale incomplete entry (crashed earlier run); raises
+        :class:`ServeError` if the entry is already complete — callers
+        must :meth:`lookup` first, and in-flight dedup guarantees a
+        single claimant per hash.
+        """
+        if self._complete_manifest(spec) is not None:
+            raise ServeError(
+                f"cache entry for {spec.spec_hash()[:12]} is already "
+                "complete; lookup() before claim()"
+            )
+        path = self.entry_dir(spec)
+        if path.exists():
+            shutil.rmtree(path)
+        return path
+
+    def evict(self, spec: JobSpec) -> bool:
+        """Drop ``spec``'s entry if present; returns whether one existed."""
+        path = self.entry_dir(spec)
+        if path.exists():
+            shutil.rmtree(path)
+            return True
+        return False
+
+    def __len__(self) -> int:
+        """Number of *complete* entries currently stored."""
+        count = 0
+        for child in self.root.iterdir():
+            if (child / MANIFEST_NAME).exists():
+                try:
+                    manifest = RunManifest.read(child)
+                except CheckpointError:
+                    continue
+                if manifest.status == "complete":
+                    count += 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultCache(root={str(self.root)!r}, entries={len(self)})"

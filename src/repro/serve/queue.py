@@ -1,0 +1,96 @@
+"""Bounded, thread-safe priority queue with admission control.
+
+The serve layer's backpressure point: :meth:`JobQueue.push` *rejects*
+(:class:`~repro.errors.AdmissionError`) rather than blocks when the
+queue is at capacity, so a submitting client always gets an immediate
+answer — queued or refused — and a stalled scheduler can never wedge its
+producers.
+
+Ordering is strict priority (higher first), FIFO within a priority
+level: ties break on a monotonic submission sequence number, so equal-
+priority jobs run in submission order.  That makes scheduling
+deterministic for any fixed submission sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any
+
+from repro.errors import AdmissionError, ServeError
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Priority queue of pending jobs, bounded at ``capacity``."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ServeError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._heap: list[tuple[int, int, Any]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._closed = False
+        #: total accepted / rejected submissions (observability)
+        self.accepted = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    # ------------------------------------------------------------------
+    def push(self, item: Any, *, priority: int = 0) -> None:
+        """Enqueue ``item``; higher ``priority`` pops first.
+
+        Raises :class:`AdmissionError` at capacity and
+        :class:`ServeError` after :meth:`close`.
+        """
+        with self._nonempty:
+            if self._closed:
+                raise ServeError("queue is closed")
+            if len(self._heap) >= self.capacity:
+                self.rejected += 1
+                raise AdmissionError(
+                    f"queue at capacity ({self.capacity} pending jobs); "
+                    "retry after the scheduler drains or raise queue_capacity"
+                )
+            heapq.heappush(self._heap, (-priority, next(self._seq), item))
+            self.accepted += 1
+            self._nonempty.notify()
+
+    def pop(self, timeout: float | None = None) -> Any | None:
+        """Dequeue the highest-priority item, blocking up to ``timeout``.
+
+        Returns ``None`` on timeout or when the queue is closed and
+        empty (the scheduler's shutdown signal).
+        """
+        with self._nonempty:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._nonempty.wait(timeout=timeout):
+                    return None
+            return heapq.heappop(self._heap)[2]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Refuse further pushes and wake every blocked :meth:`pop`."""
+        with self._nonempty:
+            self._closed = True
+            self._nonempty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JobQueue(pending={len(self)}, capacity={self.capacity}, "
+            f"closed={self._closed})"
+        )

@@ -1,0 +1,429 @@
+"""The batched job service: admission, dedup, caching, execution.
+
+:class:`JobService` ties the serve layer together: submissions pass
+admission control on a bounded :class:`~repro.serve.JobQueue`, identical
+in-flight specs coalesce onto one :class:`JobHandle`, completed specs are
+answered straight from the content-addressed
+:class:`~repro.serve.ResultCache`, and everything that actually runs is
+step-sliced by the :class:`~repro.serve.Scheduler` over one shared
+:class:`~repro.exec.EnginePool`.
+
+Fault domains are per job: each job gets its own
+:class:`~repro.exec.ExecutionEngine` (vended from the shared pool) with
+its own retry policy and fault injector, so an injected or real failure
+degrades or kills *that* job while siblings keep their pool and their
+bit-identical results.
+
+Observability: every submission bumps ``serve.jobs_total``; cache
+answers bump ``serve.cache_hits_total``; coalesced submissions bump
+``serve.dedup_total``; rejections bump ``serve.rejected_total``; the
+pending count is mirrored to the ``serve.queue_depth`` gauge; and each
+executed job records a ``serve.job`` span (worker-measured interval) on
+completion.
+
+:class:`Client` is the ergonomic front end::
+
+    from repro.serve import Client, JobSpec
+
+    with Client(max_concurrent_jobs=4) as client:
+        handles = [client.submit(JobSpec(n=2048, plan=p, steps=50))
+                   for p in ("i", "j", "w", "jw")]
+        results = [h.result() for h in handles]
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro import obs
+from repro.errors import ServeError
+from repro.exec.engine import EnginePool, ExecutionEngine
+from repro.exec.faults import FaultInjector, RetryPolicy
+from repro.runtime.session import RunSession
+from repro.serve.cache import JobResult, ResultCache
+from repro.serve.queue import JobQueue
+from repro.serve.scheduler import Scheduler
+from repro.serve.settings import ServeSettings, current_settings
+from repro.serve.spec import JobSpec
+
+__all__ = ["Client", "JobHandle", "JobService"]
+
+
+class JobHandle:
+    """A submitted job's future: status, result, completion wait."""
+
+    def __init__(self, spec: JobSpec, spec_hash: str) -> None:
+        self.spec = spec
+        self.spec_hash = spec_hash
+        self._done = threading.Event()
+        self._result: JobResult | None = None
+        self._error: BaseException | None = None
+        #: "queued" | "running" | "complete" | "failed"
+        self.status = "queued"
+        #: submissions coalesced onto this handle beyond the first
+        self.dedup_count = 0
+
+    # -- resolution (service-internal) ---------------------------------
+    def _resolve(self, result: JobResult) -> None:
+        self._result = result
+        self.status = "complete"
+        self._done.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self.status = "failed"
+        self._done.set()
+
+    # -- waiting -------------------------------------------------------
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._done.wait(timeout=timeout)
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """Block for the result; re-raises the job's failure if it died."""
+        if not self._done.wait(timeout=timeout):
+            raise ServeError(
+                f"job {self.spec_hash[:12]} not finished within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    @property
+    def error(self) -> BaseException | None:
+        return self._error
+
+    @property
+    def from_cache(self) -> bool:
+        return self._result is not None and self._result.from_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JobHandle({self.spec_hash[:12]}, status={self.status})"
+
+
+class _Job:
+    """Scheduler work unit: owns one session, engine, and handle."""
+
+    def __init__(
+        self,
+        service: "JobService",
+        spec: JobSpec,
+        handle: JobHandle,
+        *,
+        retry: RetryPolicy | None,
+        fault_injector: FaultInjector | None,
+    ) -> None:
+        self.service = service
+        self.spec = spec
+        self.handle = handle
+        self.retry = retry
+        self.fault_injector = fault_injector
+        self.engine: ExecutionEngine | None = None
+        self.session: RunSession | None = None
+        self._t0 = 0.0
+
+    # -- scheduler protocol --------------------------------------------
+    def begin(self) -> None:
+        self._t0 = time.perf_counter()
+        self.handle.status = "running"
+        run_dir = self.service.cache.claim(self.spec)
+        self.engine = self.service.pool.engine(
+            retry=self.retry, fault_injector=self.fault_injector
+        )
+        sim = self.spec.build_simulation(engine=self.engine)
+        self.session = RunSession(
+            sim, run_dir, checkpoint_every=self.spec.checkpoint_every
+        )
+        self.session.start(self.spec.steps)
+        self.service._note_dequeued()
+
+    def advance(self, max_steps: int) -> bool:
+        assert self.session is not None
+        return self.session.advance(max_steps)
+
+    def finish(self) -> None:
+        result = self.service.cache.load(self.spec, from_cache=False)
+        self._close_engine()
+        obs.complete_span(
+            "serve.job",
+            self._t0,
+            time.perf_counter(),
+            spec=self.spec_hash12,
+            plan=self.spec.plan,
+            n=self.spec.n,
+            steps=self.spec.steps,
+        )
+        self.service._job_finished(self, result=result)
+
+    def fail(self, exc: BaseException) -> None:
+        self._close_engine()
+        self.service._job_finished(self, error=exc)
+
+    # -- helpers -------------------------------------------------------
+    def _close_engine(self) -> None:
+        if self.engine is not None:
+            self.engine.close()
+            self.engine = None
+
+    @property
+    def spec_hash12(self) -> str:
+        return self.handle.spec_hash[:12]
+
+
+class JobService:
+    """Batched execution of :class:`JobSpec` jobs over a shared pool.
+
+    Keyword arguments override :func:`repro.configure` values, which
+    override ``REPRO_SERVE_*`` environment variables, which override the
+    defaults (see :mod:`repro.serve.settings`).  ``pool`` injects an
+    existing :class:`~repro.exec.EnginePool` (the service then does not
+    close it); otherwise a thread-backed pool with ``pool_workers``
+    workers is created and owned.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_concurrent_jobs: int | None = None,
+        queue_capacity: int | None = None,
+        cache_dir: str | Path | None = None,
+        pool: EnginePool | None = None,
+        pool_backend: str = "thread",
+        pool_workers: int = 2,
+        runner_threads: int | None = None,
+        steps_per_slice: int = 8,
+    ) -> None:
+        self.settings: ServeSettings = current_settings(
+            max_concurrent_jobs=max_concurrent_jobs,
+            queue_capacity=queue_capacity,
+            cache_dir=None if cache_dir is None else str(cache_dir),
+        )
+        self.cache = ResultCache(self.settings.cache_dir)
+        self.queue = JobQueue(self.settings.queue_capacity)
+        self._own_pool = pool is None
+        self.pool = pool or EnginePool(backend=pool_backend, workers=pool_workers)
+        self.scheduler = Scheduler(
+            self.queue,
+            max_live=self.settings.max_concurrent_jobs,
+            runner_threads=runner_threads,
+            steps_per_slice=steps_per_slice,
+        )
+        self._lock = threading.Lock()
+        self._inflight: dict[str, JobHandle] = {}
+        self._closed = False
+        #: submission counters (also mirrored into repro.obs)
+        self.jobs_submitted = 0
+        self.cache_hits = 0
+        self.deduped = 0
+        self.scheduler.start()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        *,
+        priority: int = 0,
+        retry: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
+    ) -> JobHandle:
+        """Admit one job; returns immediately with its handle.
+
+        Order of resolution: an identical in-flight spec coalesces onto
+        the existing handle; a completed cache entry resolves instantly;
+        otherwise the job must win a queue slot or
+        :class:`~repro.errors.AdmissionError` is raised.  ``priority``
+        orders queued jobs (higher first, FIFO within); ``retry`` /
+        ``fault_injector`` configure this job's private engine and touch
+        no other job.
+        """
+        if not isinstance(spec, JobSpec):
+            raise ServeError(
+                f"submit() takes a JobSpec, got {type(spec).__name__}"
+            )
+        spec_hash = spec.spec_hash()
+        with self._lock:
+            if self._closed:
+                raise ServeError("service is closed")
+            self.jobs_submitted += 1
+            obs.inc("serve.jobs_total")
+            existing = self._inflight.get(spec_hash)
+            if existing is not None:
+                existing.dedup_count += 1
+                self.deduped += 1
+                obs.inc("serve.dedup_total")
+                return existing
+            cached = self.cache.lookup(spec)
+            if cached is not None:
+                self.cache_hits += 1
+                obs.inc("serve.cache_hits_total")
+                handle = JobHandle(spec, spec_hash)
+                handle._resolve(cached)
+                return handle
+            handle = JobHandle(spec, spec_hash)
+            job = _Job(
+                self, spec, handle, retry=retry, fault_injector=fault_injector
+            )
+            try:
+                self.queue.push(job, priority=priority)
+            except Exception:
+                obs.inc("serve.rejected_total")
+                raise
+            self._inflight[spec_hash] = handle
+            obs.set_gauge("serve.queue_depth", len(self.queue))
+            return handle
+
+    def submit_many(
+        self, specs: Iterable[JobSpec], *, priority: int = 0
+    ) -> list[JobHandle]:
+        """Submit a batch; handles come back in submission order."""
+        return [self.submit(s, priority=priority) for s in specs]
+
+    def run(
+        self, spec: JobSpec, *, priority: int = 0, timeout: float | None = None
+    ) -> JobResult:
+        """Submit and block for the result."""
+        return self.submit(spec, priority=priority).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # scheduler callbacks
+    # ------------------------------------------------------------------
+    def _note_dequeued(self) -> None:
+        obs.set_gauge("serve.queue_depth", len(self.queue))
+
+    def _job_finished(
+        self,
+        job: _Job,
+        *,
+        result: JobResult | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        with self._lock:
+            self._inflight.pop(job.handle.spec_hash, None)
+            obs.set_gauge("serve.queue_depth", len(self.queue))
+        if error is not None:
+            obs.inc("serve.jobs_failed_total")
+            job.handle._reject(error)
+        else:
+            assert result is not None
+            obs.inc("serve.jobs_completed_total")
+            job.handle._resolve(result)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Shut down: ``drain=True`` finishes queued work first.
+
+        Idempotent.  With ``drain=False`` every unfinished handle fails
+        with :class:`ServeError`.  An injected ``pool`` is left open for
+        its owner; an owned pool is closed.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.scheduler.stop(drain=drain, timeout=timeout)
+        if self._own_pool:
+            self.pool.close()
+
+    def __enter__(self) -> "JobService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def describe(self) -> dict[str, Any]:
+        """Introspection snapshot (settings + counters)."""
+        return {
+            "settings": {
+                "max_concurrent_jobs": self.settings.max_concurrent_jobs,
+                "queue_capacity": self.settings.queue_capacity,
+                "cache_dir": str(self.settings.cache_dir),
+            },
+            "pool": self.pool.describe(),
+            "queue_depth": len(self.queue),
+            "live": self.scheduler.live,
+            "jobs_submitted": self.jobs_submitted,
+            "cache_hits": self.cache_hits,
+            "deduped": self.deduped,
+            "closed": self._closed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JobService(queue={len(self.queue)}, live={self.scheduler.live}, "
+            f"submitted={self.jobs_submitted}, closed={self._closed})"
+        )
+
+
+class Client:
+    """Convenience front end over a :class:`JobService`.
+
+    Constructing a client without ``service=`` creates and owns a
+    service configured from the remaining keyword arguments (same
+    precedence chain as :class:`JobService`); ``close`` then tears it
+    down.  A shared service passed in stays open.
+    """
+
+    def __init__(self, service: JobService | None = None, **service_kwargs: Any) -> None:
+        if service is not None and service_kwargs:
+            raise ServeError(
+                "pass either an existing service or service kwargs, not both"
+            )
+        self._own_service = service is None
+        self.service = service or JobService(**service_kwargs)
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec | None = None, /, **spec_kwargs: Any) -> JobHandle:
+        """Submit a spec, or build one from keyword arguments.
+
+        ``priority``, ``retry`` and ``fault_injector`` keywords are
+        routed to the service; the rest construct the :class:`JobSpec`
+        when no spec object is given.
+        """
+        submit_kwargs = {
+            k: spec_kwargs.pop(k)
+            for k in ("priority", "retry", "fault_injector")
+            if k in spec_kwargs
+        }
+        if spec is None:
+            spec = JobSpec(**spec_kwargs)
+        elif spec_kwargs:
+            raise ServeError(
+                "pass either a JobSpec or spec keyword arguments, not both"
+            )
+        return self.service.submit(spec, **submit_kwargs)
+
+    def run(self, spec: JobSpec | None = None, /, **spec_kwargs: Any) -> JobResult:
+        """Submit and block for the result."""
+        timeout = spec_kwargs.pop("timeout", None)
+        return self.submit(spec, **spec_kwargs).result(timeout=timeout)
+
+    def map(
+        self, specs: Sequence[JobSpec], *, priority: int = 0,
+        timeout: float | None = None,
+    ) -> list[JobResult]:
+        """Submit a batch and wait for every result, in order."""
+        handles = [self.service.submit(s, priority=priority) for s in specs]
+        return [h.result(timeout=timeout) for h in handles]
+
+    def close(self, *, drain: bool = True) -> None:
+        if self._own_service:
+            self.service.close(drain=drain)
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Client({self.service!r})"

@@ -24,6 +24,8 @@ PACKAGES = [
     "repro.exec",
     "repro.obs",
     "repro.runtime",
+    "repro.serve",
+    "repro.plans",
 ]
 
 #: The documented stable facade: ``from repro import <name>`` must work.
@@ -37,10 +39,20 @@ FACADE_EXPORTS = [
     "WParallelPlan",
     "JwParallelPlan",
     "plan_by_name",
+    "available_plans",
+    "get_plan",
+    "register",
+    "resolve_plan",
     "RunSession",
     "ExecutionEngine",
+    "EnginePool",
     "RetryPolicy",
     "FaultInjector",
+    "Client",
+    "JobHandle",
+    "JobResult",
+    "JobService",
+    "JobSpec",
     "configure",
     "ReproError",
 ]
@@ -161,6 +173,8 @@ class TestErrorHierarchy:
             "WorkloadError",
             "ExecutionError",
             "CheckpointError",
+            "ServeError",
+            "AdmissionError",
         ):
             cls = getattr(errors, name)
             assert issubclass(cls, errors.ReproError)

@@ -188,7 +188,7 @@ class TestPaperShapes:
     def test_plan_by_name(self, cfg):
         for name, cls in zip(("i", "j", "w", "jw"), ALL_PLAN_CLASSES):
             assert isinstance(plan_by_name(name, cfg), cls)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError, match="unknown plan"):
             plan_by_name("nope")
 
 

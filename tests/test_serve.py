@@ -1,0 +1,510 @@
+"""Tests for repro.serve: specs, queue, cache, scheduler, service.
+
+The contracts under test:
+
+1. :class:`JobSpec` is a canonical content address — equal physics
+   yields equal hashes, ``checkpoint_every`` never enters the hash, and
+   plan instances normalise to (name, config);
+2. the queue enforces strict priority order with FIFO ties and rejects
+   (``AdmissionError``) rather than blocks at capacity;
+3. identical in-flight specs coalesce onto one handle, and a completed
+   spec is answered from the content-addressed cache;
+4. a job's final state is **bit-identical** whether it runs alone,
+   step-sliced against siblings, or is served from cache;
+5. a fault-injected job fails (or retries) inside its own engine without
+   perturbing sibling jobs sharing the pool.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro import obs
+from repro.core.plans import PlanConfig, get_plan
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    ServeError,
+)
+from repro.exec import EnginePool, FaultInjector, RetryPolicy
+from repro.serve import (
+    Client,
+    JobQueue,
+    JobService,
+    JobSpec,
+    ResultCache,
+    Scheduler,
+    ServeSettings,
+    current_settings,
+)
+from repro.serve.settings import clear_overrides, set_overrides
+
+
+def small_spec(**kw):
+    base = dict(workload="plummer", n=128, seed=1, plan="jw", dt=1e-3, steps=5)
+    base.update(kw)
+    return JobSpec(**base)
+
+
+def solo_state(spec):
+    """Final (positions, velocities, time) of ``spec`` run standalone."""
+    sim = spec.build_simulation()
+    for _ in range(spec.steps):
+        sim.step()
+    return (
+        sim.particles.positions.copy(),
+        sim.particles.velocities.copy(),
+        sim.time,
+    )
+
+
+# ---------------------------------------------------------------------------
+# JobSpec
+# ---------------------------------------------------------------------------
+
+class TestJobSpec:
+    def test_hash_is_stable_and_canonical(self):
+        a = small_spec()
+        b = JobSpec(steps=5, dt=1e-3, plan="jw", seed=1, n=128)
+        assert a.spec_hash() == b.spec_hash()
+        assert len(a.spec_hash()) == 64
+
+    def test_checkpoint_every_excluded_from_hash(self):
+        assert (
+            small_spec(checkpoint_every=0).spec_hash()
+            == small_spec(checkpoint_every=2).spec_hash()
+        )
+        assert small_spec(checkpoint_every=2) == small_spec(checkpoint_every=3)
+
+    def test_physics_fields_change_hash(self):
+        base = small_spec()
+        for variant in (
+            small_spec(n=129),
+            small_spec(seed=2),
+            small_spec(plan="i"),
+            small_spec(dt=2e-3),
+            small_spec(steps=6),
+            small_spec(workload="uniform"),
+            small_spec(plan_config=PlanConfig(softening=0.05)),
+        ):
+            assert variant.spec_hash() != base.spec_hash()
+
+    def test_plan_instance_normalises_to_name_and_config(self):
+        cfg = PlanConfig(softening=0.05)
+        by_instance = small_spec(plan=get_plan("w", cfg))
+        by_name = small_spec(plan="w", plan_config=cfg)
+        assert by_instance.plan == "w"
+        assert by_instance.spec_hash() == by_name.spec_hash()
+
+    def test_plan_instance_with_config_rejected(self):
+        with pytest.raises(ServeError, match="plan_config"):
+            small_spec(plan=get_plan("w"), plan_config=PlanConfig())
+
+    def test_validation(self):
+        with pytest.raises(ServeError, match="unknown plan"):
+            small_spec(plan="nope")
+        with pytest.raises(ServeError, match="unknown workload"):
+            small_spec(workload="nope")
+        with pytest.raises(ServeError, match="steps"):
+            small_spec(steps=0)
+        with pytest.raises(ServeError, match="dt"):
+            small_spec(dt=0.0)
+        with pytest.raises(ServeError, match="n must be"):
+            small_spec(n=0)
+
+    def test_round_trip_through_dict(self):
+        spec = small_spec(checkpoint_every=2)
+        clone = JobSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+        with pytest.raises(ServeError, match="unknown JobSpec fields"):
+            JobSpec.from_dict({"n": 4, "bogus": 1})
+
+
+# ---------------------------------------------------------------------------
+# JobQueue
+# ---------------------------------------------------------------------------
+
+class TestJobQueue:
+    def test_priority_order_fifo_within_level(self):
+        q = JobQueue(capacity=10)
+        q.push("low-1", priority=0)
+        q.push("high-1", priority=5)
+        q.push("low-2", priority=0)
+        q.push("high-2", priority=5)
+        assert [q.pop() for _ in range(4)] == [
+            "high-1", "high-2", "low-1", "low-2"
+        ]
+
+    def test_capacity_rejection(self):
+        q = JobQueue(capacity=2)
+        q.push("a")
+        q.push("b")
+        with pytest.raises(AdmissionError, match="capacity"):
+            q.push("c")
+        assert q.rejected == 1
+        q.pop()
+        q.push("c")  # slot freed, accepted again
+        assert q.accepted == 3
+
+    def test_close_wakes_blocked_pop(self):
+        q = JobQueue(capacity=2)
+        got = []
+        t = threading.Thread(target=lambda: got.append(q.pop(timeout=5)))
+        t.start()
+        q.close()
+        t.join(timeout=5)
+        assert got == [None]
+        with pytest.raises(ServeError, match="closed"):
+            q.push("x")
+
+    def test_pop_timeout(self):
+        assert JobQueue().pop(timeout=0.01) is None
+
+
+# ---------------------------------------------------------------------------
+# ResultCache
+# ---------------------------------------------------------------------------
+
+class TestResultCache:
+    def test_miss_then_hit_after_service_run(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path)
+        assert cache.lookup(spec) is None
+        with Client(cache_dir=tmp_path) as client:
+            fresh = client.run(spec)
+        assert not fresh.from_cache
+        hit = cache.lookup(spec)
+        assert hit is not None and hit.from_cache
+        np.testing.assert_array_equal(hit.positions, fresh.positions)
+
+    def test_incomplete_entry_is_miss_and_reclaimed(self, tmp_path):
+        spec = small_spec()
+        cache = ResultCache(tmp_path)
+        stale = cache.entry_dir(spec)
+        stale.mkdir(parents=True)
+        (stale / "manifest.json").write_text("{ not json")
+        assert cache.lookup(spec) is None
+        claimed = cache.claim(spec)
+        assert claimed == stale and not claimed.exists()
+
+    def test_claim_refuses_complete_entry(self, tmp_path):
+        spec = small_spec()
+        with Client(cache_dir=tmp_path) as client:
+            client.run(spec)
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ServeError, match="complete"):
+            cache.claim(spec)
+        assert cache.evict(spec)
+        assert cache.lookup(spec) is None
+
+
+# ---------------------------------------------------------------------------
+# Service behaviour
+# ---------------------------------------------------------------------------
+
+class TestJobService:
+    def test_batched_results_bit_identical_to_solo(self, tmp_path):
+        specs = [
+            small_spec(seed=s, plan=p)
+            for s, p in [(1, "jw"), (2, "i"), (3, "w"), (4, "j")]
+        ]
+        with Client(
+            cache_dir=tmp_path, max_concurrent_jobs=4, steps_per_slice=2
+        ) as client:
+            results = client.map(specs)
+        for spec, result in zip(specs, results):
+            pos, vel, time = solo_state(spec)
+            np.testing.assert_array_equal(result.positions, pos)
+            np.testing.assert_array_equal(result.velocities, vel)
+            assert result.time == time
+            assert result.steps == spec.steps
+
+    def test_single_runner_interleaves_many_live_sessions(self, tmp_path):
+        # One runner thread, four live sessions, 1-step slices: maximal
+        # interleaving, still bit-identical per job.
+        specs = [small_spec(seed=s) for s in (1, 2, 3, 4)]
+        svc = JobService(
+            cache_dir=tmp_path,
+            max_concurrent_jobs=4,
+            runner_threads=1,
+            steps_per_slice=1,
+        )
+        try:
+            handles = svc.submit_many(specs)
+            results = [h.result(timeout=120) for h in handles]
+        finally:
+            svc.close()
+        assert svc.scheduler.slices >= 4 * specs[0].steps
+        for spec, result in zip(specs, results):
+            pos, _, _ = solo_state(spec)
+            np.testing.assert_array_equal(result.positions, pos)
+
+    def test_cache_hit_bit_identical_to_fresh(self, tmp_path):
+        spec = small_spec()
+        with Client(cache_dir=tmp_path) as client:
+            fresh = client.run(spec)
+            cached = client.run(small_spec())  # equal spec, new object
+        assert not fresh.from_cache and cached.from_cache
+        np.testing.assert_array_equal(cached.positions, fresh.positions)
+        np.testing.assert_array_equal(cached.velocities, fresh.velocities)
+        assert cached.time == fresh.time
+        assert cached.record == fresh.record
+
+    def test_cache_survives_service_restart(self, tmp_path):
+        spec = small_spec()
+        with Client(cache_dir=tmp_path) as client:
+            fresh = client.run(spec)
+        with Client(cache_dir=tmp_path) as client:
+            again = client.run(spec)
+        assert again.from_cache
+        np.testing.assert_array_equal(again.positions, fresh.positions)
+
+    def test_inflight_dedup_returns_same_handle(self, tmp_path):
+        svc = JobService(
+            cache_dir=tmp_path, max_concurrent_jobs=1, runner_threads=1
+        )
+        try:
+            first = svc.submit(small_spec(seed=7))
+            dup = svc.submit(small_spec(seed=7))
+            other = svc.submit(small_spec(seed=8))
+            assert dup is first
+            assert other is not first
+            assert first.dedup_count == 1
+            assert svc.deduped == 1
+            first.result(timeout=120)
+            other.result(timeout=120)
+        finally:
+            svc.close()
+
+    def test_queue_capacity_rejects_submit(self, tmp_path):
+        svc = JobService(
+            cache_dir=tmp_path,
+            queue_capacity=1,
+            max_concurrent_jobs=1,
+            runner_threads=1,
+        )
+        try:
+            # Long-running jobs keep the single runner busy so the queue
+            # actually fills: one live + one queued, third rejected.
+            handles = [svc.submit(small_spec(seed=100, steps=50))]
+            rejected = 0
+            for s in range(101, 140):
+                try:
+                    handles.append(svc.submit(small_spec(seed=s, steps=50)))
+                except AdmissionError:
+                    rejected += 1
+                    break
+            assert rejected == 1, "capacity-1 queue never pushed back"
+            for h in handles:
+                h.result(timeout=120)
+        finally:
+            svc.close()
+
+    def test_fault_injected_job_does_not_perturb_siblings(self, tmp_path):
+        good_spec = small_spec(seed=1)
+        bad_spec = small_spec(seed=9, plan="i")
+        pos, vel, _ = solo_state(good_spec)
+        with Client(cache_dir=tmp_path, max_concurrent_jobs=2) as client:
+            bad = client.service.submit(
+                bad_spec,
+                fault_injector=FaultInjector(
+                    seed=7, task_failure_rate=1.0, fail_attempts=99
+                ),
+            )
+            good = client.service.submit(good_spec)
+            result = good.result(timeout=120)
+            bad.wait(timeout=120)
+        assert bad.status == "failed" and bad.error is not None
+        with pytest.raises(Exception):
+            bad.result()
+        np.testing.assert_array_equal(result.positions, pos)
+        np.testing.assert_array_equal(result.velocities, vel)
+
+    def test_faulty_job_with_retries_still_bit_identical(self, tmp_path):
+        spec = small_spec(seed=3, plan="j")
+        pos, _, _ = solo_state(spec)
+        with Client(cache_dir=tmp_path) as client:
+            handle = client.service.submit(
+                spec,
+                fault_injector=FaultInjector(
+                    seed=5, task_failure_rate=0.3, fail_attempts=1
+                ),
+                retry=RetryPolicy(max_retries=5, backoff_s=0.0),
+            )
+            result = handle.result(timeout=120)
+        assert not result.from_cache
+        np.testing.assert_array_equal(result.positions, pos)
+
+    def test_failed_job_not_cached(self, tmp_path):
+        spec = small_spec(seed=9)
+        with Client(cache_dir=tmp_path) as client:
+            bad = client.service.submit(
+                spec,
+                fault_injector=FaultInjector(
+                    seed=1, task_failure_rate=1.0, fail_attempts=99
+                ),
+            )
+            bad.wait(timeout=120)
+            assert bad.status == "failed"
+            # Same spec resubmitted healthy: must re-run, not hit cache.
+            result = client.service.submit(spec).result(timeout=120)
+        assert not result.from_cache
+        pos, _, _ = solo_state(spec)
+        np.testing.assert_array_equal(result.positions, pos)
+
+    def test_process_pool_backend(self, tmp_path):
+        spec = small_spec()
+        pos, _, _ = solo_state(spec)
+        with Client(
+            cache_dir=tmp_path, pool_backend="process", pool_workers=2
+        ) as client:
+            result = client.run(spec)
+        np.testing.assert_array_equal(result.positions, pos)
+
+    def test_shared_pool_injection_left_open(self, tmp_path):
+        with EnginePool(backend="thread", workers=2) as pool:
+            svc = JobService(cache_dir=tmp_path, pool=pool)
+            svc.run(small_spec())
+            svc.close()
+            # An injected pool survives service close for its owner.
+            engine = pool.engine()
+            assert engine.map(lambda x: x + 1, [1, 2]) == [2, 3]
+
+    def test_close_without_drain_fails_pending(self, tmp_path):
+        svc = JobService(
+            cache_dir=tmp_path, max_concurrent_jobs=1, runner_threads=1
+        )
+        handles = [
+            svc.submit(small_spec(seed=200 + s, n=512, steps=100))
+            for s in range(4)
+        ]
+        svc.close(drain=False)
+        for h in handles:
+            assert h.wait(timeout=30)
+        assert any(h.status == "failed" for h in handles)
+        with pytest.raises(ServeError, match="closed"):
+            svc.submit(small_spec())
+
+    def test_serve_metrics_and_span_emitted(self, tmp_path):
+        with obs.capture() as (tracer, metrics):
+            with Client(cache_dir=tmp_path) as client:
+                client.run(small_spec(seed=31))
+                client.run(small_spec(seed=31))  # cache hit
+        assert metrics.get("serve.jobs_total").value == 2
+        assert metrics.get("serve.cache_hits_total").value == 1
+        assert metrics.get("serve.jobs_completed_total").value == 1
+        assert metrics.get("serve.queue_depth") is not None
+        assert any(s.name == "serve.job" for s in tracer.spans)
+
+
+# ---------------------------------------------------------------------------
+# Settings precedence
+# ---------------------------------------------------------------------------
+
+class TestServeSettings:
+    def teardown_method(self):
+        clear_overrides()
+
+    def test_defaults(self):
+        s = ServeSettings()
+        assert s.max_concurrent_jobs == 2
+        assert s.queue_capacity == 64
+
+    def test_env_overrides_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_CONCURRENT_JOBS", "7")
+        monkeypatch.setenv("REPRO_SERVE_CACHE_DIR", "/tmp/envcache")
+        s = current_settings()
+        assert s.max_concurrent_jobs == 7
+        assert s.cache_dir == "/tmp/envcache"
+        assert s.queue_capacity == 64
+
+    def test_configure_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_CONCURRENT_JOBS", "7")
+        repro.configure(max_concurrent_jobs=3)
+        assert current_settings().max_concurrent_jobs == 3
+
+    def test_explicit_kwarg_beats_configure(self, tmp_path):
+        repro.configure(max_concurrent_jobs=3, cache_dir=str(tmp_path / "c"))
+        svc = JobService(max_concurrent_jobs=5)
+        try:
+            assert svc.settings.max_concurrent_jobs == 5
+            assert svc.settings.cache_dir == str(tmp_path / "c")
+        finally:
+            svc.close()
+
+    def test_validation(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            ServeSettings(max_concurrent_jobs=0)
+        with pytest.raises(ConfigurationError):
+            ServeSettings(queue_capacity=0)
+        monkeypatch.setenv("REPRO_SERVE_QUEUE_CAPACITY", "zap")
+        with pytest.raises(ConfigurationError, match="integer"):
+            current_settings()
+        monkeypatch.delenv("REPRO_SERVE_QUEUE_CAPACITY")
+        with pytest.raises(ConfigurationError):
+            repro.configure(queue_capacity=-1)
+        # the failed configure must not leave partial state
+        assert current_settings().queue_capacity == 64
+
+
+# ---------------------------------------------------------------------------
+# Scheduler edge cases
+# ---------------------------------------------------------------------------
+
+class _FakeJob:
+    def __init__(self, slices_needed=1):
+        self.left = slices_needed
+        self.events = []
+
+    def begin(self):
+        self.events.append("begin")
+
+    def advance(self, k):
+        self.left -= 1
+        self.events.append("advance")
+        return self.left <= 0
+
+    def finish(self):
+        self.events.append("finish")
+
+    def fail(self, exc):
+        self.events.append(("fail", type(exc).__name__))
+
+
+class TestScheduler:
+    def test_drain_completes_all(self):
+        q = JobQueue(capacity=16)
+        jobs = [_FakeJob(slices_needed=3) for _ in range(6)]
+        for j in jobs:
+            q.push(j)
+        sched = Scheduler(q, max_live=2, runner_threads=1, steps_per_slice=1)
+        sched.start()
+        sched.stop(drain=True, timeout=30)
+        assert all(j.events[-1] == "finish" for j in jobs)
+        assert sched.slices == 18
+
+    def test_begin_failure_routes_to_fail(self):
+        class ExplodingJob(_FakeJob):
+            def begin(self):
+                raise RuntimeError("boom")
+
+        q = JobQueue(capacity=4)
+        job = ExplodingJob()
+        q.push(job)
+        sched = Scheduler(q, max_live=1, runner_threads=1)
+        sched.start()
+        sched.stop(drain=True, timeout=30)
+        assert ("fail", "RuntimeError") in job.events
+
+    def test_abort_fails_leftovers(self):
+        q = JobQueue(capacity=16)
+        jobs = [_FakeJob(slices_needed=10_000) for _ in range(4)]
+        for j in jobs:
+            q.push(j)
+        sched = Scheduler(q, max_live=1, runner_threads=1, steps_per_slice=1)
+        sched.start()
+        sched.stop(drain=False, timeout=30)
+        assert any(("fail", "ServeError") in j.events for j in jobs)
