@@ -35,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.check import compare_arrays
 from repro.exec.faults import FaultInjector, RetryPolicy
 from repro.runtime import RunSession
 from repro.serve import Client, JobService, JobSpec
@@ -163,8 +164,9 @@ def main(argv: list[str] | None = None) -> int:
         for i, h in enumerate(handles):
             result = h.result()
             ref_pos, ref_vel = references[h.spec_hash]
-            ok = np.array_equal(result.positions, ref_pos) and np.array_equal(
-                result.velocities, ref_vel
+            ok = (
+                compare_arrays(ref_pos, result.positions).bit_identical
+                and compare_arrays(ref_vel, result.velocities).bit_identical
             )
             identical &= ok
             jobs.append(
@@ -187,8 +189,11 @@ def main(argv: list[str] | None = None) -> int:
             t0 = time.perf_counter()
             replay = client.run(specs[0])
             cache_wall = time.perf_counter() - t0
-        cache_ok = replay.from_cache and np.array_equal(
-            replay.positions, references[specs[0].spec_hash()][0]
+        cache_ok = (
+            replay.from_cache
+            and compare_arrays(
+                references[specs[0].spec_hash()][0], replay.positions
+            ).bit_identical
         )
         print(
             f"cache replay: {cache_wall * 1e3:.1f} ms, from_cache={replay.from_cache}"

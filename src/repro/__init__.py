@@ -32,6 +32,9 @@ Package layout
   parallel map, retry/fallback fault handling.
 * :mod:`repro.runtime` — fault-tolerant run sessions: checkpointing and
   bit-exact resume.
+* :mod:`repro.check` — differential & invariant verification: the
+  oracle behind cross-plan/cross-backend equivalence, runtime guards,
+  golden snapshots.
 * :mod:`repro.obs` — tracing & metrics.
 * :mod:`repro.perfmodel` — analytic performance model and metrics.
 * :mod:`repro.bench` — benchmark harness regenerating the paper's tables
@@ -69,6 +72,11 @@ _EXPORTS = {
     "FaultInjector": "repro.exec",
     "configure": "repro.config",
     "ReproError": "repro.errors",
+    "VerificationError": "repro.errors",
+    "DifferentialOracle": "repro.check",
+    "RunGuard": "repro.check",
+    "TolerancePolicy": "repro.check",
+    "GoldenStore": "repro.check",
 }
 
 __all__ = ["__version__", *sorted(_EXPORTS)]

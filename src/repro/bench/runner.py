@@ -252,7 +252,9 @@ def force_pass_bench(
         par_plan = plan_by_name(plan_name, config, engine=engine)
         acc_parallel = par_plan.accelerations(pos, mass)  # warm worker pools
         parallel_seconds = best(lambda: par_plan.accelerations(pos, mass))
-    bit_identical = bool(np.array_equal(ref, acc_parallel))
+    from repro.check import compare_arrays
+
+    bit_identical = compare_arrays(ref, acc_parallel).bit_identical
 
     return {
         "plan": plan_name,

@@ -1,0 +1,128 @@
+"""Check-layer settings: defaults, ``REPRO_CHECK_*`` env, overrides.
+
+Whether fresh :class:`~repro.runtime.RunSession` objects carry a
+:class:`~repro.check.RunGuard` by default is resolved with the library's
+usual precedence chain (first hit wins):
+
+1. the explicit ``guard=`` argument to :class:`RunSession` (a guard, or
+   ``False`` to opt out of an enabled default);
+2. values set through :func:`repro.configure` (``verify=``);
+3. the ``REPRO_CHECK_ENABLED`` / ``REPRO_CHECK_EVERY`` /
+   ``REPRO_CHECK_ENERGY_TOL`` environment variables;
+4. the built-in default: no guard.
+
+Environment variables are read when a guard is resolved (session
+construction), not at import, so tests and subprocesses can adjust them
+freely.  ``REPRO_CHECK_ENERGY_TOL`` overrides only the energy-drift
+threshold of the plan's default policy; full policy control goes through
+``repro.configure(verify=TolerancePolicy(...))``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.check.guards import RunGuard
+from repro.check.invariants import TolerancePolicy
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "default_guard",
+    "set_verify_override",
+    "clear_overrides",
+]
+
+ENV_ENABLED = "REPRO_CHECK_ENABLED"
+ENV_EVERY = "REPRO_CHECK_EVERY"
+ENV_ENERGY_TOL = "REPRO_CHECK_ENERGY_TOL"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+_FALSY = {"0", "false", "no", "off", ""}
+
+#: ``repro.configure(verify=...)`` value (precedence level 2); ``None``
+#: means "not configured, fall through to the environment".
+_verify_override: bool | TolerancePolicy | None = None
+
+
+def set_verify_override(verify: bool | TolerancePolicy | None) -> None:
+    """Install the ``repro.configure``-level verify default."""
+    global _verify_override
+    if verify is not None and not isinstance(verify, (bool, TolerancePolicy)):
+        raise ConfigurationError(
+            f"verify must be a bool or TolerancePolicy, got {type(verify).__name__}"
+        )
+    _verify_override = verify
+
+
+def clear_overrides() -> None:
+    """Drop the configure-level verify default (tests)."""
+    global _verify_override
+    _verify_override = None
+
+
+def _env_bool(name: str) -> bool | None:
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    val = raw.strip().lower()
+    if val in _TRUTHY:
+        return True
+    if val in _FALSY:
+        return False
+    raise ConfigurationError(f"{name} must be a boolean flag, got {raw!r}")
+
+
+def _env_int(name: str) -> int | None:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name} must be an integer, got {raw!r}") from None
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def _env_float(name: str) -> float | None:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name} must be a float, got {raw!r}") from None
+    if value <= 0.0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def default_guard() -> RunGuard | None:
+    """The guard a fresh session gets when none was passed explicitly.
+
+    Returns ``None`` when verification is not enabled anywhere along the
+    precedence chain.  A :class:`TolerancePolicy` given to
+    ``repro.configure(verify=...)`` is used as the guard's policy;
+    ``verify=True`` leaves policy selection to the plan default at
+    prime time.
+    """
+    verify = _verify_override
+    if verify is None:
+        verify = _env_bool(ENV_ENABLED)
+    if verify is None or verify is False:
+        return None
+    policy = verify if isinstance(verify, TolerancePolicy) else None
+    energy_tol = _env_float(ENV_ENERGY_TOL)
+    if energy_tol is not None and policy is not None:
+        policy = dataclasses.replace(policy, energy_drift=energy_tol)
+    elif energy_tol is not None:
+        # Plan-default policy, adjusted at prime time is not possible —
+        # build an env-derived policy from the stricter pp defaults.
+        from repro.check.invariants import PP_POLICY
+
+        policy = dataclasses.replace(
+            PP_POLICY, name="env", energy_drift=energy_tol
+        )
+    return RunGuard(policy=policy, every=_env_int(ENV_EVERY) or 0)

@@ -8,6 +8,7 @@ Subcommands::
     repro-nbody resume <rundir>            # continue an interrupted run
     repro-nbody serve --jobs FILE [...]    # batch of jobs over one pool
     repro-nbody submit [...]               # one cached job (spec flags)
+    repro-nbody check [...]                # differential + invariant battery
 
 Examples::
 
@@ -19,6 +20,8 @@ Examples::
     repro-nbody resume runs/demo
     repro-nbody serve --jobs jobs.json --max-concurrent 4 --cache-dir cache
     repro-nbody submit --n 2048 --plan jw --steps 100 --cache-dir cache
+    repro-nbody check --n 256 --json check.json
+    repro-nbody check --golden tests/golden --bless
 
 The pre-subcommand flat form (``repro-nbody table2 --quick``) keeps
 working: an unrecognised leading token is routed through a hidden
@@ -61,7 +64,7 @@ _WORKLOAD_EXPERIMENTS = _SWEEP_EXPERIMENTS | {
 DEFAULT_TRACE_PATH = "trace.json"
 
 #: The CLI's subcommands (used by the flat-form compatibility shim).
-SUBCOMMANDS = ("run", "profile", "bench", "resume", "serve", "submit")
+SUBCOMMANDS = ("run", "profile", "bench", "resume", "serve", "submit", "check")
 
 
 def _run_plans() -> tuple[str, ...]:
@@ -284,6 +287,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint cadence inside the cached run directory",
     )
     _add_serve_flags(submit)
+
+    check = sub.add_parser(
+        "check",
+        parents=[common],
+        help="run the differential plan x backend matrix and invariant battery",
+    )
+    check.add_argument(
+        "--plans",
+        default="i,j,w,jw",
+        metavar="CSV",
+        help="comma-separated plan names to verify (default: i,j,w,jw)",
+    )
+    check.add_argument(
+        "--backends",
+        default="serial,thread,process",
+        metavar="CSV",
+        help="comma-separated parallel backends each plan must reproduce "
+        "bit-identically (default: serial,thread,process)",
+    )
+    check.add_argument(
+        "--reference",
+        default="i",
+        help="reference plan for the cross-plan comparisons (default: i)",
+    )
+    check.add_argument("--n", type=int, default=256, metavar="N")
+    check.add_argument(
+        "--workload", default="plummer", choices=sorted(WORKLOADS)
+    )
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--dt", type=float, default=1e-3)
+    check.add_argument(
+        "--steps",
+        type=int,
+        default=12,
+        help="leapfrog steps for the guarded invariant runs (default: 12)",
+    )
+    check.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_out",
+        help="write the full machine-readable report to PATH",
+    )
+    check.add_argument(
+        "--golden",
+        default=None,
+        metavar="DIR",
+        help="verify final-state digests against the golden snapshots in DIR",
+    )
+    check.add_argument(
+        "--bless",
+        action="store_true",
+        help="record the current digests in --golden DIR instead of "
+        "verifying (the explicit snapshot-regeneration step)",
+    )
     return parser
 
 
@@ -521,7 +579,7 @@ def _print_job_rows(rows: list[dict]) -> None:
 def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
     import json
 
-    from repro.errors import ServeError
+    from repro.errors import AdmissionError, ServeError
     from repro.serve import JobSpec
 
     try:
@@ -540,7 +598,15 @@ def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> Non
                 spec = JobSpec.from_dict(entry)
             except ServeError as exc:
                 parser.error(f"job {i} in {args.jobs}: {exc}")
-            handles.append(service.submit(spec, priority=priority))
+            try:
+                handles.append(service.submit(spec, priority=priority))
+            except AdmissionError as exc:
+                print(
+                    f"job {i} in {args.jobs} rejected: {exc}\n"
+                    "(raise --queue-capacity or submit fewer jobs at once)",
+                    file=sys.stderr,
+                )
+                raise SystemExit(3) from None
         for h in handles:
             h.wait()
     finally:
@@ -596,6 +662,49 @@ def _cmd_submit(parser: argparse.ArgumentParser, args: argparse.Namespace) -> No
     print(f"result directory: {result.run_dir}")
 
 
+def _cmd_check(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    import json
+
+    from repro.check.report import render_report, run_check
+
+    plans = tuple(p.strip() for p in args.plans.split(",") if p.strip())
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    if not plans:
+        parser.error("--plans must name at least one plan")
+    known = set(_run_plans())
+    for name in (*plans, args.reference):
+        if name not in known:
+            parser.error(f"unknown plan '{name}' (registered: {sorted(known)})")
+    for backend in backends:
+        if backend not in BACKENDS:
+            parser.error(
+                f"unknown backend '{backend}' (choose from {sorted(BACKENDS)})"
+            )
+    if args.bless and args.golden is None:
+        parser.error("--bless requires --golden DIR (nowhere to record digests)")
+
+    report = run_check(
+        workload=args.workload,
+        n=args.n,
+        seed=args.seed,
+        dt=args.dt,
+        steps=args.steps,
+        plans=plans,
+        backends=backends,
+        workers=args.workers or 2,
+        reference=args.reference,
+        golden_dir=args.golden,
+        bless=args.bless,
+    )
+    print(render_report(report))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report written to {args.json_out}")
+    if not report["ok"]:
+        raise SystemExit(1)
+
+
 _HANDLERS = {
     "bench": _cmd_bench,
     "profile": _cmd_profile,
@@ -603,6 +712,7 @@ _HANDLERS = {
     "resume": _cmd_resume,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "check": _cmd_check,
 }
 
 

@@ -46,6 +46,7 @@ def configure(
     max_concurrent_jobs: int | None = None,
     queue_capacity: int | None = None,
     cache_dir: str | None = None,
+    verify: "bool | object | None" = None,
 ) -> ExecutionEngine:
     """Configure the library's global execution and observability state.
 
@@ -73,6 +74,15 @@ def configure(
         ``REPRO_SERVE_MAX_CONCURRENT_JOBS`` /
         ``REPRO_SERVE_QUEUE_CAPACITY`` / ``REPRO_SERVE_CACHE_DIR``
         environment variables, then the built-in defaults.
+    verify:
+        Default invariant guarding for :class:`~repro.runtime.RunSession`
+        objects (and hence served jobs) created afterwards: ``True``
+        attaches a :class:`~repro.check.RunGuard` with the plan-default
+        :class:`~repro.check.TolerancePolicy`, a policy instance pins
+        explicit tolerances, ``False`` disables guarding even when
+        ``REPRO_CHECK_ENABLED`` is set, and ``None`` leaves the current
+        setting untouched.  Sessions constructed with an explicit
+        ``guard=`` argument always win.
 
     Returns the default :class:`~repro.exec.ExecutionEngine` after any
     reconfiguration, so the call is a drop-in replacement for the old
@@ -116,6 +126,10 @@ def configure(
             queue_capacity=queue_capacity,
             cache_dir=cache_dir,
         )
+    if verify is not None:
+        from repro.check.settings import set_verify_override
+
+        set_verify_override(verify)
     if trace is not None:
         if trace:
             obs.enable(reset=True)

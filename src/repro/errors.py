@@ -69,6 +69,23 @@ class ServeError(ReproError):
     """
 
 
+class VerificationError(ReproError):
+    """A differential or invariant check failed.
+
+    Raised by :mod:`repro.check` when a candidate plan/backend deviates
+    from its reference beyond the promised tolerance, a golden snapshot
+    no longer matches, or a guarded run violates a physical invariant
+    (energy drift, momentum conservation, non-finite state).  The
+    message carries the failing check's measured value and threshold;
+    richer detail is on the attached :attr:`report` when present.
+    """
+
+    def __init__(self, message: str, *, report: object | None = None) -> None:
+        super().__init__(message)
+        #: the failing InvariantReport / ForceComparison, when available
+        self.report = report
+
+
 class AdmissionError(ServeError):
     """The job queue refused a submission.
 

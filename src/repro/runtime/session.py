@@ -31,6 +31,14 @@ Usage::
 Observability: each checkpoint emits a ``runtime.checkpoint`` span and
 bumps the ``checkpoints_total`` counter; the stepping loop runs inside a
 ``runtime.run`` span and resume emits a ``runtime.resume`` instant.
+
+Verification: a session can carry a :class:`~repro.check.RunGuard`
+(``guard=`` keyword, or on by default via ``repro.configure(verify=...)``
+/ ``REPRO_CHECK_ENABLED=1``).  The guard captures an invariant baseline
+when the run starts and re-evaluates energy/momentum conservation and
+finite-state sentinels at every checkpoint — *before* the state is
+persisted, so a violating state never becomes a resumable checkpoint —
+raising :class:`~repro.errors.VerificationError` on violation.
 """
 
 from __future__ import annotations
@@ -72,6 +80,11 @@ class RunSession:
     checkpoint_every:
         Steps between periodic checkpoints; ``0`` checkpoints only at
         completion.  The final state is always checkpointed.
+    guard:
+        A :class:`~repro.check.RunGuard` evaluated at every checkpoint,
+        ``False`` to opt out even when verification is globally enabled,
+        or ``None`` (default) to resolve through
+        ``repro.configure(verify=...)`` / ``REPRO_CHECK_*``.
     """
 
     def __init__(
@@ -80,6 +93,7 @@ class RunSession:
         directory: str | Path,
         *args,
         checkpoint_every: int = 0,
+        guard: "RunGuard | bool | None" = None,
         _manifest: RunManifest | None = None,
     ) -> None:
         if args:
@@ -102,6 +116,18 @@ class RunSession:
         self.simulation = simulation
         self.directory = Path(directory)
         self.checkpoint_every = checkpoint_every
+        if guard is None:
+            from repro.check.settings import default_guard
+
+            guard = default_guard()
+        elif guard is False:
+            guard = None
+        elif guard is True:
+            from repro.check.guards import RunGuard
+
+            guard = RunGuard()
+        #: invariant watchdog evaluated at every checkpoint (may be None)
+        self.guard = guard
         #: checkpoints written by *this* session object
         self.checkpoints_written = 0
         if _manifest is not None:
@@ -144,6 +170,8 @@ class RunSession:
                 f"(already at step {sim.record.steps})"
             )
         self._ensure_manifest(target_steps)
+        if self.guard is not None and not self.guard.primed:
+            self.guard.prime(sim)
         return target_steps
 
     def advance(
@@ -192,6 +220,8 @@ class RunSession:
                 k % callback_every == 0 or k == target
             ):
                 callback(sim)
+            if self.guard is not None:
+                self.guard.maybe_check(sim)
             if max_steps is not None and done >= max_steps:
                 break
         if sim.record.steps >= target:
@@ -243,6 +273,10 @@ class RunSession:
         sim = self.simulation
         if self.manifest is None:
             raise CheckpointError("checkpoint() before run(): no manifest yet")
+        if self.guard is not None and self.guard.primed:
+            # Verify BEFORE persisting: a violating state must never
+            # become the checkpoint a later resume trusts.
+            self.guard.check(sim, where="final" if final else "checkpoint")
         step = sim.record.steps
         name = f"ckpt_{step:08d}"
         with obs.span("runtime.checkpoint", step=step, final=final):

@@ -17,6 +17,12 @@ fairness, never a different answer.
 Jobs are anything exposing the small protocol the runner drives:
 ``begin()``, ``advance(k) -> bool`` (True when finished), ``finish()``,
 ``fail(exc)`` — see ``repro.serve.service._Job`` for the real one.
+
+``slice_hook`` is the scheduler's verification seam: called after every
+successful slice with ``(job, done)``, and a raising hook fails the job
+exactly like a raising ``advance`` — the serve layer uses it to run
+:class:`~repro.check.RunGuard` invariant checks each slice, so a job
+serving bad physics dies at slice granularity rather than at completion.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import ServeError
 from repro.serve.queue import JobQueue
@@ -45,6 +51,7 @@ class Scheduler:
         max_live: int = 2,
         runner_threads: int | None = None,
         steps_per_slice: int = 8,
+        slice_hook: Callable[[Any, bool], None] | None = None,
     ) -> None:
         if max_live < 1:
             raise ServeError(f"max_live must be >= 1, got {max_live}")
@@ -61,6 +68,7 @@ class Scheduler:
         self.max_live = max_live
         self.runner_threads = runner_threads
         self.steps_per_slice = steps_per_slice
+        self.slice_hook = slice_hook
         self._ready: deque[Any] = deque()
         self._lock = threading.Lock()
         self._live = 0
@@ -172,6 +180,8 @@ class Scheduler:
                 continue
             try:
                 done = job.advance(self.steps_per_slice)
+                if self.slice_hook is not None:
+                    self.slice_hook(job, done)
             except Exception as exc:
                 with self._lock:
                     self._live -= 1

@@ -39,6 +39,8 @@ from pathlib import Path
 from typing import Any, Iterable, Sequence
 
 from repro import obs
+from repro.check.guards import RunGuard
+from repro.check.invariants import TolerancePolicy
 from repro.errors import ServeError
 from repro.exec.engine import EnginePool, ExecutionEngine
 from repro.exec.faults import FaultInjector, RetryPolicy
@@ -118,12 +120,14 @@ class _Job:
         *,
         retry: RetryPolicy | None,
         fault_injector: FaultInjector | None,
+        verify: "bool | TolerancePolicy | RunGuard | None" = None,
     ) -> None:
         self.service = service
         self.spec = spec
         self.handle = handle
         self.retry = retry
         self.fault_injector = fault_injector
+        self.verify = verify
         self.engine: ExecutionEngine | None = None
         self.session: RunSession | None = None
         self._t0 = 0.0
@@ -138,14 +142,47 @@ class _Job:
         )
         sim = self.spec.build_simulation(engine=self.engine)
         self.session = RunSession(
-            sim, run_dir, checkpoint_every=self.spec.checkpoint_every
+            sim,
+            run_dir,
+            checkpoint_every=self.spec.checkpoint_every,
+            guard=self._resolve_guard(),
         )
         self.session.start(self.spec.steps)
         self.service._note_dequeued()
 
+    def _resolve_guard(self) -> "RunGuard | bool | None":
+        """This job's guard: per-submit ``verify`` wins over the service's.
+
+        ``None`` falls through to the session default
+        (``repro.configure(verify=...)`` / ``REPRO_CHECK_*``).
+        """
+        verify = self.verify if self.verify is not None else self.service.verify
+        if verify is None or isinstance(verify, bool):
+            return verify
+        if isinstance(verify, RunGuard):
+            return verify
+        if isinstance(verify, TolerancePolicy):
+            return RunGuard(policy=verify)
+        raise ServeError(
+            f"verify must be a bool, TolerancePolicy or RunGuard, "
+            f"got {type(verify).__name__}"
+        )
+
     def advance(self, max_steps: int) -> bool:
         assert self.session is not None
         return self.session.advance(max_steps)
+
+    def verify_slice(self, done: bool) -> None:
+        """Scheduler slice hook: invariant check at slice granularity.
+
+        Skipped once the session is complete — the final checkpoint
+        already verified the final state.
+        """
+        if done or self.session is None or self.session.guard is None:
+            return
+        guard = self.session.guard
+        if guard.primed:
+            guard.check(self.session.simulation, where="slice")
 
     def finish(self) -> None:
         result = self.service.cache.load(self.spec, from_cache=False)
@@ -198,6 +235,7 @@ class JobService:
         pool_workers: int = 2,
         runner_threads: int | None = None,
         steps_per_slice: int = 8,
+        verify: "bool | TolerancePolicy | None" = None,
     ) -> None:
         self.settings: ServeSettings = current_settings(
             max_concurrent_jobs=max_concurrent_jobs,
@@ -208,11 +246,14 @@ class JobService:
         self.queue = JobQueue(self.settings.queue_capacity)
         self._own_pool = pool is None
         self.pool = pool or EnginePool(backend=pool_backend, workers=pool_workers)
+        #: service-wide verification default (per-submit ``verify`` wins)
+        self.verify = verify
         self.scheduler = Scheduler(
             self.queue,
             max_live=self.settings.max_concurrent_jobs,
             runner_threads=runner_threads,
             steps_per_slice=steps_per_slice,
+            slice_hook=lambda job, done: job.verify_slice(done),
         )
         self._lock = threading.Lock()
         self._inflight: dict[str, JobHandle] = {}
@@ -233,6 +274,7 @@ class JobService:
         priority: int = 0,
         retry: RetryPolicy | None = None,
         fault_injector: FaultInjector | None = None,
+        verify: "bool | TolerancePolicy | RunGuard | None" = None,
     ) -> JobHandle:
         """Admit one job; returns immediately with its handle.
 
@@ -242,7 +284,11 @@ class JobService:
         :class:`~repro.errors.AdmissionError` is raised.  ``priority``
         orders queued jobs (higher first, FIFO within); ``retry`` /
         ``fault_injector`` configure this job's private engine and touch
-        no other job.
+        no other job.  ``verify`` guards *this* job's invariants
+        (energy/momentum/finite-state) every scheduler slice and
+        checkpoint, failing the handle with
+        :class:`~repro.errors.VerificationError` on violation; it
+        defaults to the service-wide ``verify`` setting.
         """
         if not isinstance(spec, JobSpec):
             raise ServeError(
@@ -269,7 +315,12 @@ class JobService:
                 return handle
             handle = JobHandle(spec, spec_hash)
             job = _Job(
-                self, spec, handle, retry=retry, fault_injector=fault_injector
+                self,
+                spec,
+                handle,
+                retry=retry,
+                fault_injector=fault_injector,
+                verify=verify,
             )
             try:
                 self.queue.push(job, priority=priority)
@@ -385,13 +436,13 @@ class Client:
     def submit(self, spec: JobSpec | None = None, /, **spec_kwargs: Any) -> JobHandle:
         """Submit a spec, or build one from keyword arguments.
 
-        ``priority``, ``retry`` and ``fault_injector`` keywords are
-        routed to the service; the rest construct the :class:`JobSpec`
-        when no spec object is given.
+        ``priority``, ``retry``, ``fault_injector`` and ``verify``
+        keywords are routed to the service; the rest construct the
+        :class:`JobSpec` when no spec object is given.
         """
         submit_kwargs = {
             k: spec_kwargs.pop(k)
-            for k in ("priority", "retry", "fault_injector")
+            for k in ("priority", "retry", "fault_injector", "verify")
             if k in spec_kwargs
         }
         if spec is None:

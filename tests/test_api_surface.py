@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.runtime",
     "repro.serve",
     "repro.plans",
+    "repro.check",
 ]
 
 #: The documented stable facade: ``from repro import <name>`` must work.
@@ -55,6 +56,11 @@ FACADE_EXPORTS = [
     "JobSpec",
     "configure",
     "ReproError",
+    "VerificationError",
+    "DifferentialOracle",
+    "RunGuard",
+    "TolerancePolicy",
+    "GoldenStore",
 ]
 
 
@@ -175,6 +181,7 @@ class TestErrorHierarchy:
             "CheckpointError",
             "ServeError",
             "AdmissionError",
+            "VerificationError",
         ):
             cls = getattr(errors, name)
             assert issubclass(cls, errors.ReproError)

@@ -223,3 +223,145 @@ class TestRunResume:
 
         with pytest.raises(CheckpointError):
             main(["resume", str(tmp_path / "nope")])
+
+
+@pytest.mark.cli
+class TestCheckCommand:
+    """repro-nbody check: the verification battery as a CI gate."""
+
+    def _run_check(self, *extra):
+        return main(
+            [
+                "check",
+                "--n", "48",
+                "--plans", "i,jw",
+                "--backends", "serial,thread",
+                "--steps", "4",
+                *extra,
+            ]
+        )
+
+    def test_check_passes_and_writes_json(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert self._run_check("--json", str(report_path)) == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert "bit-identical" in out
+        doc = json.loads(report_path.read_text())
+        assert doc["ok"] is True
+        assert doc["matrix_ok"] and doc["invariants_ok"]
+        # 2 plans x (1 cross-plan row + 1 parallel backend row)
+        assert len(doc["matrix"]) == 4
+        assert {row["plan"] for row in doc["invariants"]} == {"i", "jw"}
+
+    def test_check_golden_bless_then_verify(self, tmp_path, capsys):
+        golden = tmp_path / "golden"
+        assert self._run_check("--golden", str(golden), "--bless") == 0
+        assert "blessed" in capsys.readouterr().out
+        assert self._run_check("--golden", str(golden)) == 0
+        assert "match" in capsys.readouterr().out
+
+    def test_check_golden_mismatch_fails(self, tmp_path, capsys):
+        golden = tmp_path / "golden"
+        assert self._run_check("--golden", str(golden), "--bless") == 0
+        capsys.readouterr()
+        # a different trajectory against the same blessed cases
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "check",
+                    "--n", "48",
+                    "--plans", "i,jw",
+                    "--backends", "serial",
+                    "--steps", "4",
+                    "--seed", "1",
+                    "--golden", str(golden),
+                ]
+            )
+        assert exc.value.code == 1
+        assert "missing" in capsys.readouterr().out  # different case ids
+
+    def test_unknown_plan_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", "--plans", "i,nope"])
+        assert exc.value.code == 2
+        assert "unknown plan" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", "--backends", "serial,gpu"])
+        assert exc.value.code == 2
+
+    def test_bless_requires_golden(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", "--bless"])
+        assert exc.value.code == 2
+        assert "--golden" in capsys.readouterr().err
+
+    def test_check_passes_through_compat(self):
+        assert _compat_argv(["check", "--n", "48"]) == ["check", "--n", "48"]
+
+
+@pytest.mark.cli
+@pytest.mark.serve
+class TestServeCommand:
+    """repro-nbody serve: error paths get distinct exit codes."""
+
+    def _jobs_file(self, tmp_path, jobs):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(jobs))
+        return str(path)
+
+    def _job(self, **kw):
+        base = dict(
+            workload="plummer", n=64, seed=1, plan="j", dt=1e-3, steps=3
+        )
+        base.update(kw)
+        return base
+
+    def test_serve_batch_completes(self, tmp_path, capsys):
+        jobs = self._jobs_file(
+            tmp_path, [self._job(seed=1), self._job(seed=2)]
+        )
+        assert (
+            main(
+                ["serve", "--jobs", jobs, "--cache-dir", str(tmp_path / "c")]
+            )
+            == 0
+        )
+        assert "2/2 jobs complete" in capsys.readouterr().out
+
+    def test_malformed_jobs_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "jobs.json"
+        path.write_text("{ not json [")
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--jobs", str(path)])
+        assert exc.value.code == 2
+        assert "cannot read job file" in capsys.readouterr().err
+
+    def test_invalid_spec_field_exits_2(self, tmp_path, capsys):
+        jobs = self._jobs_file(tmp_path, [self._job(plan="nope")])
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--jobs", str(jobs)])
+        assert exc.value.code == 2
+        assert "job 0" in capsys.readouterr().err
+
+    def test_admission_rejection_exits_3(self, tmp_path, capsys):
+        # capacity-1 queue, one runner: one live + one queued, so with
+        # long-running jobs a later submission must be rejected.
+        jobs = self._jobs_file(
+            tmp_path,
+            [self._job(seed=s, steps=60) for s in range(1, 7)],
+        )
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "serve",
+                    "--jobs", jobs,
+                    "--cache-dir", str(tmp_path / "c"),
+                    "--queue-capacity", "1",
+                    "--max-concurrent", "1",
+                ]
+            )
+        assert exc.value.code == 3
+        assert "rejected" in capsys.readouterr().err

@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 from repro import obs
+from repro.check import assert_bit_identical
 from repro.core.plans import PlanConfig, plan_by_name
 from repro.core.simulation import Simulation
 from repro.errors import ConfigurationError
@@ -206,14 +207,14 @@ class TestEngine:
 # ---------------------------------------------------------------------------
 
 class TestBitEquality:
-    @pytest.fixture(scope="class")
-    def bodies(self):
-        p = plummer(1024, seed=7)
-        return p.positions, p.masses
-
     @pytest.mark.parametrize("plan_name", PLANS)
     @pytest.mark.parametrize(
-        "backend,workers", [("thread", 2), ("thread", 3), ("process", 2)]
+        "backend,workers",
+        [
+            ("thread", 2),
+            ("thread", 3),
+            pytest.param("process", 2, marks=pytest.mark.process_backend),
+        ],
     )
     def test_parallel_matches_serial_bitwise(
         self, bodies, plan_name, backend, workers
@@ -224,7 +225,9 @@ class TestBitEquality:
         with ExecutionEngine(backend=backend, workers=workers) as eng:
             acc = plan_by_name(plan_name, cfg, engine=eng).accelerations(pos, mass)
         assert acc.dtype == ref.dtype
-        assert np.array_equal(acc, ref)  # bitwise, not approx
+        assert_bit_identical(
+            ref, acc, context=f"plan {plan_name} on {backend}x{workers}"
+        )
 
     @pytest.mark.parametrize("plan_name", PLANS)
     def test_workspace_does_not_grow_across_passes(self, bodies, plan_name):

@@ -16,12 +16,12 @@ The contracts under test:
 import json
 import warnings
 
-import numpy as np
 import pytest
 
 from repro import obs
+from repro.check import assert_bit_identical
 from repro.core.plans import PlanConfig, plan_by_name
-from repro.core.simulation import Simulation, SimulationRecord
+from repro.core.simulation import SimulationRecord
 from repro.errors import (
     CheckpointError,
     ConfigurationError,
@@ -33,31 +33,9 @@ from repro.exec import (
     InjectedFault,
     RetryPolicy,
 )
-from repro.nbody.ic import plummer
 from repro.runtime import RunManifest, RunSession
 from repro.runtime.checkpoint import plan_config_from_dict, plan_config_to_dict
-
-EPS = 1e-2
-
-
-def make_sim(plan_name="j", n=96, seed=7, engine=None, wg_size=256):
-    particles = plummer(n, seed=seed)
-    plan = plan_by_name(
-        plan_name, PlanConfig(softening=EPS, wg_size=wg_size), engine=engine
-    )
-    return Simulation(particles, plan, dt=1e-3)
-
-
-class Interrupt(RuntimeError):
-    """Stands in for a crash/SIGTERM mid-run."""
-
-
-def interrupt_at(step):
-    def callback(sim):
-        if sim.record.steps == step:
-            raise Interrupt(f"killed at step {step}")
-
-    return callback
+from tests.conftest import EPS, Interrupt, interrupt_at, make_sim
 
 
 # ---------------------------------------------------------------------------
@@ -83,15 +61,22 @@ class TestRunSession:
         assert record.simulated_seconds == ref.record.simulated_seconds
         assert record.interactions == ref.record.interactions
         assert resumed.simulation.time == ref.time
-        assert np.array_equal(
-            resumed.simulation.particles.positions, ref.particles.positions
+        assert_bit_identical(
+            ref.particles.positions,
+            resumed.simulation.particles.positions,
+            context="resumed positions",
         )
-        assert np.array_equal(
-            resumed.simulation.particles.velocities, ref.particles.velocities
+        assert_bit_identical(
+            ref.particles.velocities,
+            resumed.simulation.particles.velocities,
+            context="resumed velocities",
         )
         assert resumed.complete
 
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize(
+        "backend",
+        ["thread", pytest.param("process", marks=pytest.mark.process_backend)],
+    )
     def test_resume_onto_parallel_backend_stays_bit_identical(
         self, tmp_path, backend
     ):
@@ -105,11 +90,15 @@ class TestRunSession:
         with ExecutionEngine(backend=backend, workers=2) as engine:
             resumed = RunSession.resume(tmp_path / "run", engine=engine)
             resumed.run()
-        assert np.array_equal(
-            resumed.simulation.particles.positions, ref.particles.positions
+        assert_bit_identical(
+            ref.particles.positions,
+            resumed.simulation.particles.positions,
+            context=f"resume onto {backend}: positions",
         )
-        assert np.array_equal(
-            resumed.simulation.particles.velocities, ref.particles.velocities
+        assert_bit_identical(
+            ref.particles.velocities,
+            resumed.simulation.particles.velocities,
+            context=f"resume onto {backend}: velocities",
         )
 
     def test_uninterrupted_session_matches_plain_run(self, tmp_path):
@@ -117,8 +106,10 @@ class TestRunSession:
         ref.run(6)
         session = RunSession(make_sim(), tmp_path / "run", checkpoint_every=2)
         session.run(6)
-        assert np.array_equal(
-            session.simulation.particles.positions, ref.particles.positions
+        assert_bit_identical(
+            ref.particles.positions,
+            session.simulation.particles.positions,
+            context="uninterrupted session positions",
         )
         assert session.complete
         # intermediate checkpoints at 2 and 4, final at 6
@@ -135,8 +126,10 @@ class TestRunSession:
         resumed = RunSession.resume(tmp_path / "run")
         assert resumed.simulation.last_acceleration is None
         record = resumed.run()
-        assert np.array_equal(
-            resumed.simulation.particles.positions, ref.particles.positions
+        assert_bit_identical(
+            ref.particles.positions,
+            resumed.simulation.particles.positions,
+            context="resume without acc cache",
         )
         # the extra bootstrap pass is the only accounting difference
         assert record.force_passes == ref.record.force_passes + 1
@@ -248,7 +241,10 @@ class TestRetry:
         with pytest.raises(InjectedFault):
             eng.map(_square, range(6))
 
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize(
+        "backend",
+        ["thread", pytest.param("process", marks=pytest.mark.process_backend)],
+    )
     def test_parallel_retry_recovers(self, backend):
         with ExecutionEngine(
             backend=backend,
@@ -378,7 +374,7 @@ class TestFallback:
                 acc = plan_by_name("j", cfg, engine=eng).accelerations(
                     plummer_small.positions, plummer_small.masses
                 )
-        assert np.array_equal(acc, ref)
+        assert_bit_identical(ref, acc, context="force pass across fallback")
 
     def test_serial_backend_cannot_die(self):
         eng = ExecutionEngine(
@@ -426,10 +422,14 @@ class TestFaultsEndToEnd:
             assert resumed.simulation.record.steps == 3
             resumed.run()
 
-        assert np.array_equal(
-            resumed.simulation.particles.positions, ref.particles.positions
+        assert_bit_identical(
+            ref.particles.positions,
+            resumed.simulation.particles.positions,
+            context="fault gauntlet positions",
         )
-        assert np.array_equal(
-            resumed.simulation.particles.velocities, ref.particles.velocities
+        assert_bit_identical(
+            ref.particles.velocities,
+            resumed.simulation.particles.velocities,
+            context="fault gauntlet velocities",
         )
         assert resumed.simulation.record.force_passes == ref.record.force_passes

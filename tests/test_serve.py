@@ -17,7 +17,6 @@ The contracts under test:
 
 import threading
 
-import numpy as np
 import pytest
 
 import repro
@@ -40,24 +39,10 @@ from repro.serve import (
     current_settings,
 )
 from repro.serve.settings import clear_overrides, set_overrides
+from repro.check import assert_bit_identical
+from tests.conftest import small_spec, solo_state
 
-
-def small_spec(**kw):
-    base = dict(workload="plummer", n=128, seed=1, plan="jw", dt=1e-3, steps=5)
-    base.update(kw)
-    return JobSpec(**base)
-
-
-def solo_state(spec):
-    """Final (positions, velocities, time) of ``spec`` run standalone."""
-    sim = spec.build_simulation()
-    for _ in range(spec.steps):
-        sim.step()
-    return (
-        sim.particles.positions.copy(),
-        sim.particles.velocities.copy(),
-        sim.time,
-    )
+pytestmark = pytest.mark.serve
 
 
 # ---------------------------------------------------------------------------
@@ -178,7 +163,7 @@ class TestResultCache:
         assert not fresh.from_cache
         hit = cache.lookup(spec)
         assert hit is not None and hit.from_cache
-        np.testing.assert_array_equal(hit.positions, fresh.positions)
+        assert_bit_identical(fresh.positions, hit.positions)
 
     def test_incomplete_entry_is_miss_and_reclaimed(self, tmp_path):
         spec = small_spec()
@@ -217,8 +202,8 @@ class TestJobService:
             results = client.map(specs)
         for spec, result in zip(specs, results):
             pos, vel, time = solo_state(spec)
-            np.testing.assert_array_equal(result.positions, pos)
-            np.testing.assert_array_equal(result.velocities, vel)
+            assert_bit_identical(pos, result.positions)
+            assert_bit_identical(vel, result.velocities)
             assert result.time == time
             assert result.steps == spec.steps
 
@@ -240,7 +225,7 @@ class TestJobService:
         assert svc.scheduler.slices >= 4 * specs[0].steps
         for spec, result in zip(specs, results):
             pos, _, _ = solo_state(spec)
-            np.testing.assert_array_equal(result.positions, pos)
+            assert_bit_identical(pos, result.positions)
 
     def test_cache_hit_bit_identical_to_fresh(self, tmp_path):
         spec = small_spec()
@@ -248,8 +233,8 @@ class TestJobService:
             fresh = client.run(spec)
             cached = client.run(small_spec())  # equal spec, new object
         assert not fresh.from_cache and cached.from_cache
-        np.testing.assert_array_equal(cached.positions, fresh.positions)
-        np.testing.assert_array_equal(cached.velocities, fresh.velocities)
+        assert_bit_identical(fresh.positions, cached.positions)
+        assert_bit_identical(fresh.velocities, cached.velocities)
         assert cached.time == fresh.time
         assert cached.record == fresh.record
 
@@ -260,7 +245,7 @@ class TestJobService:
         with Client(cache_dir=tmp_path) as client:
             again = client.run(spec)
         assert again.from_cache
-        np.testing.assert_array_equal(again.positions, fresh.positions)
+        assert_bit_identical(fresh.positions, again.positions)
 
     def test_inflight_dedup_returns_same_handle(self, tmp_path):
         svc = JobService(
@@ -320,8 +305,8 @@ class TestJobService:
         assert bad.status == "failed" and bad.error is not None
         with pytest.raises(Exception):
             bad.result()
-        np.testing.assert_array_equal(result.positions, pos)
-        np.testing.assert_array_equal(result.velocities, vel)
+        assert_bit_identical(pos, result.positions)
+        assert_bit_identical(vel, result.velocities)
 
     def test_faulty_job_with_retries_still_bit_identical(self, tmp_path):
         spec = small_spec(seed=3, plan="j")
@@ -336,7 +321,7 @@ class TestJobService:
             )
             result = handle.result(timeout=120)
         assert not result.from_cache
-        np.testing.assert_array_equal(result.positions, pos)
+        assert_bit_identical(pos, result.positions)
 
     def test_failed_job_not_cached(self, tmp_path):
         spec = small_spec(seed=9)
@@ -353,7 +338,7 @@ class TestJobService:
             result = client.service.submit(spec).result(timeout=120)
         assert not result.from_cache
         pos, _, _ = solo_state(spec)
-        np.testing.assert_array_equal(result.positions, pos)
+        assert_bit_identical(pos, result.positions)
 
     def test_process_pool_backend(self, tmp_path):
         spec = small_spec()
@@ -362,7 +347,7 @@ class TestJobService:
             cache_dir=tmp_path, pool_backend="process", pool_workers=2
         ) as client:
             result = client.run(spec)
-        np.testing.assert_array_equal(result.positions, pos)
+        assert_bit_identical(pos, result.positions)
 
     def test_shared_pool_injection_left_open(self, tmp_path):
         with EnginePool(backend="thread", workers=2) as pool:
