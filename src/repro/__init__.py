@@ -35,7 +35,7 @@ Package layout
 * :mod:`repro.check` — differential & invariant verification: the
   oracle behind cross-plan/cross-backend equivalence, runtime guards,
   golden snapshots.
-* :mod:`repro.obs` — tracing & metrics.
+* :mod:`repro.obs` — tracing, metrics, and the durable run ledger.
 * :mod:`repro.perfmodel` — analytic performance model and metrics.
 * :mod:`repro.bench` — benchmark harness regenerating the paper's tables
   and figures.
@@ -61,6 +61,7 @@ _EXPORTS = {
     "register": "repro.plans",
     "resolve_plan": "repro.core.plans",
     "RunSession": "repro.runtime",
+    "RunLedger": "repro.obs.ledger",
     "ExecutionEngine": "repro.exec",
     "EnginePool": "repro.exec",
     "Client": "repro.serve",

@@ -9,6 +9,8 @@ Subcommands::
     repro-nbody serve --jobs FILE [...]    # batch of jobs over one pool
     repro-nbody submit [...]               # one cached job (spec flags)
     repro-nbody check [...]                # differential + invariant battery
+    repro-nbody top [...]                  # live run table from the ledger
+    repro-nbody report [...]               # markdown/HTML ledger report
 
 Examples::
 
@@ -18,14 +20,20 @@ Examples::
     repro-nbody run --n 4096 --plan jw --steps 200 --checkpoint-every 25 \\
         --out runs/demo
     repro-nbody resume runs/demo
-    repro-nbody serve --jobs jobs.json --max-concurrent 4 --cache-dir cache
+    repro-nbody serve --jobs jobs.json --max-concurrent 4 --cache-dir cache \\
+        --ledger-dir ledger
     repro-nbody submit --n 2048 --plan jw --steps 100 --cache-dir cache
     repro-nbody check --n 256 --json check.json
     repro-nbody check --golden tests/golden --bless
+    repro-nbody top --ledger-dir ledger --once
+    repro-nbody report --ledger-dir ledger --out runlog.md
 
 The pre-subcommand flat form (``repro-nbody table2 --quick``) keeps
 working: an unrecognised leading token is routed through a hidden
-compatibility path that prefixes ``bench``.
+compatibility path that prefixes ``bench``.  The flat ``report`` form
+(``repro-nbody report --output rep.md``) still reaches the bench report
+— bench-style flags (``--output``/``--quick``/``--workload``/``--steps``)
+disambiguate it from the ledger ``report`` subcommand.
 """
 
 from __future__ import annotations
@@ -64,7 +72,13 @@ _WORKLOAD_EXPERIMENTS = _SWEEP_EXPERIMENTS | {
 DEFAULT_TRACE_PATH = "trace.json"
 
 #: The CLI's subcommands (used by the flat-form compatibility shim).
-SUBCOMMANDS = ("run", "profile", "bench", "resume", "serve", "submit", "check")
+SUBCOMMANDS = (
+    "run", "profile", "bench", "resume", "serve", "submit", "check",
+    "top", "report",
+)
+
+#: Flags that mark a flat ``report`` invocation as the *bench* report.
+_BENCH_REPORT_FLAGS = frozenset({"--output", "--quick", "--workload", "--steps"})
 
 
 def _run_plans() -> tuple[str, ...]:
@@ -117,6 +131,21 @@ def _common_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the metrics snapshot JSON to PATH (implies --trace)",
+    )
+    common.add_argument(
+        "--prometheus-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics in Prometheus text exposition format to "
+        "PATH (implies --trace)",
+    )
+    common.add_argument(
+        "--ledger-dir",
+        default=None,
+        metavar="DIR",
+        help="append run accounting to the durable SQLite ledger in DIR "
+        "(default: the REPRO_LEDGER_DIR environment variable, else off); "
+        "read it back with 'repro-nbody top' / 'repro-nbody report'",
     )
     return common
 
@@ -342,6 +371,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the current digests in --golden DIR instead of "
         "verifying (the explicit snapshot-regeneration step)",
     )
+
+    top = sub.add_parser(
+        "top",
+        parents=[common],
+        help="live per-run table polled from the durable run ledger",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (default: refresh until Ctrl-C)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between refreshes (default: 2.0)",
+    )
+    top.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="show only the newest N runs (default: 20)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        parents=[common],
+        help="render the run ledger as a markdown/HTML research-log report",
+    )
+    report.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH (default: print to stdout)",
+    )
+    report.add_argument(
+        "--format",
+        default=None,
+        choices=("md", "html"),
+        help="report format (default: inferred from --out suffix, else md)",
+    )
     return parser
 
 
@@ -388,6 +460,14 @@ def _compat_argv(argv: Sequence[str]) -> list[str]:
     """
     argv = list(argv)
     if argv and not argv[0].startswith("-") and argv[0] not in SUBCOMMANDS:
+        return ["bench", *argv]
+    if (
+        argv
+        and argv[0] == "report"
+        and _BENCH_REPORT_FLAGS.intersection(argv[1:])
+    ):
+        # Flat bench-report form: its flags don't exist on the ledger
+        # report subcommand, so they identify the old shape.
         return ["bench", *argv]
     return argv
 
@@ -453,6 +533,9 @@ def _write_trace_outputs(args: argparse.Namespace) -> None:
     if args.metrics_out:
         mout = obs.export.write_metrics_json(args.metrics_out, obs.metrics())
         print(f"metrics written to {mout}")
+    if args.prometheus_out:
+        pout = obs.export.write_prometheus(args.prometheus_out, obs.metrics())
+        print(f"prometheus metrics written to {pout}")
 
 
 # ---------------------------------------------------------------------------
@@ -705,6 +788,94 @@ def _cmd_check(parser: argparse.ArgumentParser, args: argparse.Namespace) -> Non
         raise SystemExit(1)
 
 
+def _resolve_ledger(parser: argparse.ArgumentParser, args: argparse.Namespace):
+    """The ledger ``top``/``report`` read, or a parser error when unset."""
+    from repro.obs.ledger import RunLedger
+    from repro.obs.settings import ledger_dir
+
+    directory = args.ledger_dir or ledger_dir()
+    if directory is None:
+        parser.error(
+            "no ledger to read: pass --ledger-dir DIR or set REPRO_LEDGER_DIR"
+        )
+    return RunLedger(directory)
+
+
+def _top_cell(value, *, scale: float = 1.0, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value * scale:.{digits}f}"
+    return str(value)
+
+
+def _render_top(ledger, limit: int) -> str:
+    rows = ledger.job_table()
+    shown = rows[-limit:] if limit > 0 else rows
+    lines = [f"ledger {ledger.path} — {len(rows)} runs (showing {len(shown)})"]
+    header = (
+        f"{'id':>4}  {'spec':12} {'src':6} {'plan':4} {'n':>7} "
+        f"{'steps':>11}  {'status':8} {'wait_s':>7} {'wall_s':>8} "
+        f"{'p50_ms':>7} {'p99_ms':>7} {'rt':>3} {'dd':>3}"
+    )
+    lines += [header, "-" * len(header)]
+    for r in shown:
+        spec = (r["spec_hash"] or "")[:12] or "-"
+        target = r["steps"]
+        steps = (
+            f"{r['steps_done']}/{target}" if target is not None
+            else str(r["steps_done"])
+        )
+        lines.append(
+            f"{r['run_id']:>4}  {spec:12} {r['source']:6} "
+            f"{_top_cell(r['plan']):4} {_top_cell(r['n']):>7} {steps:>11}  "
+            f"{r['status']:8} {_top_cell(r['queue_wait_s']):>7} "
+            f"{_top_cell(r['wall_s']):>8} "
+            f"{_top_cell(r['slice_p50_s'], scale=1e3):>7} "
+            f"{_top_cell(r['slice_p99_s'], scale=1e3):>7} "
+            f"{r['retries']:>3} {r['dedup_count']:>3}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_top(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    if args.interval <= 0:
+        parser.error(f"--interval must be > 0, got {args.interval}")
+    ledger = _resolve_ledger(parser, args)
+    try:
+        while True:
+            print(_render_top(ledger, args.limit))
+            if args.once:
+                break
+            print()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        ledger.close()
+
+
+def _cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    ledger = _resolve_ledger(parser, args)
+    fmt = args.format
+    if fmt is None:
+        suffix = "" if args.out is None else args.out.rsplit(".", 1)[-1].lower()
+        fmt = "html" if suffix in ("html", "htm") else "md"
+    try:
+        if fmt == "html":
+            text = obs.export.ledger_report_html(ledger)
+        else:
+            text = obs.export.ledger_report_markdown(ledger)
+    finally:
+        ledger.close()
+    if args.out is None:
+        print(text, end="")
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"ledger report written to {args.out}")
+
+
 _HANDLERS = {
     "bench": _cmd_bench,
     "profile": _cmd_profile,
@@ -713,13 +884,16 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "check": _cmd_check,
+    "top": _cmd_top,
+    "report": _cmd_report,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
-    args = parser.parse_args(_compat_argv(argv if argv is not None else sys.argv[1:]))
+    full_argv = _compat_argv(argv if argv is not None else sys.argv[1:])
+    args = parser.parse_args(full_argv)
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.max_retries is not None and args.max_retries < 0:
@@ -734,10 +908,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             exec_backend=args.exec_backend,
             max_retries=args.max_retries,
         )
+    if args.ledger_dir is not None and args.command not in ("top", "report"):
+        configure(ledger_dir=args.ledger_dir)
+    if args.command in ("run", "resume", "serve", "submit"):
+        from repro.obs.settings import default_ledger
+
+        ledger = default_ledger()
+        if ledger is not None:
+            ledger.record_event("command", "repro-nbody " + " ".join(full_argv))
     tracing = (
         args.trace
         or args.trace_out is not None
         or args.metrics_out is not None
+        or args.prometheus_out is not None
         or args.command == "profile"
     )
     if tracing:

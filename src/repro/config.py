@@ -47,6 +47,7 @@ def configure(
     queue_capacity: int | None = None,
     cache_dir: str | None = None,
     verify: "bool | object | None" = None,
+    ledger_dir: str | None = None,
 ) -> ExecutionEngine:
     """Configure the library's global execution and observability state.
 
@@ -83,6 +84,13 @@ def configure(
         ``REPRO_CHECK_ENABLED`` is set, and ``None`` leaves the current
         setting untouched.  Sessions constructed with an explicit
         ``guard=`` argument always win.
+    ledger_dir:
+        Directory the durable :class:`~repro.obs.ledger.RunLedger` is
+        written to; sessions and serve services created afterwards
+        append their run accounting there.  Precedence (first hit wins):
+        explicit ``ledger=`` arguments, then this value, then the
+        ``REPRO_LEDGER_DIR`` environment variable, then off.  ``None``
+        leaves the current setting untouched.
 
     Returns the default :class:`~repro.exec.ExecutionEngine` after any
     reconfiguration, so the call is a drop-in replacement for the old
@@ -130,6 +138,10 @@ def configure(
         from repro.check.settings import set_verify_override
 
         set_verify_override(verify)
+    if ledger_dir is not None:
+        from repro.obs.settings import set_ledger_override
+
+        set_ledger_override(ledger_dir)
     if trace is not None:
         if trace:
             obs.enable(reset=True)

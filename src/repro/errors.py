@@ -56,6 +56,15 @@ class CheckpointError(ReproError):
     """
 
 
+class LedgerError(ReproError):
+    """The run ledger is missing, corrupt, or schema-incompatible.
+
+    Raised by :mod:`repro.obs.ledger` when a ledger database cannot be
+    opened, its ``PRAGMA user_version`` does not match the supported
+    schema, or a merge source is unreadable.
+    """
+
+
 class WorkloadError(ReproError):
     """An initial-condition or workload generator was given invalid parameters."""
 

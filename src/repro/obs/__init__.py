@@ -6,10 +6,15 @@ space axis.  This package makes that accounting first-class:
 
 * :mod:`repro.obs.tracing` — a hierarchical span tracer with wall-clock
   and *simulated-hardware* timelines;
-* :mod:`repro.obs.metrics` — counters, gauges and histograms with
-  percentile summaries;
-* :mod:`repro.obs.export` — Chrome-trace (Perfetto), JSON-lines and
-  markdown exporters.
+* :mod:`repro.obs.metrics` — counters, gauges and bounded-reservoir
+  histograms with percentile summaries, all supporting Prometheus-style
+  ``labels={...}`` timeseries;
+* :mod:`repro.obs.export` — Chrome-trace (Perfetto), JSON-lines,
+  Prometheus text exposition and markdown exporters;
+* :mod:`repro.obs.ledger` — a durable SQLite run ledger (``runs`` /
+  ``slices`` / ``events``) that survives the process, written as an
+  observer by :mod:`repro.runtime` sessions and the :mod:`repro.serve`
+  scheduler, and read by ``repro-nbody top`` / ``repro-nbody report``.
 
 Instrumentation throughout the library goes through the module-level
 facade here and is a near-zero-cost no-op unless :data:`enabled` is true::
@@ -41,6 +46,7 @@ from contextlib import contextmanager
 from typing import Any
 
 from repro.obs import export  # noqa: F401  (re-exported submodule)
+from repro.obs import ledger  # noqa: F401  (re-exported submodule)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracing import NULL_SPAN, Span, SpanTracer
 
@@ -68,6 +74,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "export",
+    "ledger",
 ]
 
 #: Master switch: when False every facade helper is a no-op.
@@ -167,19 +174,19 @@ def sim_now() -> float:
     return _tracer.sim_time
 
 
-def inc(name: str, amount: float = 1) -> None:
-    """Increment a counter."""
+def inc(name: str, amount: float = 1, *, labels: dict | None = None) -> None:
+    """Increment a counter (optionally one labeled timeseries of it)."""
     if enabled:
-        _metrics.counter(name).inc(amount)
+        _metrics.counter(name, labels=labels).inc(amount)
 
 
-def observe(name: str, value: float) -> None:
-    """Record a histogram sample."""
+def observe(name: str, value: float, *, labels: dict | None = None) -> None:
+    """Record a histogram sample (optionally per labeled timeseries)."""
     if enabled:
-        _metrics.histogram(name).observe(value)
+        _metrics.histogram(name, labels=labels).observe(value)
 
 
-def set_gauge(name: str, value: float) -> None:
-    """Set a gauge."""
+def set_gauge(name: str, value: float, *, labels: dict | None = None) -> None:
+    """Set a gauge (optionally one labeled timeseries of it)."""
     if enabled:
-        _metrics.gauge(name).set(value)
+        _metrics.gauge(name, labels=labels).set(value)

@@ -1,6 +1,6 @@
-"""Exporters: Chrome trace-event JSON, JSON-lines, markdown summary.
+"""Exporters: Chrome trace JSON, JSON-lines, Prometheus text, markdown.
 
-Three consumers, three formats:
+Four consumers, four formats:
 
 * :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
   trace-event format (``{"traceEvents": [...]}``), loadable in Perfetto or
@@ -12,6 +12,12 @@ Three consumers, three formats:
   the timeline.
 * :func:`write_jsonl` — one JSON object per line (spans, then metrics),
   the machine-diffable event log benchmarks consume.
+* :func:`prometheus_text` / :func:`write_prometheus` — the Prometheus
+  text exposition format (0.0.4): counters and gauges as labeled
+  samples (gauges grow ``_min``/``_max`` companion series), histograms
+  as summaries with ``{quantile=...}`` samples plus exact ``_sum`` /
+  ``_count``.  Dots in metric names become underscores
+  (``serve.jobs_total`` → ``serve_jobs_total``).
 * :func:`summary_markdown` — a human-readable per-span-name aggregate plus
   the metrics snapshot, printed by ``repro-nbody profile``.
 """
@@ -19,10 +25,11 @@ Three consumers, three formats:
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracing import Span, SpanTracer
 
 __all__ = [
@@ -32,7 +39,11 @@ __all__ = [
     "write_jsonl",
     "metrics_json",
     "write_metrics_json",
+    "prometheus_text",
+    "write_prometheus",
     "summary_markdown",
+    "ledger_report_markdown",
+    "ledger_report_html",
 ]
 
 #: pid of the wall-clock process in the Chrome trace.
@@ -197,6 +208,124 @@ def write_metrics_json(path: str | Path, metrics: MetricsRegistry) -> Path:
 
 
 # ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """A legal Prometheus metric name (dots and dashes to underscores)."""
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _prom_value(value: float) -> str:
+    """Deterministic sample rendering (shortest float repr; ints bare)."""
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _prom_labels(
+    labels: Mapping[str, str], extra: Mapping[str, str] | None = None
+) -> str:
+    items = dict(labels)
+    if extra:
+        items.update(extra)
+    if not items:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(
+            k, str(v).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+        )
+        for k, v in sorted(items.items())
+    )
+    return "{" + body + "}"
+
+
+def prometheus_text(metrics: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    One ``# TYPE`` block per metric name covering every labeled variant:
+    counters and gauge values map directly; gauge min/max become
+    ``<name>_min`` / ``<name>_max`` gauge series so watermark data
+    survives the export; histograms map to summaries —
+    ``{quantile="0.5"|"0.9"|"0.99"}`` samples from the bounded reservoir
+    plus exact ``_sum`` / ``_count``, and ``_min`` / ``_max`` gauges.
+    Output is byte-stable for a given registry state (names and label
+    sets are emitted in sorted order).
+    """
+    lines: list[str] = []
+    for name in metrics.names():
+        variants = metrics.by_name(name)
+        first = variants[0]
+        pname = _prom_name(name)
+        if first.description:
+            lines.append(f"# HELP {pname} {first.description}")
+        if isinstance(first, Counter):
+            lines.append(f"# TYPE {pname} counter")
+            for m in variants:
+                lines.append(
+                    f"{pname}{_prom_labels(m.labels)} {_prom_value(m.value)}"
+                )
+        elif isinstance(first, Gauge):
+            lines.append(f"# TYPE {pname} gauge")
+            for m in variants:
+                if m.value is not None:
+                    lines.append(
+                        f"{pname}{_prom_labels(m.labels)} "
+                        f"{_prom_value(m.value)}"
+                    )
+            for suffix in ("min", "max"):
+                series = [
+                    m for m in variants if getattr(m, suffix) is not None
+                ]
+                if not series:
+                    continue
+                lines.append(f"# TYPE {pname}_{suffix} gauge")
+                for m in series:
+                    lines.append(
+                        f"{pname}_{suffix}{_prom_labels(m.labels)} "
+                        f"{_prom_value(getattr(m, suffix))}"
+                    )
+        else:
+            assert isinstance(first, Histogram)
+            lines.append(f"# TYPE {pname} summary")
+            for m in variants:
+                if m.count:
+                    for q in m.SUMMARY_PERCENTILES:
+                        quantile = {"quantile": f"{q / 100.0:g}"}
+                        lines.append(
+                            f"{pname}{_prom_labels(m.labels, quantile)} "
+                            f"{_prom_value(m.percentile(q))}"
+                        )
+                lines.append(
+                    f"{pname}_sum{_prom_labels(m.labels)} {_prom_value(m.sum)}"
+                )
+                lines.append(
+                    f"{pname}_count{_prom_labels(m.labels)} {m.count}"
+                )
+            for suffix in ("min", "max"):
+                series = [
+                    m for m in variants if getattr(m, suffix) is not None
+                ]
+                if not series:
+                    continue
+                lines.append(f"# TYPE {pname}_{suffix} gauge")
+                for m in series:
+                    lines.append(
+                        f"{pname}_{suffix}{_prom_labels(m.labels)} "
+                        f"{_prom_value(getattr(m, suffix))}"
+                    )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path: str | Path, metrics: MetricsRegistry) -> Path:
+    """Write the Prometheus text exposition of ``metrics`` to ``path``."""
+    path = Path(path)
+    path.write_text(prometheus_text(metrics), encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------------
 # Markdown summary
 # ---------------------------------------------------------------------------
 
@@ -239,8 +368,171 @@ def summary_markdown(
                     )
                 )
             elif kind == "gauge":
-                val = f"{m['value']:.6g}" if m["value"] is not None else "-"
+                if m["value"] is None:
+                    val = "-"
+                else:
+                    val = (
+                        f"{m['value']:.6g} "
+                        f"(min={m['min']:.6g}, max={m['max']:.6g})"
+                    )
             else:
                 val = f"{m['value']:g}"
             lines.append(f"| {name} | {kind} | {val} |")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Ledger research-log report (markdown / HTML)
+# ---------------------------------------------------------------------------
+
+def _cell(value: Any, *, scale: float = 1.0, digits: int = 3) -> str:
+    """Render one report cell ("-" for absent values)."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value * scale:.{digits}f}"
+    return str(value)
+
+
+def _ledger_tables(ledger: Any) -> dict[str, Any]:
+    """Shared row model behind the markdown and HTML reports.
+
+    ``ledger`` is duck-typed (anything with the :class:`RunLedger` query
+    surface) so the exporter stays import-cycle-free.
+    """
+    jobs = ledger.job_table()
+    status_counts: dict[str, int] = {}
+    for row in jobs:
+        status_counts[row["status"]] = status_counts.get(row["status"], 0) + 1
+    run_header = (
+        "id", "spec", "source", "plan", "n", "steps", "status",
+        "wait s", "wall s", "p50 ms", "p99 ms", "retries", "dedup",
+    )
+    run_rows = []
+    for r in jobs:
+        spec = (r["spec_hash"] or "")[:12] or "-"
+        target = r["steps"]
+        steps = (
+            f"{r['steps_done']}/{target}" if target is not None
+            else str(r["steps_done"])
+        )
+        run_rows.append((
+            str(r["run_id"]), spec, r["source"], _cell(r["plan"]),
+            _cell(r["n"]), steps, r["status"],
+            _cell(r["queue_wait_s"]), _cell(r["wall_s"]),
+            _cell(r["slice_p50_s"], scale=1e3), _cell(r["slice_p99_s"], scale=1e3),
+            str(r["retries"]), str(r["dedup_count"]),
+        ))
+    plan_header = (
+        "plan", "runs", "complete", "failed", "cached", "retries", "dedup",
+        "mean wait s", "mean wall s", "p50 ms", "p99 ms", "steps",
+    )
+    plan_rows = [
+        (
+            p["plan"], str(p["runs"]), str(p["complete"]), str(p["failed"]),
+            str(p["cached"]), str(p["retries"]), str(p["deduped"]),
+            _cell(p["mean_queue_wait_s"]), _cell(p["mean_wall_s"]),
+            _cell(p["slice_p50_s"], scale=1e3), _cell(p["slice_p99_s"], scale=1e3),
+            str(p["steps"]),
+        )
+        for p in ledger.plan_table()
+    ]
+    event_counts: dict[str, int] = {}
+    for ev in ledger.events():
+        event_counts[ev["kind"]] = event_counts.get(ev["kind"], 0) + 1
+    return {
+        "path": str(ledger.path),
+        "total": len(jobs),
+        "status_counts": status_counts,
+        "runs": (run_header, run_rows),
+        "plans": (plan_header, plan_rows),
+        "events": sorted(event_counts.items()),
+    }
+
+
+def _md_table(header: tuple, rows: list[tuple]) -> list[str]:
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    lines += ["| " + " | ".join(r) + " |" for r in rows]
+    return lines
+
+
+def ledger_report_markdown(ledger: Any) -> str:
+    """A markdown research-log report over a :class:`RunLedger`."""
+    t = _ledger_tables(ledger)
+    statuses = ", ".join(f"{k}: {v}" for k, v in sorted(t["status_counts"].items()))
+    lines = [
+        "# Run ledger report",
+        "",
+        f"- ledger: `{t['path']}`",
+        f"- runs: {t['total']}" + (f" ({statuses})" if statuses else ""),
+    ]
+    if t["events"]:
+        events = ", ".join(f"{k}: {v}" for k, v in t["events"])
+        lines.append(f"- events: {events}")
+    lines += ["", "## Per-plan summary", ""]
+    if t["plans"][1]:
+        lines += _md_table(*t["plans"])
+    else:
+        lines.append("(no plan-tagged runs)")
+    lines += ["", "## Runs", ""]
+    if t["runs"][1]:
+        lines += _md_table(*t["runs"])
+    else:
+        lines.append("(no runs recorded)")
+    return "\n".join(lines) + "\n"
+
+
+def _html_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _html_table(header: tuple, rows: list[tuple]) -> list[str]:
+    lines = ["<table>", "<tr>"]
+    lines += [f"<th>{_html_escape(h)}</th>" for h in header]
+    lines.append("</tr>")
+    for row in rows:
+        lines.append("<tr>")
+        lines += [f"<td>{_html_escape(c)}</td>" for c in row]
+        lines.append("</tr>")
+    lines.append("</table>")
+    return lines
+
+
+def ledger_report_html(ledger: Any) -> str:
+    """A self-contained HTML rendering of :func:`ledger_report_markdown`."""
+    t = _ledger_tables(ledger)
+    statuses = ", ".join(f"{k}: {v}" for k, v in sorted(t["status_counts"].items()))
+    lines = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        "<title>Run ledger report</title>",
+        "<style>body{font-family:sans-serif;margin:2em}"
+        "table{border-collapse:collapse}"
+        "th,td{border:1px solid #999;padding:0.25em 0.6em;text-align:right}"
+        "th{background:#eee}td:first-child,th:first-child{text-align:left}"
+        "</style></head><body>",
+        "<h1>Run ledger report</h1>",
+        f"<p>ledger: <code>{_html_escape(t['path'])}</code><br>",
+        f"runs: {t['total']}" + (f" ({_html_escape(statuses)})" if statuses else ""),
+    ]
+    if t["events"]:
+        events = ", ".join(f"{k}: {v}" for k, v in t["events"])
+        lines.append(f"<br>events: {_html_escape(events)}")
+    lines.append("</p>")
+    lines.append("<h2>Per-plan summary</h2>")
+    if t["plans"][1]:
+        lines += _html_table(*t["plans"])
+    else:
+        lines.append("<p>(no plan-tagged runs)</p>")
+    lines.append("<h2>Runs</h2>")
+    if t["runs"][1]:
+        lines += _html_table(*t["runs"])
+    else:
+        lines.append("<p>(no runs recorded)</p>")
+    lines.append("</body></html>")
+    return "\n".join(lines) + "\n"

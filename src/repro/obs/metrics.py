@@ -6,21 +6,51 @@ A deliberately small, Prometheus-flavoured surface:
   (``interactions_total``, ``kernel_launches_total``).
 * :class:`Gauge` — last-written values with min/max tracking
   (``occupancy``, ``tree_depth``, ``gflops``).
-* :class:`Histogram` — full-sample distributions with percentile
-  summaries (``step_seconds``, ``kernel_seconds``).
+* :class:`Histogram` — bounded-reservoir distributions with exact
+  count/sum/mean/min/max and percentile summaries (``step_seconds``,
+  ``serve.slice_seconds``).
+
+Every instrument can carry **labels** — a small string-valued mapping
+that distinguishes timeseries sharing one metric name, exactly as in
+Prometheus::
+
+    registry.counter("serve.slices_total", labels={"plan": "jw"}).inc()
+    registry.histogram("serve.slice_seconds", labels={"plan": "i"}).observe(dt)
+
+Label sets are normalised (string keys/values, sorted by key) so the
+registry key — ``name{k="v",...}`` — is canonical: two call sites using
+the same logical labels always hit the same instrument, and snapshots
+are byte-stable regardless of insertion order.  A metric *name* is bound
+to one instrument type across all of its label sets.
+
+Histograms keep a fixed-size sample reservoir (Vitter's algorithm R with
+a seed derived from the metric identity), so per-job/per-slice
+timeseries never grow without bound while ``count``/``sum``/``mean`` and
+``min``/``max`` stay exact and snapshots stay bit-reproducible for a
+given observation sequence.
 
 Metrics are host-process aggregates over a run (unlike spans they carry no
-timeline); :mod:`repro.obs.export` serialises a registry snapshot to JSON
-and renders it in the markdown summary.  Like the tracer, this module
-never consults the ``repro.obs.enabled`` switch — the facade does.
+timeline); :mod:`repro.obs.export` serialises a registry snapshot to JSON,
+Prometheus text exposition, and the markdown summary.  Like the tracer,
+this module never consults the ``repro.obs.enabled`` switch — the facade
+does.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any
+import random
+import zlib
+from typing import Any, Mapping
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "percentile"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "labels_key",
+    "percentile",
+]
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -41,12 +71,67 @@ def percentile(values: list[float], q: float) -> float:
     return float(s[lo] * (1.0 - frac) + s[hi] * frac)
 
 
-class Counter:
-    """A monotonically increasing total."""
+def _normalise_labels(labels: Mapping[str, Any] | None) -> dict[str, str]:
+    """Canonical label mapping: string keys/values, sorted by key."""
+    if not labels:
+        return {}
+    out: dict[str, str] = {}
+    for key in sorted(labels):
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"label names must be non-empty strings, got {key!r}")
+        out[key] = str(labels[key])
+    return out
 
-    def __init__(self, name: str, description: str = "") -> None:
+
+def labels_key(name: str, labels: Mapping[str, Any] | None = None) -> str:
+    """The registry key for ``name`` + ``labels``: ``name{k="v",...}``.
+
+    Unlabeled metrics key on the bare name, keeping historical snapshot
+    keys (``interactions_total``) unchanged.
+    """
+    normalised = _normalise_labels(labels)
+    if not normalised:
+        return name
+    rendered = ",".join(f'{k}="{v}"' for k, v in normalised.items())
+    return f"{name}{{{rendered}}}"
+
+
+class _Instrument:
+    """Shared identity plumbing: name, labels, canonical key."""
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
         self.name = name
         self.description = description
+        #: normalised (string-valued, key-sorted) label set; {} if none
+        self.labels = _normalise_labels(labels)
+
+    @property
+    def key(self) -> str:
+        """The canonical registry/snapshot key (name + rendered labels)."""
+        return labels_key(self.name, self.labels)
+
+    def _identity_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total."""
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        super().__init__(name, description, labels)
         self.value: float = 0
 
     def inc(self, amount: float = 1) -> None:
@@ -56,15 +141,19 @@ class Counter:
         self.value += amount
 
     def to_dict(self) -> dict[str, Any]:
-        return {"type": "counter", "name": self.name, "value": self.value}
+        return {"type": "counter", **self._identity_dict(), "value": self.value}
 
 
-class Gauge:
+class Gauge(_Instrument):
     """A last-written value, tracking the min/max seen along the way."""
 
-    def __init__(self, name: str, description: str = "") -> None:
-        self.name = name
-        self.description = description
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        super().__init__(name, description, labels)
         self.value: float | None = None
         self.min: float | None = None
         self.max: float | None = None
@@ -79,113 +168,213 @@ class Gauge:
     def to_dict(self) -> dict[str, Any]:
         return {
             "type": "gauge",
-            "name": self.name,
+            **self._identity_dict(),
             "value": self.value,
             "min": self.min,
             "max": self.max,
         }
 
 
-class Histogram:
-    """A full-sample distribution with percentile summaries."""
+class Histogram(_Instrument):
+    """A distribution with exact totals and a bounded sample reservoir.
+
+    ``count``/``sum``/``mean``/``min``/``max`` are exact running
+    aggregates; percentiles are computed over a fixed-size reservoir
+    (Vitter's algorithm R) so memory stays bounded no matter how many
+    samples a long-running service records.  Replacement decisions come
+    from a private RNG seeded by the metric identity, so a given
+    observation sequence always yields the same reservoir — snapshots
+    are reproducible across runs and processes.
+    """
 
     #: Percentiles reported by :meth:`summary`.
     SUMMARY_PERCENTILES = (50.0, 90.0, 99.0)
 
-    def __init__(self, name: str, description: str = "") -> None:
-        self.name = name
-        self.description = description
+    #: Default reservoir capacity — exact percentiles up to this count.
+    DEFAULT_RESERVOIR = 4096
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        labels: Mapping[str, Any] | None = None,
+        *,
+        reservoir_size: int = DEFAULT_RESERVOIR,
+    ) -> None:
+        super().__init__(name, description, labels)
+        if reservoir_size < 1:
+            raise ValueError(
+                f"reservoir_size must be >= 1, got {reservoir_size}"
+            )
+        self.reservoir_size = reservoir_size
+        #: retained samples (the full sample until the reservoir fills)
         self.values: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        # Seeded by identity, not time: same observation sequence ->
+        # same reservoir, in any process.
+        self._rng = random.Random(zlib.crc32(self.key.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         """Record one sample."""
-        self.values.append(float(value))
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+        if len(self.values) < self.reservoir_size:
+            self.values.append(value)
+        else:
+            j = self._rng.randrange(self._count)
+            if j < self.reservoir_size:
+                self.values[j] = value
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count
 
     @property
     def sum(self) -> float:
-        return float(sum(self.values))
+        return float(self._sum)
 
     @property
     def mean(self) -> float:
-        if not self.values:
+        if not self._count:
             raise ValueError(f"histogram '{self.name}' has no samples")
-        return self.sum / self.count
+        return self._sum / self._count
+
+    @property
+    def min(self) -> float | None:
+        return self._min
+
+    @property
+    def max(self) -> float | None:
+        return self._max
+
+    @property
+    def saturated(self) -> bool:
+        """Whether samples have been dropped from the reservoir."""
+        return self._count > len(self.values)
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile of the recorded samples."""
+        """The ``q``-th percentile of the retained samples.
+
+        Exact until the reservoir saturates; a uniform estimate after.
+        """
         if not self.values:
             raise ValueError(f"histogram '{self.name}' has no samples")
         return percentile(self.values, q)
 
     def summary(self) -> dict[str, Any]:
-        """count/sum/mean/min/max plus the standard percentiles."""
+        """Exact count/sum/mean/min/max plus the standard percentiles."""
         out: dict[str, Any] = {"count": self.count, "sum": self.sum}
-        if self.values:
-            out.update(
-                mean=self.mean,
-                min=float(min(self.values)),
-                max=float(max(self.values)),
-            )
+        if self._count:
+            out.update(mean=self.mean, min=self._min, max=self._max)
             for q in self.SUMMARY_PERCENTILES:
                 out[f"p{q:g}"] = self.percentile(q)
+        if self.saturated:
+            out["reservoir_size"] = self.reservoir_size
         return out
 
     def to_dict(self) -> dict[str, Any]:
-        return {"type": "histogram", "name": self.name, **self.summary()}
+        return {"type": "histogram", **self._identity_dict(), **self.summary()}
 
 
 class MetricsRegistry:
     """Named metric instruments, created on first use.
 
     ``registry.counter("interactions_total").inc(n)`` — asking for an
-    existing name with a different instrument type raises ``ValueError``.
+    existing name with a different instrument type raises ``ValueError``,
+    and the type binding holds across label sets: a metric name is a
+    counter, a gauge, or a histogram for *every* ``labels=`` variant.
     """
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        #: instrument type bound to each metric *name* (across label sets)
+        self._types: dict[str, type] = {}
 
-    def _get_or_create(self, cls, name: str, description: str):
-        m = self._metrics.get(name)
-        if m is None:
-            m = cls(name, description)
-            self._metrics[name] = m
-        elif not isinstance(m, cls):
+    def _get_or_create(
+        self,
+        cls,
+        name: str,
+        description: str,
+        labels: Mapping[str, Any] | None,
+        **kwargs: Any,
+    ):
+        bound = self._types.get(name)
+        if bound is not None and bound is not cls:
             raise ValueError(
-                f"metric '{name}' already registered as {type(m).__name__}, "
+                f"metric '{name}' already registered as {bound.__name__}, "
                 f"not {cls.__name__}"
             )
+        key = labels_key(name, labels)
+        m = self._metrics.get(key)
+        if m is None:
+            m = cls(name, description, labels, **kwargs)
+            self._metrics[key] = m
+            self._types[name] = cls
         return m
 
-    def counter(self, name: str, description: str = "") -> Counter:
-        return self._get_or_create(Counter, name, description)
+    def counter(
+        self,
+        name: str,
+        description: str = "",
+        labels: Mapping[str, Any] | None = None,
+    ) -> Counter:
+        return self._get_or_create(Counter, name, description, labels)
 
-    def gauge(self, name: str, description: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, description)
+    def gauge(
+        self,
+        name: str,
+        description: str = "",
+        labels: Mapping[str, Any] | None = None,
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, description, labels)
 
-    def histogram(self, name: str, description: str = "") -> Histogram:
-        return self._get_or_create(Histogram, name, description)
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        labels: Mapping[str, Any] | None = None,
+        *,
+        reservoir_size: int = Histogram.DEFAULT_RESERVOIR,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, description, labels, reservoir_size=reservoir_size
+        )
 
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+    def __contains__(self, key: str) -> bool:
+        return key in self._metrics
 
     def __iter__(self):
         return iter(self._metrics.values())
 
-    def get(self, name: str) -> Counter | Gauge | Histogram | None:
-        """The instrument registered under ``name``, or ``None``."""
-        return self._metrics.get(name)
+    def get(self, name: str, labels: Mapping[str, Any] | None = None):
+        """The instrument under ``name`` (+ ``labels``), or ``None``."""
+        return self._metrics.get(labels_key(name, labels))
+
+    def by_name(self, name: str) -> list[Counter | Gauge | Histogram]:
+        """Every labeled variant of ``name``, key-sorted."""
+        return [
+            m for key, m in sorted(self._metrics.items()) if m.name == name
+        ]
+
+    def names(self) -> list[str]:
+        """Distinct metric names (label sets collapsed), sorted."""
+        return sorted({m.name for m in self._metrics.values()})
 
     def reset(self) -> None:
         """Forget all instruments and their data."""
         self._metrics.clear()
+        self._types.clear()
 
     def snapshot(self) -> dict[str, Any]:
-        """JSON-serialisable view of every instrument, keyed by name."""
-        return {name: m.to_dict() for name, m in sorted(self._metrics.items())}
+        """JSON-serialisable view of every instrument, keyed by
+        ``name`` or ``name{k="v",...}`` for labeled timeseries."""
+        return {key: m.to_dict() for key, m in sorted(self._metrics.items())}

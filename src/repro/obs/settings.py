@@ -1,0 +1,84 @@
+"""Obs-layer settings: where (and whether) the run ledger is written.
+
+The durable run ledger is opt-in: it stays off until a directory is
+configured, resolved with the library's usual precedence chain (first
+hit wins):
+
+1. an explicit ``ledger=`` argument to :class:`~repro.runtime.RunSession`
+   / :class:`~repro.serve.JobService` (a :class:`RunLedger`, or ``False``
+   to opt out of an enabled default);
+2. the directory set through :func:`repro.configure` (``ledger_dir=``);
+3. the ``REPRO_LEDGER_DIR`` environment variable;
+4. the built-in default: no ledger.
+
+The environment is read when a ledger is resolved (session/service
+construction), not at import, so tests and subprocesses can adjust it
+freely.  Resolved ledgers are cached per path so every session and
+service in the process shares one connection (the
+:class:`~repro.obs.ledger.RunLedger` is thread-safe).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.obs.ledger import RunLedger
+
+__all__ = [
+    "default_ledger",
+    "ledger_dir",
+    "set_ledger_override",
+    "clear_overrides",
+]
+
+ENV_LEDGER_DIR = "REPRO_LEDGER_DIR"
+
+#: ``repro.configure(ledger_dir=...)`` value (precedence level 2);
+#: ``None`` means "not configured, fall through to the environment".
+_ledger_dir_override: str | None = None
+
+#: Open ledgers, keyed by resolved database path.
+_open_ledgers: dict[Path, RunLedger] = {}
+
+
+def set_ledger_override(ledger_dir: str | None) -> None:
+    """Install the ``repro.configure``-level ledger directory."""
+    global _ledger_dir_override
+    _ledger_dir_override = None if ledger_dir is None else str(ledger_dir)
+
+
+def clear_overrides() -> None:
+    """Drop the configure-level ledger directory and close cached ledgers
+    (tests)."""
+    global _ledger_dir_override
+    _ledger_dir_override = None
+    for ledger in _open_ledgers.values():
+        ledger.close()
+    _open_ledgers.clear()
+
+
+def ledger_dir() -> str | None:
+    """The resolved ledger directory, or ``None`` when ledgering is off."""
+    if _ledger_dir_override is not None:
+        return _ledger_dir_override
+    return os.environ.get(ENV_LEDGER_DIR) or None
+
+
+def default_ledger() -> RunLedger | None:
+    """The process-shared ledger a fresh session/service gets, or ``None``.
+
+    One :class:`RunLedger` is kept open per resolved path, so concurrent
+    sessions and services append to the same database through one
+    thread-safe connection.
+    """
+    directory = ledger_dir()
+    if directory is None:
+        return None
+    ledger = RunLedger(directory)
+    cached = _open_ledgers.get(ledger.path)
+    if cached is not None:
+        ledger.close()
+        return cached
+    _open_ledgers[ledger.path] = ledger
+    return ledger

@@ -39,10 +39,19 @@ when the run starts and re-evaluates energy/momentum conservation and
 finite-state sentinels at every checkpoint — *before* the state is
 persisted, so a violating state never becomes a resumable checkpoint —
 raising :class:`~repro.errors.VerificationError` on violation.
+
+Durable accounting: a session can additionally carry a
+:class:`~repro.obs.ledger.RunLedger` (``ledger=`` keyword, or on by
+default via ``repro.configure(ledger_dir=...)`` / ``REPRO_LEDGER_DIR``).
+The ledger is a pure observer — it records submission, per-``advance``
+slices, checkpoints, completion/failure and final totals to SQLite, and
+never feeds anything back into the run, so ledgered and unledgered runs
+are bit-identical.
 """
 
 from __future__ import annotations
 
+import time
 import warnings
 from pathlib import Path
 from typing import Callable
@@ -85,6 +94,12 @@ class RunSession:
         ``False`` to opt out even when verification is globally enabled,
         or ``None`` (default) to resolve through
         ``repro.configure(verify=...)`` / ``REPRO_CHECK_*``.
+    ledger:
+        A :class:`~repro.obs.ledger.RunLedger` this session appends its
+        run accounting to, ``False`` to opt out even when a ledger
+        directory is globally configured, or ``None`` (default) to
+        resolve through ``repro.configure(ledger_dir=...)`` /
+        ``REPRO_LEDGER_DIR``.
     """
 
     def __init__(
@@ -94,6 +109,7 @@ class RunSession:
         *args,
         checkpoint_every: int = 0,
         guard: "RunGuard | bool | None" = None,
+        ledger: "RunLedger | bool | None" = None,
         _manifest: RunManifest | None = None,
     ) -> None:
         if args:
@@ -128,6 +144,20 @@ class RunSession:
             guard = RunGuard()
         #: invariant watchdog evaluated at every checkpoint (may be None)
         self.guard = guard
+        if ledger is None:
+            from repro.obs.settings import default_ledger
+
+            ledger = default_ledger()
+        elif ledger is False:
+            ledger = None
+        #: durable run ledger this session appends to (may be None)
+        self.ledger = ledger
+        self._ledger_run_id: int | None = None
+        self._ledger_done = False
+        self._ledger_slices = 0
+        self._ledger_wall = 0.0
+        #: ledger ``source`` tag (``resume`` overwrites it in resume())
+        self._ledger_source = "run"
         #: checkpoints written by *this* session object
         self.checkpoints_written = 0
         if _manifest is not None:
@@ -172,7 +202,61 @@ class RunSession:
         self._ensure_manifest(target_steps)
         if self.guard is not None and not self.guard.primed:
             self.guard.prime(sim)
+        self._ledger_open(target_steps)
         return target_steps
+
+    # -- ledger observers (never feed back into the run) ----------------
+    def _ledger_open(self, target_steps: int) -> None:
+        if self.ledger is None or self._ledger_run_id is not None:
+            return
+        sim = self.simulation
+        backend = getattr(getattr(sim.plan, "engine", None), "backend", None)
+        self._ledger_run_id = self.ledger.record_submitted(
+            source=self._ledger_source,
+            plan=sim.plan.name,
+            n=len(sim.particles),
+            dt=sim.dt,
+            steps=target_steps,
+            checkpoint_dir=str(self.directory),
+        )
+        self.ledger.record_started(self._ledger_run_id, backend=backend)
+
+    def _ledger_slice(self, steps: int, wall_s: float) -> None:
+        if self.ledger is None or self._ledger_run_id is None or steps == 0:
+            return
+        self._ledger_slices += 1
+        self._ledger_wall += wall_s
+        self.ledger.record_slice(
+            self._ledger_run_id,
+            seq=self._ledger_slices,
+            steps=steps,
+            wall_s=wall_s,
+        )
+
+    def _ledger_finish(
+        self, status: str, error: BaseException | None = None
+    ) -> None:
+        if (
+            self.ledger is None
+            or self._ledger_run_id is None
+            or self._ledger_done
+        ):
+            return
+        self._ledger_done = status in ("complete", "cached")
+        record = self.simulation.record
+        fields: dict = dict(
+            wall_s=self._ledger_wall,
+            simulated_s=record.simulated_seconds,
+            force_passes=record.force_passes,
+        )
+        if error is not None:
+            fields["error"] = f"{type(error).__name__}: {error}"
+            report = getattr(error, "report", None)
+            if report is not None:
+                fields["invariant_report"] = repr(report)
+        self.ledger.record_finished(
+            self._ledger_run_id, status=status, **fields
+        )
 
     def advance(
         self,
@@ -206,27 +290,36 @@ class RunSession:
         if sim.record.steps >= target and self.complete:
             return True
         done = 0
-        while sim.record.steps < target:
-            sim.step()
-            done += 1
-            k = sim.record.steps
-            if (
-                self.checkpoint_every
-                and k % self.checkpoint_every == 0
-                and k < target
-            ):
-                self.checkpoint()
-            if callback is not None and (
-                k % callback_every == 0 or k == target
-            ):
-                callback(sim)
-            if self.guard is not None:
-                self.guard.maybe_check(sim)
-            if max_steps is not None and done >= max_steps:
-                break
-        if sim.record.steps >= target:
-            self.checkpoint(final=True)
-            return True
+        t0 = time.perf_counter()
+        try:
+            while sim.record.steps < target:
+                sim.step()
+                done += 1
+                k = sim.record.steps
+                if (
+                    self.checkpoint_every
+                    and k % self.checkpoint_every == 0
+                    and k < target
+                ):
+                    self.checkpoint()
+                if callback is not None and (
+                    k % callback_every == 0 or k == target
+                ):
+                    callback(sim)
+                if self.guard is not None:
+                    self.guard.maybe_check(sim)
+                if max_steps is not None and done >= max_steps:
+                    break
+            if sim.record.steps >= target:
+                self.checkpoint(final=True)
+                self._ledger_slice(done, time.perf_counter() - t0)
+                self._ledger_finish("complete")
+                return True
+        except BaseException as exc:
+            self._ledger_slice(done, time.perf_counter() - t0)
+            self._ledger_finish("failed", exc)
+            raise
+        self._ledger_slice(done, time.perf_counter() - t0)
         return False
 
     def run(
@@ -301,6 +394,10 @@ class RunSession:
             self.manifest.write(self.directory)
         obs.inc("checkpoints_total")
         self.checkpoints_written += 1
+        if self.ledger is not None and self._ledger_run_id is not None:
+            self.ledger.record_event(
+                "checkpoint", name, run_id=self._ledger_run_id
+            )
         return self.directory / name
 
     def _ensure_manifest(self, target_steps: int) -> None:
@@ -328,6 +425,7 @@ class RunSession:
         *,
         plan: Plan | str | None = None,
         engine: ExecutionEngine | None = None,
+        ledger: "RunLedger | bool | None" = None,
     ) -> "RunSession":
         """Rebuild a session from the last completed checkpoint.
 
@@ -337,7 +435,8 @@ class RunSession:
         e.g. ``resume(d, plan="w")`` replays a ``jw`` run under the
         w-parallel plan.  ``engine`` rewires force execution — safe for
         any backend/worker count because parallel execution is
-        bit-identical to serial.
+        bit-identical to serial.  ``ledger`` resolves as in the
+        constructor; the resumed run is recorded with ``source='resume'``.
         """
         directory = Path(directory)
         manifest = RunManifest.read(directory)
@@ -368,8 +467,10 @@ class RunSession:
             sim,
             directory,
             checkpoint_every=manifest.checkpoint_every,
+            ledger=ledger,
             _manifest=manifest,
         )
+        session._ledger_source = "resume"
         return session
 
     # ------------------------------------------------------------------

@@ -23,6 +23,13 @@ successful slice with ``(job, done)``, and a raising hook fails the job
 exactly like a raising ``advance`` — the serve layer uses it to run
 :class:`~repro.check.RunGuard` invariant checks each slice, so a job
 serving bad physics dies at slice granularity rather than at completion.
+
+``slice_observer`` is the observability twin of that seam: called after
+the hook with ``(job, done, wall_s)`` where ``wall_s`` is the measured
+wall-clock duration of the ``advance`` call.  The serve layer points it
+at the run ledger and the labeled ``serve.slice_seconds`` histogram.  An
+observer must never influence the run, so a raising observer is a bug
+surfaced to the runner thread, not a job failure.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ class Scheduler:
         runner_threads: int | None = None,
         steps_per_slice: int = 8,
         slice_hook: Callable[[Any, bool], None] | None = None,
+        slice_observer: Callable[[Any, bool, float], None] | None = None,
     ) -> None:
         if max_live < 1:
             raise ServeError(f"max_live must be >= 1, got {max_live}")
@@ -69,6 +77,7 @@ class Scheduler:
         self.runner_threads = runner_threads
         self.steps_per_slice = steps_per_slice
         self.slice_hook = slice_hook
+        self.slice_observer = slice_observer
         self._ready: deque[Any] = deque()
         self._lock = threading.Lock()
         self._live = 0
@@ -179,7 +188,9 @@ class Scheduler:
                 time.sleep(0.001)
                 continue
             try:
+                t0 = time.perf_counter()
                 done = job.advance(self.steps_per_slice)
+                slice_wall = time.perf_counter() - t0
                 if self.slice_hook is not None:
                     self.slice_hook(job, done)
             except Exception as exc:
@@ -187,6 +198,8 @@ class Scheduler:
                     self._live -= 1
                 job.fail(exc)
                 continue
+            if self.slice_observer is not None:
+                self.slice_observer(job, done, slice_wall)
             with self._lock:
                 self.slices += 1
                 if done:

@@ -19,7 +19,18 @@ answers bump ``serve.cache_hits_total``; coalesced submissions bump
 ``serve.dedup_total``; rejections bump ``serve.rejected_total``; the
 pending count is mirrored to the ``serve.queue_depth`` gauge; and each
 executed job records a ``serve.job`` span (worker-measured interval) on
-completion.
+completion.  Per-plan labeled timeseries ride alongside the totals:
+``serve.jobs_total``/``serve.slices_total`` counters and the
+``serve.queue_wait_seconds``/``serve.slice_seconds`` bounded-reservoir
+histograms, all labeled ``{plan=...}``.
+
+Durability: when a run ledger is configured
+(``repro.configure(ledger_dir=...)`` / ``REPRO_LEDGER_DIR`` / the
+``ledger=`` keyword), the service records every submission, queue wait,
+executed slice, cache hit, dedup, retry count and final status to
+SQLite through the scheduler's ``slice_observer`` seam — pure
+observation, so batched results stay bit-identical to solo runs.  The
+``repro-nbody top`` and ``report`` commands read that ledger.
 
 :class:`Client` is the ergonomic front end::
 
@@ -44,6 +55,8 @@ from repro.check.invariants import TolerancePolicy
 from repro.errors import ServeError
 from repro.exec.engine import EnginePool, ExecutionEngine
 from repro.exec.faults import FaultInjector, RetryPolicy
+from repro.obs.ledger import RunLedger
+from repro.obs.settings import default_ledger
 from repro.runtime.session import RunSession
 from repro.serve.cache import JobResult, ResultCache
 from repro.serve.queue import JobQueue
@@ -67,6 +80,8 @@ class JobHandle:
         self.status = "queued"
         #: submissions coalesced onto this handle beyond the first
         self.dedup_count = 0
+        #: run ledger row backing this submission (None when unledgered)
+        self.run_id: int | None = None
 
     # -- resolution (service-internal) ---------------------------------
     def _resolve(self, result: JobResult) -> None:
@@ -131,6 +146,13 @@ class _Job:
         self.engine: ExecutionEngine | None = None
         self.session: RunSession | None = None
         self._t0 = 0.0
+        #: ledger row of this job (None when ledgering is off)
+        self.run_id: int | None = None
+        #: steps advanced by the most recent scheduler slice
+        self.last_slice_steps = 0
+        self._slice_seq = 0
+        self._submitted_at = time.time()
+        self._retries = 0
 
     # -- scheduler protocol --------------------------------------------
     def begin(self) -> None:
@@ -141,13 +163,27 @@ class _Job:
             retry=self.retry, fault_injector=self.fault_injector
         )
         sim = self.spec.build_simulation(engine=self.engine)
+        # ledger=False: the service records this job itself (queue wait,
+        # slices, status) — a session-level ledger row would double it.
         self.session = RunSession(
             sim,
             run_dir,
             checkpoint_every=self.spec.checkpoint_every,
             guard=self._resolve_guard(),
+            ledger=False,
         )
         self.session.start(self.spec.steps)
+        queue_wait = max(0.0, time.time() - self._submitted_at)
+        obs.observe(
+            "serve.queue_wait_seconds", queue_wait,
+            labels={"plan": self.spec.plan},
+        )
+        if self.service.ledger is not None and self.run_id is not None:
+            self.service.ledger.record_started(
+                self.run_id,
+                backend=self.engine.backend,
+                checkpoint_dir=str(run_dir),
+            )
         self.service._note_dequeued()
 
     def _resolve_guard(self) -> "RunGuard | bool | None":
@@ -170,7 +206,10 @@ class _Job:
 
     def advance(self, max_steps: int) -> bool:
         assert self.session is not None
-        return self.session.advance(max_steps)
+        before = self.session.simulation.record.steps
+        done = self.session.advance(max_steps)
+        self.last_slice_steps = self.session.simulation.record.steps - before
+        return done
 
     def verify_slice(self, done: bool) -> None:
         """Scheduler slice hook: invariant check at slice granularity.
@@ -205,6 +244,8 @@ class _Job:
     # -- helpers -------------------------------------------------------
     def _close_engine(self) -> None:
         if self.engine is not None:
+            # Retry accounting must survive the engine teardown.
+            self._retries = self.engine.retries_total
             self.engine.close()
             self.engine = None
 
@@ -236,6 +277,7 @@ class JobService:
         runner_threads: int | None = None,
         steps_per_slice: int = 8,
         verify: "bool | TolerancePolicy | None" = None,
+        ledger: "RunLedger | bool | None" = None,
     ) -> None:
         self.settings: ServeSettings = current_settings(
             max_concurrent_jobs=max_concurrent_jobs,
@@ -248,12 +290,26 @@ class JobService:
         self.pool = pool or EnginePool(backend=pool_backend, workers=pool_workers)
         #: service-wide verification default (per-submit ``verify`` wins)
         self.verify = verify
+        #: durable run ledger (None when ledgering is off); resolved with
+        #: the usual precedence: explicit > configure() > env > off
+        if ledger is None:
+            self.ledger: RunLedger | None = default_ledger()
+        elif ledger is False:
+            self.ledger = None
+        elif isinstance(ledger, RunLedger):
+            self.ledger = ledger
+        else:
+            raise ServeError(
+                f"ledger must be a RunLedger, False or None, "
+                f"got {type(ledger).__name__}"
+            )
         self.scheduler = Scheduler(
             self.queue,
             max_live=self.settings.max_concurrent_jobs,
             runner_threads=runner_threads,
             steps_per_slice=steps_per_slice,
             slice_hook=lambda job, done: job.verify_slice(done),
+            slice_observer=self._observe_slice,
         )
         self._lock = threading.Lock()
         self._inflight: dict[str, JobHandle] = {}
@@ -300,11 +356,17 @@ class JobService:
                 raise ServeError("service is closed")
             self.jobs_submitted += 1
             obs.inc("serve.jobs_total")
+            obs.inc("serve.jobs_total", labels={"plan": spec.plan})
             existing = self._inflight.get(spec_hash)
             if existing is not None:
                 existing.dedup_count += 1
                 self.deduped += 1
                 obs.inc("serve.dedup_total")
+                if self.ledger is not None and existing.run_id is not None:
+                    self.ledger.bump_dedup(existing.run_id)
+                    self.ledger.record_event(
+                        "dedup", spec_hash[:12], run_id=existing.run_id
+                    )
                 return existing
             cached = self.cache.lookup(spec)
             if cached is not None:
@@ -312,6 +374,20 @@ class JobService:
                 obs.inc("serve.cache_hits_total")
                 handle = JobHandle(spec, spec_hash)
                 handle._resolve(cached)
+                if self.ledger is not None:
+                    run_id = self.ledger.record_submitted(
+                        source="serve", **self._spec_fields(spec, spec_hash)
+                    )
+                    handle.run_id = run_id
+                    self.ledger.record_finished(
+                        run_id,
+                        status="cached",
+                        from_cache=True,
+                        checkpoint_dir=str(cached.run_dir),
+                    )
+                    self.ledger.record_event(
+                        "cache_hit", spec_hash[:12], run_id=run_id
+                    )
                 return handle
             handle = JobHandle(spec, spec_hash)
             job = _Job(
@@ -322,14 +398,37 @@ class JobService:
                 fault_injector=fault_injector,
                 verify=verify,
             )
+            if self.ledger is not None:
+                job.run_id = self.ledger.record_submitted(
+                    source="serve", **self._spec_fields(spec, spec_hash)
+                )
+                handle.run_id = job.run_id
             try:
                 self.queue.push(job, priority=priority)
             except Exception:
                 obs.inc("serve.rejected_total")
+                if self.ledger is not None and job.run_id is not None:
+                    self.ledger.record_finished(
+                        job.run_id, status="failed", error="AdmissionError: "
+                        "rejected by admission control",
+                    )
                 raise
             self._inflight[spec_hash] = handle
             obs.set_gauge("serve.queue_depth", len(self.queue))
             return handle
+
+    @staticmethod
+    def _spec_fields(spec: JobSpec, spec_hash: str) -> dict[str, Any]:
+        """Ledger ``runs`` columns carrying the spec's identity."""
+        return {
+            "spec_hash": spec_hash,
+            "workload": spec.workload,
+            "n": spec.n,
+            "seed": spec.seed,
+            "plan": spec.plan,
+            "dt": spec.dt,
+            "steps": spec.steps,
+        }
 
     def submit_many(
         self, specs: Iterable[JobSpec], *, priority: int = 0
@@ -349,6 +448,28 @@ class JobService:
     def _note_dequeued(self) -> None:
         obs.set_gauge("serve.queue_depth", len(self.queue))
 
+    def _observe_slice(self, job: _Job, done: bool, wall_s: float) -> None:
+        """Scheduler ``slice_observer``: labeled telemetry + ledger row.
+
+        Pure observation — never raises into the run path, never mutates
+        the job beyond its slice counter.
+        """
+        plan = job.spec.plan
+        obs.inc("serve.slices_total", labels={"plan": plan})
+        obs.observe("serve.slice_seconds", wall_s, labels={"plan": plan})
+        if (
+            self.ledger is not None
+            and job.run_id is not None
+            and job.last_slice_steps > 0
+        ):
+            job._slice_seq += 1
+            self.ledger.record_slice(
+                job.run_id,
+                seq=job._slice_seq,
+                steps=job.last_slice_steps,
+                wall_s=wall_s,
+            )
+
     def _job_finished(
         self,
         job: _Job,
@@ -361,11 +482,47 @@ class JobService:
             obs.set_gauge("serve.queue_depth", len(self.queue))
         if error is not None:
             obs.inc("serve.jobs_failed_total")
+            self._ledger_finish(job, error=error)
             job.handle._reject(error)
         else:
             assert result is not None
             obs.inc("serve.jobs_completed_total")
+            self._ledger_finish(job, result=result)
             job.handle._resolve(result)
+
+    def _ledger_finish(
+        self,
+        job: _Job,
+        *,
+        result: JobResult | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        """Finalise the job's ledger row (observer: never raises upward)."""
+        if self.ledger is None or job.run_id is None:
+            return
+        fields: dict[str, Any] = {
+            "wall_s": time.perf_counter() - job._t0,
+            "retries": job._retries,
+        }
+        if error is not None:
+            fields["error"] = f"{type(error).__name__}: {error}"
+            report = getattr(error, "report", None)
+            if report is not None:
+                fields["invariant_report"] = repr(report)
+            self.ledger.record_finished(job.run_id, status="failed", **fields)
+            return
+        assert result is not None
+        record = result.record  # serialised SimulationRecord (a dict)
+        fields["simulated_s"] = record.get("simulated_seconds")
+        fields["force_passes"] = record.get("force_passes")
+        snapshot = obs.metrics().snapshot()
+        metrics = {
+            k: v for k, v in sorted(snapshot.items())
+            if k.startswith("serve.") or k.startswith("task_")
+        }
+        self.ledger.record_finished(
+            job.run_id, status="complete", metrics=metrics, **fields
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -405,6 +562,7 @@ class JobService:
             "jobs_submitted": self.jobs_submitted,
             "cache_hits": self.cache_hits,
             "deduped": self.deduped,
+            "ledger": None if self.ledger is None else str(self.ledger.path),
             "closed": self._closed,
         }
 

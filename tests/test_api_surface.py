@@ -45,6 +45,7 @@ FACADE_EXPORTS = [
     "register",
     "resolve_plan",
     "RunSession",
+    "RunLedger",
     "ExecutionEngine",
     "EnginePool",
     "RetryPolicy",

@@ -365,3 +365,98 @@ class TestServeCommand:
             )
         assert exc.value.code == 3
         assert "rejected" in capsys.readouterr().err
+
+
+class TestTopAndReport:
+    """repro-nbody top / report over the durable run ledger."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_ledger(self, monkeypatch):
+        from repro.obs.settings import clear_overrides
+
+        monkeypatch.delenv("REPRO_LEDGER_DIR", raising=False)
+        clear_overrides()
+        yield
+        clear_overrides()
+
+    def _run_with_ledger(self, tmp_path):
+        ledger_dir = tmp_path / "ledger"
+        assert main(
+            [
+                "run", "--n", "48", "--plan", "i", "--steps", "6",
+                "--checkpoint-every", "3",
+                "--out", str(tmp_path / "run"),
+                "--ledger-dir", str(ledger_dir),
+            ]
+        ) == 0
+        return ledger_dir
+
+    def test_top_requires_a_ledger(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["top", "--once"])
+        assert exc.value.code == 2
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_top_once_renders_runs(self, tmp_path, capsys):
+        ledger_dir = self._run_with_ledger(tmp_path)
+        capsys.readouterr()
+        assert main(["top", "--once", "--ledger-dir", str(ledger_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 runs" in out
+        assert "complete" in out and " i " in out and "6/6" in out
+
+    def test_top_env_var_resolution(self, tmp_path, capsys, monkeypatch):
+        ledger_dir = self._run_with_ledger(tmp_path)
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(ledger_dir))
+        capsys.readouterr()
+        assert main(["top", "--once"]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_report_markdown(self, tmp_path, capsys):
+        ledger_dir = self._run_with_ledger(tmp_path)
+        out_path = tmp_path / "log.md"
+        assert main(
+            ["report", "--ledger-dir", str(ledger_dir), "--out", str(out_path)]
+        ) == 0
+        text = out_path.read_text()
+        assert text.startswith("# Run ledger report")
+        assert "## Per-plan summary" in text and "| i |" in text
+        assert "command" in text  # the run invocation was recorded
+
+    def test_report_html_inferred_from_suffix(self, tmp_path, capsys):
+        ledger_dir = self._run_with_ledger(tmp_path)
+        out_path = tmp_path / "log.html"
+        assert main(
+            ["report", "--ledger-dir", str(ledger_dir), "--out", str(out_path)]
+        ) == 0
+        text = out_path.read_text()
+        assert text.startswith("<!DOCTYPE html>") and "<table>" in text
+
+    def test_report_stdout_default(self, tmp_path, capsys):
+        ledger_dir = self._run_with_ledger(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "--ledger-dir", str(ledger_dir)]) == 0
+        assert "# Run ledger report" in capsys.readouterr().out
+
+    def test_flat_report_still_reaches_bench(self):
+        assert _compat_argv(["report", "--quick", "--output", "x.md"]) == [
+            "bench", "report", "--quick", "--output", "x.md"
+        ]
+        assert _compat_argv(["report", "--out", "x.md"]) == [
+            "report", "--out", "x.md"
+        ]
+        assert _compat_argv(["top", "--once"]) == ["top", "--once"]
+
+    def test_prometheus_out_flag(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        assert main(
+            [
+                "run", "--n", "48", "--plan", "i", "--steps", "3",
+                "--out", str(tmp_path / "run"),
+                "--trace-out", str(tmp_path / "t.json"),
+                "--prometheus-out", str(prom),
+            ]
+        ) == 0
+        text = prom.read_text()
+        assert "# TYPE" in text
+        assert "prometheus metrics written" in capsys.readouterr().out

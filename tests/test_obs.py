@@ -289,3 +289,181 @@ class TestExecutionTraceEmission:
         with obs.capture() as (tr, mx):
             sim.run(1)
         return tr, mx
+
+
+# ---------------------------------------------------------------------------
+# Labeled metrics, bounded reservoirs, Prometheus exposition
+# ---------------------------------------------------------------------------
+
+
+class TestLabeledMetrics:
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", labels={"plan": "jw", "backend": "thread"})
+        b = reg.counter("hits", labels={"backend": "thread", "plan": "jw"})
+        assert a is b
+        assert a.key == 'hits{backend="thread",plan="jw"}'
+
+    def test_values_stringified(self):
+        reg = MetricsRegistry()
+        m = reg.gauge("depth", labels={"n": 4096})
+        assert m.labels == {"n": "4096"}
+        assert reg.get("depth", labels={"n": "4096"}) is m
+
+    def test_unlabeled_key_is_bare_name(self):
+        reg = MetricsRegistry()
+        reg.counter("total").inc()
+        assert "total" in reg.snapshot()
+        assert reg.counter("total", labels={}).value == 1
+
+    def test_bad_label_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="label names"):
+            reg.counter("x", labels={1: "a"})
+        with pytest.raises(ValueError, match="label names"):
+            reg.counter("x", labels={"": "a"})
+
+    def test_type_bound_across_label_sets(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.jobs", labels={"plan": "i"})
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("serve.jobs", labels={"plan": "j"})
+
+    def test_by_name_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs", labels={"plan": "j"}).inc()
+        reg.counter("jobs", labels={"plan": "i"}).inc(2)
+        reg.counter("jobs").inc(3)
+        variants = reg.by_name("jobs")
+        assert [m.key for m in variants] == [
+            "jobs", 'jobs{plan="i"}', 'jobs{plan="j"}'
+        ]
+        assert reg.names() == ["jobs"]
+
+    def test_snapshot_keys_and_identity(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", labels={"plan": "w"}).observe(1.0)
+        snap = reg.snapshot()
+        m = snap['lat{plan="w"}']
+        assert m["name"] == "lat" and m["labels"] == {"plan": "w"}
+
+    def test_facade_helpers_accept_labels(self):
+        obs.enable(reset=True)
+        obs.inc("c", labels={"p": "a"})
+        obs.set_gauge("g", 2.0, labels={"p": "a"})
+        obs.observe("h", 0.5, labels={"p": "a"})
+        snap = obs.metrics().snapshot()
+        assert snap['c{p="a"}']["value"] == 1
+        assert snap['g{p="a"}']["value"] == 2.0
+        assert snap['h{p="a"}']["count"] == 1
+
+
+class TestHistogramReservoir:
+    def test_exact_until_reservoir_fills(self):
+        h = Histogram("h", reservoir_size=100)
+        for v in range(50):
+            h.observe(float(v))
+        assert not h.saturated
+        assert h.count == 50 and h.sum == sum(range(50))
+        assert h.percentile(50.0) == percentile([float(v) for v in range(50)], 50.0)
+        assert "reservoir_size" not in h.summary()
+
+    def test_memory_bounded_aggregates_exact(self):
+        h = Histogram("h", reservoir_size=64)
+        n = 10_000
+        for v in range(n):
+            h.observe(float(v))
+        assert len(h.values) == 64          # bounded
+        assert h.saturated
+        assert h.count == n                 # exact aggregates survive
+        assert h.sum == float(sum(range(n)))
+        assert h.mean == pytest.approx((n - 1) / 2)
+        assert h.min == 0.0 and h.max == float(n - 1)
+        s = h.summary()
+        assert s["count"] == n and s["reservoir_size"] == 64
+        # the reservoir is an unbiased-ish sample: p50 lands mid-range
+        assert 0.0 <= s["p50"] <= n
+
+    def test_reservoir_deterministic_across_instances(self):
+        seq = [float((7 * i) % 101) for i in range(5000)]
+        a = Histogram("lat", labels={"plan": "jw"}, reservoir_size=32)
+        b = Histogram("lat", labels={"plan": "jw"}, reservoir_size=32)
+        for v in seq:
+            a.observe(v)
+            b.observe(v)
+        assert a.values == b.values         # identity-seeded RNG
+
+    def test_different_identity_different_reservoir(self):
+        seq = [float(i % 97) for i in range(4000)]
+        a = Histogram("lat", labels={"plan": "i"}, reservoir_size=16)
+        b = Histogram("lat", labels={"plan": "j"}, reservoir_size=16)
+        for v in seq:
+            a.observe(v)
+            b.observe(v)
+        assert a.count == b.count == 4000
+        assert a.values != b.values
+
+    def test_reservoir_size_validated(self):
+        with pytest.raises(ValueError, match="reservoir_size"):
+            Histogram("h", reservoir_size=0)
+
+
+class TestPrometheusExport:
+    def test_counter_and_name_sanitisation(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.jobs_total", labels={"plan": "jw"}).inc(3)
+        text = obs.export.prometheus_text(reg)
+        assert "# TYPE serve_jobs_total counter" in text
+        assert 'serve_jobs_total{plan="jw"} 3' in text
+
+    def test_gauge_min_max_companions(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("queue.depth")
+        for v in (3.0, 7.0, 1.0):
+            g.set(v)
+        text = obs.export.prometheus_text(reg)
+        assert "queue_depth 1" in text
+        assert "# TYPE queue_depth_min gauge" in text
+        assert "queue_depth_min 1" in text
+        assert "queue_depth_max 7" in text
+
+    def test_histogram_as_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("slice.seconds", labels={"plan": "i"})
+        for v in (0.25, 0.5, 0.75):
+            h.observe(v)
+        text = obs.export.prometheus_text(reg)
+        assert "# TYPE slice_seconds summary" in text
+        assert 'slice_seconds{plan="i",quantile="0.5"} 0.5' in text
+        assert 'slice_seconds_sum{plan="i"} 1.5' in text
+        assert 'slice_seconds_count{plan="i"} 3' in text
+        assert 'slice_seconds_min{plan="i"} 0.25' in text
+        assert 'slice_seconds_max{plan="i"} 0.75' in text
+
+    def test_help_line_and_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", description="what it counts", labels={"q": 'a"b'})
+        text = obs.export.prometheus_text(reg)
+        assert "# HELP c what it counts" in text
+        assert 'c{q="a\\"b"} 0' in text
+
+    def test_empty_registry_empty_text(self):
+        assert obs.export.prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_prometheus_and_stability(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a", labels={"x": "1"}).inc()
+        reg.histogram("b").observe(2.0)
+        out = obs.export.write_prometheus(tmp_path / "m.prom", reg)
+        text = out.read_text()
+        assert text == obs.export.prometheus_text(reg)
+        assert text.endswith("\n")
+
+    def test_markdown_summary_includes_gauge_extremes(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(5.0)
+        g.set(2.0)
+        tr = SpanTracer()
+        text = obs.export.summary_markdown(tr, reg)
+        assert "min=2" in text and "max=5" in text
