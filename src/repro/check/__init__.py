@@ -43,6 +43,9 @@ from repro.check.invariants import (
 )
 from repro.check.oracle import (
     BIT_IDENTICAL,
+    COMPILED_F32,
+    COMPILED_F64,
+    KERNEL_SHAPES,
     PP_CROSS_PLAN,
     PP_VS_DIRECT,
     TREE_CROSS_PLAN,
@@ -54,12 +57,17 @@ from repro.check.oracle import (
     assert_bit_identical,
     assert_within,
     compare_arrays,
+    compiled_tolerance,
+    kernel_matrix,
     ulp_distance,
 )
 from repro.check.settings import clear_overrides, default_guard, set_verify_override
 
 __all__ = [
     "BIT_IDENTICAL",
+    "COMPILED_F32",
+    "COMPILED_F64",
+    "KERNEL_SHAPES",
     "PP_CROSS_PLAN",
     "PP_VS_DIRECT",
     "TREE_CROSS_PLAN",
@@ -81,6 +89,8 @@ __all__ = [
     "assert_bit_identical",
     "assert_within",
     "compare_arrays",
+    "compiled_tolerance",
+    "kernel_matrix",
     "clear_overrides",
     "default_guard",
     "policy_for",

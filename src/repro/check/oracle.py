@@ -46,6 +46,11 @@ __all__ = [
     "TREE_CROSS_PLAN",
     "PP_VS_DIRECT",
     "TREE_VS_DIRECT",
+    "COMPILED_F64",
+    "COMPILED_F32",
+    "KERNEL_SHAPES",
+    "compiled_tolerance",
+    "kernel_matrix",
     "compare_arrays",
     "ulp_distance",
     "assert_bit_identical",
@@ -213,6 +218,18 @@ TREE_CROSS_PLAN = ForceTolerance(name="tree-cross-plan", rms_rel=1e-4, max_rel=1
 PP_VS_DIRECT = ForceTolerance(name="pp-vs-direct", rms_rel=1e-4, max_rel=1e-2)
 #: Barnes-Hut (theta=0.6 class) vs the float64 direct reference.
 TREE_VS_DIRECT = ForceTolerance(name="tree-vs-direct", rms_rel=1e-2, max_rel=1.0)
+#: Compiled kernel backends vs the NumPy reference, float64 arithmetic.
+#: Vectorised/fused summation reassociates the same float64 sum; measured
+#: worst-case deviation is ~1e-14 at n=16k, bounded here with margin.
+COMPILED_F64 = ForceTolerance(name="compiled-f64", rms_rel=1e-12, max_rel=1e-10)
+#: Compiled kernel backends vs the NumPy reference, float32 arithmetic.
+#: Same reassociation budget scaled to float32 epsilon (~6e-8 per op).
+COMPILED_F32 = ForceTolerance(name="compiled-f32", rms_rel=1e-5, max_rel=1e-3)
+
+
+def compiled_tolerance(dtype: "np.dtype | type") -> ForceTolerance:
+    """The documented compiled-vs-reference tolerance for a dtype."""
+    return COMPILED_F64 if np.dtype(dtype) == np.float64 else COMPILED_F32
 
 
 def _plan_traits(plan: "Plan | str") -> tuple[str, str]:
@@ -415,6 +432,137 @@ class DifferentialOracle:
         if failed:
             obs.inc("check.failures_total", failed)
         return results
+
+    def kernel_matrix(
+        self,
+        positions: np.ndarray,
+        masses: np.ndarray,
+        *,
+        kernel_backends: Sequence[str],
+        shapes: Sequence[str] | None = None,
+        dtypes: Sequence["np.dtype | type"] = (np.float64, np.float32),
+    ) -> list[ForceComparison]:
+        """Compiled-backend x kernel-shape x dtype verdicts.
+
+        Convenience wrapper over the module-level :func:`kernel_matrix`,
+        taking softening/G from this oracle's reference plan config.
+        """
+        cfg = self.reference.config
+        return kernel_matrix(
+            positions,
+            masses,
+            kernel_backends=kernel_backends,
+            shapes=KERNEL_SHAPES if shapes is None else shapes,
+            dtypes=dtypes,
+            softening=cfg.softening,
+            G=cfg.G,
+        )
+
+
+#: Kernel shapes the kernel matrix exercises: the diagonal-excluded
+#: self-interaction, the tiled targets x sources rectangle, and the
+#: Barnes-Hut leaf/walk evaluation.
+KERNEL_SHAPES = ("direct", "blocked", "bh-leaf")
+
+
+def _kernel_shape_eval(
+    shape: str,
+    backend: str,
+    positions: np.ndarray,
+    masses: np.ndarray,
+    *,
+    softening: float,
+    G: float,
+    dtype: "np.dtype | type",
+) -> np.ndarray:
+    """One kernel shape evaluated end to end on one kernel backend."""
+    if shape == "direct":
+        from repro.nbody.forces import direct_forces
+
+        return direct_forces(
+            positions, masses, softening=softening, G=G,
+            include_self=False, dtype=dtype, backend=backend,
+        )
+    if shape == "blocked":
+        from repro.gpu.kernel import tile_loop_forces
+
+        return tile_loop_forces(
+            positions, positions, masses, wg_size=64,
+            softening=softening, G=G, dtype=dtype, backend=backend,
+        )
+    if shape == "bh-leaf":
+        from repro.tree.bh_force import accelerations_from_walks
+        from repro.tree.octree import build_octree
+        from repro.tree.walks import generate_walks
+
+        tree = build_octree(positions, masses, leaf_size=16)
+        walks = generate_walks(tree, theta=0.6, group_size=32)
+        return accelerations_from_walks(
+            walks, softening=softening, G=G, dtype=dtype, backend=backend,
+        )
+    raise ConfigurationError(
+        f"unknown kernel shape '{shape}'; known: {', '.join(KERNEL_SHAPES)}"
+    )
+
+
+def kernel_matrix(
+    positions: np.ndarray,
+    masses: np.ndarray,
+    *,
+    kernel_backends: Sequence[str],
+    shapes: Sequence[str] = KERNEL_SHAPES,
+    dtypes: Sequence["np.dtype | type"] = (np.float64, np.float32),
+    softening: float = 1e-2,
+    G: float = 1.0,
+) -> list[ForceComparison]:
+    """Compiled-backend verdicts: backend x kernel shape x dtype.
+
+    Every requested backend is run through each kernel shape
+    (:data:`KERNEL_SHAPES`) in each dtype and compared against the NumPy
+    reference of the *same* shape and dtype, under the documented
+    ``compiled-f64`` / ``compiled-f32`` tolerances.  Backends are resolved
+    strictly — asking for an unavailable one raises
+    :class:`~repro.errors.ConfigurationError` (callers that want a clean
+    skip filter on availability first, as ``repro-nbody check`` does).
+    """
+    from repro.nbody.kernels import resolve_backend
+
+    results: list[ForceComparison] = []
+    for backend in kernel_backends:
+        kb = resolve_backend(backend, strict=True)
+        for shape in shapes:
+            for dtype in dtypes:
+                dt = np.dtype(dtype)
+                with obs.span(
+                    "check.kernel_oracle",
+                    backend=kb.name,
+                    shape=shape,
+                    dtype=dt.name,
+                    n=len(masses),
+                ):
+                    ref = _kernel_shape_eval(
+                        shape, "numpy", positions, masses,
+                        softening=softening, G=G, dtype=dtype,
+                    )
+                    cand = _kernel_shape_eval(
+                        shape, kb.name, positions, masses,
+                        softening=softening, G=G, dtype=dtype,
+                    )
+                    deviation = compare_arrays(ref, cand)
+                results.append(
+                    ForceComparison(
+                        reference=f"kernel:{shape}/numpy/{dt.name}",
+                        candidate=f"kernel:{shape}/{kb.name}/{dt.name}",
+                        deviation=deviation,
+                        tolerance=compiled_tolerance(dtype),
+                        meta={"axis": "kernel", "n": len(masses)},
+                    )
+                )
+    obs.inc("check.comparisons_total", len(results))
+    failed = sum(not r.ok for r in results)
+    if failed:
+        obs.inc("check.failures_total", failed)
+    return results
 
 
 def assert_bit_identical(

@@ -10,6 +10,12 @@ a complete CI gate:
   every parallel backend must reproduce its plan's serial answer
   bit-for-bit, and every plan must sit within its documented tolerance
   of the reference plan;
+* **kernels** — each requested kernel backend (``auto`` = every
+  available compiled backend) is compared against the NumPy reference
+  across the direct / blocked / BH-leaf kernel shapes in float32 and
+  float64, under the documented ``compiled-*`` tolerances; named
+  backends that are unavailable on this host are reported as *skipped*,
+  not failed, so one config runs on every CI matrix leg;
 * **invariants** — each plan runs ``steps`` leapfrog steps under a
   :class:`~repro.check.RunGuard` with its plan-default policy and must
   finish with every invariant green;
@@ -87,12 +93,28 @@ def run_check(
     reference: str = "i",
     golden_dir: str | None = None,
     bless: bool = False,
+    kernel_backends: Sequence[str] | str | None = "auto",
 ) -> dict[str, Any]:
-    """Run the full verification battery; returns the report dict."""
+    """Run the full verification battery; returns the report dict.
+
+    ``kernel_backends`` selects the compiled-kernel leg: ``"auto"`` (the
+    default) verifies every available compiled backend, an explicit list
+    verifies those — skipping cleanly (with the reason) any that are
+    unavailable on this host — and ``None`` / an empty list disables the
+    leg.
+    """
     from repro.bench.workloads import make_workload
+    from repro.nbody.kernels import compiled_backends, get_backend
 
     config = PlanConfig(softening=CHECK_SOFTENING)
     particles = make_workload(workload, n, seed=seed)
+
+    if kernel_backends == "auto":
+        requested = list(compiled_backends())
+    elif kernel_backends is None:
+        requested = []
+    else:
+        requested = [b for b in kernel_backends if b]
 
     with obs.span(
         "check.run", workload=workload, n=n, plans=",".join(plans),
@@ -106,6 +128,26 @@ def run_check(
             backends=backends,
             workers=workers,
         )
+
+        kernels: list[dict[str, Any]] = []
+        kernels_skipped: list[dict[str, Any]] = []
+        for name in requested:
+            backend = get_backend(name)  # unknown names are a config error
+            if backend.kind == "reference":
+                continue  # comparing numpy against itself proves nothing
+            if not backend.available:
+                kernels_skipped.append(
+                    {"backend": name, "reason": backend.unavailable_reason}
+                )
+                continue
+            kernels.extend(
+                c.to_dict()
+                for c in oracle.kernel_matrix(
+                    particles.positions,
+                    particles.masses,
+                    kernel_backends=[name],
+                )
+            )
 
         invariants: list[dict[str, Any]] = []
         finished: dict[str, Simulation] = {}
@@ -148,6 +190,7 @@ def run_check(
                     golden.append(store.verify(case, digest))
 
     matrix_ok = all(c.ok for c in matrix)
+    kernels_ok = all(row["ok"] for row in kernels)
     invariants_ok = all(r["ok"] for r in invariants)
     golden_ok = all(g["status"] in ("match", "blessed") for g in golden)
     return {
@@ -162,11 +205,15 @@ def run_check(
         "reference": reference,
         "matrix": [c.to_dict() for c in matrix],
         "matrix_ok": matrix_ok,
+        "kernel_backends": requested,
+        "kernels": kernels,
+        "kernels_skipped": kernels_skipped,
+        "kernels_ok": kernels_ok,
         "invariants": invariants,
         "invariants_ok": invariants_ok,
         "golden": golden,
         "golden_ok": golden_ok,
-        "ok": matrix_ok and invariants_ok and golden_ok,
+        "ok": matrix_ok and kernels_ok and invariants_ok and golden_ok,
     }
 
 
@@ -200,6 +247,26 @@ def render_report(report: dict[str, Any]) -> str:
             f"  {status} {pair:{width}}  [{c['tolerance']['name']}] "
             f"{_fmt_dev(c['deviation'])}"
         )
+    kernels = report.get("kernels", [])
+    kernels_skipped = report.get("kernels_skipped", [])
+    if kernels or kernels_skipped:
+        lines += [
+            "",
+            "kernel backends (vs the numpy reference, compiled-* tolerances):",
+        ]
+        kwidth = max(
+            (len(f"{c['candidate']} vs {c['reference']}") for c in kernels),
+            default=20,
+        )
+        for c in kernels:
+            pair = f"{c['candidate']} vs {c['reference']}"
+            status = "ok  " if c["ok"] else "FAIL"
+            lines.append(
+                f"  {status} {pair:{kwidth}}  [{c['tolerance']['name']}] "
+                f"{_fmt_dev(c['deviation'])}"
+            )
+        for s in kernels_skipped:
+            lines.append(f"  skip {s['backend']}: {s['reason']}")
     lines += ["", "invariants (plan-default policies):"]
     for row in report["invariants"]:
         status = "ok  " if row["ok"] else "FAIL"
@@ -229,7 +296,12 @@ def render_report(report: dict[str, Any]) -> str:
         "",
         f"verdict: {'PASS' if report['ok'] else 'FAIL'} "
         f"(matrix={'ok' if report['matrix_ok'] else 'FAIL'}, "
-        f"invariants={'ok' if report['invariants_ok'] else 'FAIL'}"
+        + (
+            f"kernels={'ok' if report['kernels_ok'] else 'FAIL'}, "
+            if report.get("kernels") or report.get("kernels_skipped")
+            else ""
+        )
+        + f"invariants={'ok' if report['invariants_ok'] else 'FAIL'}"
         + (
             f", golden={'ok' if report['golden_ok'] else 'FAIL'})"
             if report["golden"]

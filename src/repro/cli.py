@@ -80,6 +80,10 @@ SUBCOMMANDS = (
 #: Flags that mark a flat ``report`` invocation as the *bench* report.
 _BENCH_REPORT_FLAGS = frozenset({"--output", "--quick", "--workload", "--steps"})
 
+#: Flags specific to the ledger ``report`` subcommand; mixing them with
+#: bench-report flags in the flat form is ambiguous and rejected.
+_LEDGER_REPORT_FLAGS = frozenset({"--out", "--format"})
+
 
 def _run_plans() -> tuple[str, ...]:
     """Plans accepted by ``run``/``submit`` — whatever is registered."""
@@ -146,6 +150,15 @@ def _common_parser() -> argparse.ArgumentParser:
         help="append run accounting to the durable SQLite ledger in DIR "
         "(default: the REPRO_LEDGER_DIR environment variable, else off); "
         "read it back with 'repro-nbody top' / 'repro-nbody report'",
+    )
+    common.add_argument(
+        "--kernel-backend",
+        default=None,
+        metavar="NAME",
+        help="force-kernel backend for the functional force paths "
+        "(numpy, numba, cext, ...; default: the REPRO_KERNEL_BACKEND "
+        "environment variable, else numpy); an unavailable backend "
+        "warns once and falls back to numpy",
     )
     return common
 
@@ -353,6 +366,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="leapfrog steps for the guarded invariant runs (default: 12)",
     )
     check.add_argument(
+        "--kernel-backends",
+        default=None,
+        metavar="CSV",
+        help="comma-separated kernel backends to validate against the "
+        "numpy reference across the direct/blocked/BH-leaf x "
+        "float32/float64 matrix; 'auto' selects every available "
+        "compiled backend, unavailable named ones are reported as "
+        "skipped (default: auto)",
+    )
+    check.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -450,25 +473,43 @@ def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _compat_argv(argv: Sequence[str]) -> list[str]:
+def _compat_argv(
+    argv: Sequence[str], parser: argparse.ArgumentParser | None = None
+) -> list[str]:
     """Route the pre-subcommand flat form through ``bench``.
 
     ``repro-nbody table2 --quick`` becomes ``repro-nbody bench table2
     --quick``; the old flat ``profile <target>`` shape coincides with the
     ``profile`` subcommand and passes through untouched, as do help and
     version flags.
+
+    A flat ``report`` carrying *both* bench-report flags and ledger-report
+    flags belongs to neither command; it is rejected outright (exit 2)
+    rather than routed somewhere that would die on an unrecognised flag —
+    or worse, silently accept a subset.
     """
     argv = list(argv)
     if argv and not argv[0].startswith("-") and argv[0] not in SUBCOMMANDS:
         return ["bench", *argv]
-    if (
-        argv
-        and argv[0] == "report"
-        and _BENCH_REPORT_FLAGS.intersection(argv[1:])
-    ):
-        # Flat bench-report form: its flags don't exist on the ledger
-        # report subcommand, so they identify the old shape.
-        return ["bench", *argv]
+    if argv and argv[0] == "report":
+        bench_hits = _BENCH_REPORT_FLAGS.intersection(argv[1:])
+        ledger_hits = _LEDGER_REPORT_FLAGS.intersection(argv[1:])
+        if bench_hits and ledger_hits:
+            message = (
+                "ambiguous flat 'report': "
+                f"{'/'.join(sorted(bench_hits))} belongs to 'bench report' "
+                f"but {'/'.join(sorted(ledger_hits))} belongs to the ledger "
+                "report; spell out 'repro-nbody bench report' or drop the "
+                "conflicting flags"
+            )
+            if parser is not None:
+                parser.error(message)  # exits 2
+            print(f"error: {message}", file=sys.stderr)
+            raise SystemExit(2)
+        if bench_hits:
+            # Flat bench-report form: its flags don't exist on the ledger
+            # report subcommand, so they identify the old shape.
+            return ["bench", *argv]
     return argv
 
 
@@ -766,6 +807,22 @@ def _cmd_check(parser: argparse.ArgumentParser, args: argparse.Namespace) -> Non
     if args.bless and args.golden is None:
         parser.error("--bless requires --golden DIR (nowhere to record digests)")
 
+    if args.kernel_backends is None or args.kernel_backends.strip() == "auto":
+        kernel_backends = "auto"
+    else:
+        from repro.nbody.kernels import known_backends
+
+        kernel_backends = tuple(
+            b.strip() for b in args.kernel_backends.split(",") if b.strip()
+        )
+        registered = set(known_backends())
+        for name in kernel_backends:
+            if name not in registered:
+                parser.error(
+                    f"unknown kernel backend '{name}' "
+                    f"(registered: {sorted(registered)})"
+                )
+
     report = run_check(
         workload=args.workload,
         n=args.n,
@@ -778,6 +835,7 @@ def _cmd_check(parser: argparse.ArgumentParser, args: argparse.Namespace) -> Non
         reference=args.reference,
         golden_dir=args.golden,
         bless=args.bless,
+        kernel_backends=kernel_backends,
     )
     print(render_report(report))
     if args.json_out:
@@ -892,7 +950,7 @@ _HANDLERS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
-    full_argv = _compat_argv(argv if argv is not None else sys.argv[1:])
+    full_argv = _compat_argv(argv if argv is not None else sys.argv[1:], parser)
     args = parser.parse_args(full_argv)
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -910,6 +968,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     if args.ledger_dir is not None and args.command not in ("top", "report"):
         configure(ledger_dir=args.ledger_dir)
+    if args.kernel_backend is not None:
+        from repro.errors import ConfigurationError
+
+        try:
+            configure(kernel_backend=args.kernel_backend)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
     if args.command in ("run", "resume", "serve", "submit"):
         from repro.obs.settings import default_ledger
 

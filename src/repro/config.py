@@ -48,6 +48,7 @@ def configure(
     cache_dir: str | None = None,
     verify: "bool | object | None" = None,
     ledger_dir: str | None = None,
+    kernel_backend: str | None = None,
 ) -> ExecutionEngine:
     """Configure the library's global execution and observability state.
 
@@ -91,6 +92,15 @@ def configure(
         explicit ``ledger=`` arguments, then this value, then the
         ``REPRO_LEDGER_DIR`` environment variable, then off.  ``None``
         leaves the current setting untouched.
+    kernel_backend:
+        Force-kernel backend for subsequent force passes (the
+        ``--kernel-backend`` CLI flag calls this).  Precedence (first hit
+        wins): explicit ``backend=`` arguments /
+        ``PlanConfig.kernel_backend``, then this value, then the
+        ``REPRO_KERNEL_BACKEND`` environment variable, then ``"numpy"``.
+        Must be a *registered* name (:func:`repro.nbody.kernels.known_backends`);
+        an unavailable one degrades to ``numpy`` at resolve time with a
+        one-time warning.  ``None`` leaves the current setting untouched.
 
     Returns the default :class:`~repro.exec.ExecutionEngine` after any
     reconfiguration, so the call is a drop-in replacement for the old
@@ -142,6 +152,12 @@ def configure(
         from repro.obs.settings import set_ledger_override
 
         set_ledger_override(ledger_dir)
+    if kernel_backend is not None:
+        from repro.nbody.kernels import get_backend
+        from repro.nbody.kernels.settings import set_kernel_backend_override
+
+        get_backend(kernel_backend)  # unknown name -> ConfigurationError now
+        set_kernel_backend_override(kernel_backend)
     if trace is not None:
         if trace:
             obs.enable(reset=True)

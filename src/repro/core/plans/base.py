@@ -39,6 +39,11 @@ class PlanConfig:
 
     ``wg_size`` is the paper's ``p`` (threads per block / tile edge);
     ``theta`` and ``leaf_size`` only affect tree-based plans.
+    ``kernel_backend`` pins the force-kernel backend for this plan
+    (``None`` follows the process-wide selection — see
+    :mod:`repro.nbody.kernels`); it must be a *registered* name, while
+    availability is resolved per force pass so configs stay portable
+    across hosts.
     """
 
     device: DeviceSpec = RADEON_HD_5850
@@ -48,6 +53,7 @@ class PlanConfig:
     G: float = 1.0
     theta: float = 0.6
     leaf_size: int = 32
+    kernel_backend: str | None = None
 
     def __post_init__(self) -> None:
         self.device.validate_workgroup(self.wg_size)
@@ -57,6 +63,10 @@ class PlanConfig:
             raise ConfigurationError(f"theta must be positive, got {self.theta}")
         if self.leaf_size < 1:
             raise ConfigurationError(f"leaf_size must be >= 1, got {self.leaf_size}")
+        if self.kernel_backend is not None:
+            from repro.nbody.kernels import get_backend
+
+            get_backend(self.kernel_backend)  # unknown name -> ConfigurationError
 
 
 @dataclass
@@ -167,6 +177,17 @@ class Plan(ABC):
     def _engine(self) -> ExecutionEngine:
         """The engine the functional path dispatches work through."""
         return self.engine if self.engine is not None else get_default_engine()
+
+    def _kernel_backend(self) -> str:
+        """The resolved kernel-backend *name* for this force pass.
+
+        Resolved in the parent process (so unavailable selections warn and
+        fall back here, once) and passed to engine workers as a picklable
+        string.
+        """
+        from repro.nbody.kernels import resolve_backend
+
+        return resolve_backend(self.config.kernel_backend).name
 
     # -- functional ----------------------------------------------------
     @abstractmethod

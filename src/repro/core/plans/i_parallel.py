@@ -38,6 +38,7 @@ def _workgroup_task(
     softening: float,
     G: float,
     device: DeviceSpec,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, CostCounters]:
     """Evaluate one work-group's target range (runs on an engine worker)."""
     i0, i1 = rng
@@ -51,6 +52,7 @@ def _workgroup_task(
         G=G,
         device=device,
         counters=counters,
+        backend=backend,
     )
     return block, counters
 
@@ -103,6 +105,7 @@ class IParallelPlan(Plan):
             softening=cfg.softening,
             G=cfg.G,
             device=cfg.device,
+            backend=self._kernel_backend(),
         )
         ranges = self._workgroup_ranges(n)
         with obs.span("force_kernel", plan=self.name, n=n):

@@ -45,6 +45,7 @@ def _iblock_task(
     softening: float,
     G: float,
     device: DeviceSpec,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, CostCounters]:
     """One i-block: partial forces per j-segment, then the fixed-order
     float32 segment reduction (runs on an engine worker).
@@ -67,6 +68,7 @@ def _iblock_task(
             device=device,
             counters=counters,
             out=partials[k],
+            backend=backend,
         )
     return partials.sum(axis=0, dtype=np.float32), counters
 
@@ -161,6 +163,7 @@ class JParallelPlan(Plan):
             softening=cfg.softening,
             G=cfg.G,
             device=cfg.device,
+            backend=self._kernel_backend(),
         )
         with obs.span("force_kernel", plan=self.name, n=n, split_factor=s):
             results = self._engine().map(task, ranges, label="j.iblock")

@@ -50,7 +50,11 @@ _TARGET_ITEMS_PER_CU = 4
 
 
 def _jw_walk_task(
-    item: tuple[int, int], *, walks: WalkSet, config: PlanConfig
+    item: tuple[int, int],
+    *,
+    walks: WalkSet,
+    config: PlanConfig,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, CostCounters]:
     """One walk's packed segments, reduced in fixed segment order
     (runs on an engine worker)."""
@@ -75,6 +79,7 @@ def _jw_walk_task(
             out=acc,
             accumulate=True,
             workspace=ws,
+            backend=backend,
         )
     return acc, counters
 
@@ -184,7 +189,10 @@ class JwParallelPlan(TreePlanBase):
         # (walk, split) items fan out across the engine; inside a task the
         # j-segment partials accumulate in fixed segment order, so the
         # reduction is bit-identical to the serial evaluation.
-        task = partial(_jw_walk_task, walks=walks, config=cfg)
+        task = partial(
+            _jw_walk_task, walks=walks, config=cfg,
+            backend=self._kernel_backend(),
+        )
         with obs.span("force_kernel", plan=self.name, n_walks=len(walks)):
             results = self._engine().map(
                 task, list(zip(range(len(walks)), splits)), label="jw.walk"

@@ -28,7 +28,7 @@ __all__ = ["TreePlanBase"]
 
 
 def _tree_walk_task(
-    index: int, *, walks: WalkSet, config: PlanConfig
+    index: int, *, walks: WalkSet, config: PlanConfig, backend: str | None = None
 ) -> tuple[np.ndarray, CostCounters]:
     """Device-kernel evaluation of one walk (runs on an engine worker)."""
     tree = walks.tree
@@ -46,6 +46,7 @@ def _tree_walk_task(
         device=config.device,
         counters=counters,
         workspace=ws,
+        backend=backend,
     )
     return block, counters
 
@@ -91,7 +92,10 @@ class TreePlanBase(Plan):
         tree = walks.tree
         counters = CostCounters()
         acc_sorted = np.empty((tree.n_bodies, 3), dtype=np.float32)
-        task = partial(_tree_walk_task, walks=walks, config=cfg)
+        task = partial(
+            _tree_walk_task, walks=walks, config=cfg,
+            backend=self._kernel_backend(),
+        )
         with obs.span("force_kernel", plan=self.name, n_walks=len(walks)):
             results = self._engine().map(task, range(len(walks)), label="w.walk")
         for w, (block, c) in zip(walks, results):

@@ -197,6 +197,17 @@ def _process_task(
     return result, retries
 
 
+def _init_worker_kernel_backend(name: str) -> None:
+    """Process-pool initializer: adopt the parent's kernel-backend choice.
+
+    Runs in the worker before any task; tasks that resolve the backend
+    themselves (plan tasks pass an explicit name) are unaffected.
+    """
+    from repro.nbody.kernels.settings import set_kernel_backend_override
+
+    set_kernel_backend_override(name)
+
+
 class ExecutionEngine:
     """Deterministic parallel ``map`` over independent force-work units."""
 
@@ -297,8 +308,15 @@ class ExecutionEngine:
                         thread_name_prefix="repro-exec",
                     )
                 else:
+                    # Carry the parent's kernel-backend selection into
+                    # worker processes: in-process configure() overrides
+                    # don't survive fork/spawn, only the environment does.
+                    from repro.nbody.kernels.settings import kernel_backend_name
+
                     self._pool = ProcessPoolExecutor(
-                        max_workers=self.config.workers
+                        max_workers=self.config.workers,
+                        initializer=_init_worker_kernel_backend,
+                        initargs=(kernel_backend_name(),),
                     )
                 self._pool_backend = backend
             return self._pool

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.exec.workspace import Workspace, local_workspace
 from repro.gpu.counters import CostCounters
+from repro.nbody.kernels import KernelBackend, resolve_backend
 from repro.gpu.device import DeviceSpec
 from repro.gpu.launch import WorkGroupWork
 from repro.gpu.memory import BYTES_PER_ACCEL, BYTES_PER_BODY, check_lds_fit
@@ -49,6 +50,7 @@ def tile_loop_forces(
     out: np.ndarray | None = None,
     accumulate: bool = False,
     workspace: Workspace | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> np.ndarray:
     """Functionally execute one work-group's tiled force loop.
 
@@ -63,6 +65,13 @@ def tile_loop_forces(
     temporaries and input casts come from ``workspace`` (the calling
     thread's local workspace by default), so steady-state evaluation
     allocates nothing beyond a missing ``out``.
+
+    ``backend`` selects the kernel backend.  On a compiled backend the
+    same interaction rectangle is evaluated in ``dtype`` without staging
+    tiles through the emulated LDS (accumulation order differs, covered
+    by the ``compiled-*`` oracle tolerances); the tile geometry and the
+    work/``counters`` accounting are unchanged, so timing still describes
+    the device the plan models.
     """
     if wg_size < 1:
         raise ValueError(f"wg_size must be >= 1, got {wg_size}")
@@ -85,32 +94,49 @@ def tile_loop_forces(
         acc = out
         if not accumulate:
             acc[:] = 0.0
-    eps2 = dtype(softening) ** 2
+    # Squared in float64, rounded to `dtype` once (square-then-cast) — the
+    # float32 device kernels share the float64 definition of the softening.
+    eps2 = dtype(softening * softening)
 
-    lds_pos = ws.take("kernel.lds_pos", (wg_size, 3), dtype)
-    lds_mass = ws.take("kernel.lds_mass", (wg_size,), dtype)
-    tile = min(wg_size, ns)
-    d_buf = ws.take("kernel.d", (nt, tile, 3), dtype)
-    r2_buf = ws.take("kernel.r2", (nt, tile), dtype)
-    acc_buf = ws.take("kernel.acc", (nt, 3), dtype)
-    n_tiles = 0
-    for t0 in range(0, ns, wg_size):
-        t1 = min(t0 + wg_size, ns)
-        k = t1 - t0
-        # cooperative load into local memory (barrier), then the tile loop
-        lds_pos[:k] = src_pos[t0:t1]
-        lds_mass[:k] = src_mass[t0:t1]
-        d = d_buf[:, :k]
-        np.subtract(lds_pos[np.newaxis, :k, :], targets[:, np.newaxis, :], out=d)
-        r2 = r2_buf[:, :k]
-        np.einsum("ijk,ijk->ij", d, d, out=r2)
-        r2 += eps2
-        inv_r3 = r2  # in place: r2 is dead after this point
-        np.power(r2, dtype(-1.5), out=inv_r3)
-        inv_r3 *= lds_mass[np.newaxis, :k]
-        np.einsum("ij,ijk->ik", inv_r3, d, out=acc_buf)
-        acc += acc_buf
-        n_tiles += 1
+    kb = resolve_backend(backend)
+    if kb.kind != "reference":
+        targets = np.ascontiguousarray(targets)
+        src_pos = np.ascontiguousarray(src_pos)
+        src_mass = np.ascontiguousarray(src_mass)
+        if acc.flags.c_contiguous:
+            kb.sources(targets, src_pos, src_mass, eps2=float(eps2), out=acc,
+                       accumulate=True)
+        else:
+            tmp = np.empty((nt, 3), dtype=dtype)
+            kb.sources(targets, src_pos, src_mass, eps2=float(eps2), out=tmp,
+                       accumulate=False)
+            acc += tmp
+        n_tiles = math.ceil(ns / wg_size) if ns else 0
+    else:
+        lds_pos = ws.take("kernel.lds_pos", (wg_size, 3), dtype)
+        lds_mass = ws.take("kernel.lds_mass", (wg_size,), dtype)
+        tile = min(wg_size, ns)
+        d_buf = ws.take("kernel.d", (nt, tile, 3), dtype)
+        r2_buf = ws.take("kernel.r2", (nt, tile), dtype)
+        acc_buf = ws.take("kernel.acc", (nt, 3), dtype)
+        n_tiles = 0
+        for t0 in range(0, ns, wg_size):
+            t1 = min(t0 + wg_size, ns)
+            k = t1 - t0
+            # cooperative load into local memory (barrier), then the tile loop
+            lds_pos[:k] = src_pos[t0:t1]
+            lds_mass[:k] = src_mass[t0:t1]
+            d = d_buf[:, :k]
+            np.subtract(lds_pos[np.newaxis, :k, :], targets[:, np.newaxis, :], out=d)
+            r2 = r2_buf[:, :k]
+            np.einsum("ijk,ijk->ij", d, d, out=r2)
+            r2 += eps2
+            inv_r3 = r2  # in place: r2 is dead after this point
+            np.power(r2, dtype(-1.5), out=inv_r3)
+            inv_r3 *= lds_mass[np.newaxis, :k]
+            np.einsum("ij,ijk->ik", inv_r3, d, out=acc_buf)
+            acc += acc_buf
+            n_tiles += 1
 
     if counters is not None:
         counters.interactions += nt * ns

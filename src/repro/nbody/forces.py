@@ -23,6 +23,20 @@ The blocked temporaries (``d``, ``r2``, ``inv_r3``) are drawn from a
 :class:`repro.exec.workspace.Workspace` — the calling thread's local
 workspace by default — so repeated force passes reuse storage instead of
 re-allocating it every blocked pass.
+
+The arithmetic itself runs on a pluggable kernel backend
+(:mod:`repro.nbody.kernels`): ``backend=None`` follows the configured
+selection (``repro.configure(kernel_backend=)`` / ``REPRO_KERNEL_BACKEND``,
+default ``numpy``).  The ``numpy`` reference path is bit-identical to the
+pre-seam implementation; compiled backends (``numba``, ``cext``) compute
+the same sum with reassociated accumulation and are validated under the
+``compiled-*`` oracle tolerances.
+
+Softening enters squared: ``eps2 = softening * softening`` is computed in
+float64 and rounded to the arithmetic dtype exactly once (inside the
+kernel), for every dtype — the float32 paths used to square an
+already-rounded float32 softening, which disagreed with the float64
+definition of the same physics by an ulp-level but systematic amount.
 """
 
 from __future__ import annotations
@@ -30,6 +44,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exec.workspace import Workspace, local_workspace
+from repro.nbody.kernels import KernelBackend, resolve_backend
+from repro.nbody.kernels.numpy_backend import blocked_self, blocked_sources
 
 __all__ = [
     "accelerations_from_sources",
@@ -56,6 +72,7 @@ def accelerations_from_sources(
     accumulate: bool = False,
     dtype: np.dtype | type = np.float64,
     workspace: Workspace | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> np.ndarray:
     """Accelerations exerted by point sources on target positions.
 
@@ -86,6 +103,10 @@ def accelerations_from_sources(
     workspace:
         Scratch-buffer pool for the blocked temporaries; defaults to the
         calling thread's :func:`~repro.exec.workspace.local_workspace`.
+    backend:
+        Kernel backend (name, instance, or ``None`` for the configured
+        selection).  Unavailable backends degrade to ``numpy`` with a
+        one-time warning; see :func:`repro.nbody.kernels.resolve_backend`.
 
     Returns
     -------
@@ -122,30 +143,52 @@ def accelerations_from_sources(
             )
         if not accumulate:
             out[:] = 0.0
-    eps2 = dtype(softening) * dtype(softening) if dtype is not np.float64 else softening**2
+    # Squared in float64 regardless of the arithmetic dtype; the kernel
+    # rounds it to `dtype` exactly once (square-then-cast policy).
+    eps2 = softening * softening
 
-    ws = workspace if workspace is not None else local_workspace()
-    nb = min(block, ns)
-    d_buf = ws.take("forces.d", (nt, nb, 3), dtype)
-    r2_buf = ws.take("forces.r2", (nt, nb), dtype)
-    w_buf = ws.take("forces.inv_r3", (nt, nb), dtype)
-    acc_buf = ws.take("forces.acc", (nt, 3), dtype)
-    for s0 in range(0, ns, block):
-        s1 = min(s0 + block, ns)
-        k = s1 - s0
-        # (nt, k, 3) displacement block
-        d = d_buf[:, :k]
-        np.subtract(src_pos[s0:s1][np.newaxis, :, :], targets[:, np.newaxis, :], out=d)
-        r2 = r2_buf[:, :k]
-        np.einsum("ijk,ijk->ij", d, d, out=r2)
-        r2 += eps2
-        inv_r3 = w_buf[:, :k]
-        np.power(r2, -1.5, out=inv_r3)
-        inv_r3 *= src_mass[s0:s1][np.newaxis, :]  # becomes the weight w
-        np.einsum("ij,ijk->ik", inv_r3, d, out=acc_buf)
-        out += acc_buf
+    kb = resolve_backend(backend)
+    if kb.kind != "reference":
+        # Compiled/array-module path: contiguous inputs, G scaled at the
+        # end over the whole accumulator (same semantics as the numpy
+        # path, which matters when accumulate=True composes passes).
+        _dispatch_sources(kb, targets, src_pos, src_mass, eps2=eps2, out=out)
+    else:
+        ws = workspace if workspace is not None else local_workspace()
+        blocked_sources(
+            targets, src_pos, src_mass,
+            eps2=eps2, dtype=dtype, block=block, out=out, workspace=ws,
+        )
     if G != 1.0:
         out *= dtype(G)
+    return out
+
+
+def _dispatch_sources(
+    kb: KernelBackend,
+    targets: np.ndarray,
+    src_pos: np.ndarray,
+    src_mass: np.ndarray,
+    *,
+    eps2: float,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Run ``kb.sources`` accumulating into ``out`` (G handled by caller).
+
+    Compiled kernels address raw buffers, so inputs are made C-contiguous
+    and a non-contiguous ``out`` is staged through a dense temporary.
+    """
+    targets = np.ascontiguousarray(targets)
+    src_pos = np.ascontiguousarray(src_pos)
+    src_mass = np.ascontiguousarray(src_mass)
+    if out.flags.c_contiguous:
+        kb.sources(
+            targets, src_pos, src_mass, eps2=eps2, out=out, accumulate=True
+        )
+        return out
+    tmp = np.empty(out.shape, dtype=out.dtype)
+    kb.sources(targets, src_pos, src_mass, eps2=eps2, out=tmp, accumulate=False)
+    out += tmp
     return out
 
 
@@ -159,6 +202,7 @@ def direct_forces(
     include_self: bool = True,
     dtype: np.dtype | type = np.float64,
     workspace: Workspace | None = None,
+    backend: str | KernelBackend | None = None,
 ) -> np.ndarray:
     """All-pairs accelerations of a particle set on itself (O(N^2)).
 
@@ -167,9 +211,12 @@ def direct_forces(
     displacement is zero, softening only prevents the division blowing up.
 
     With ``include_self=False`` and ``softening == 0`` coincident
-    *distinct* bodies have no finite pair force; that is detected and
-    raised as :class:`ValueError` (matching :func:`pairwise_force`) rather
-    than silently propagating ``inf``/``nan`` accelerations.
+    *distinct* bodies have no finite pair force; each block is validated
+    *before* its contribution is summed and the offending global
+    ``(i, j)`` index pairs are named in the raised
+    :class:`~repro.nbody.kernels.CoincidentPairError` (a
+    :class:`ValueError`), rather than silently propagating ``inf``/``nan``
+    accelerations or misattributing them to earlier blocks.
     """
     positions = np.asarray(positions, dtype=dtype)
     masses = np.asarray(masses, dtype=dtype)
@@ -177,7 +224,7 @@ def direct_forces(
         return accelerations_from_sources(
             positions, positions, masses,
             softening=softening, G=G, block=block, dtype=dtype,
-            workspace=workspace,
+            workspace=workspace, backend=backend,
         )
     # Exclude the diagonal explicitly: evaluate blocked and mask the i == j
     # slot (its force is identically zero); for softening == 0 any *other*
@@ -185,35 +232,20 @@ def direct_forces(
     n = positions.shape[0]
     acc = np.zeros((n, 3), dtype=dtype)
     eps2 = softening * softening
-    ws = workspace if workspace is not None else local_workspace()
-    nb = min(block, n)
-    d_buf = ws.take("forces.d", (n, nb, 3), dtype)
-    r2_buf = ws.take("forces.r2", (n, nb), dtype)
-    acc_buf = ws.take("forces.acc", (n, 3), dtype)
-    for s0 in range(0, n, block):
-        s1 = min(s0 + block, n)
-        k = s1 - s0
-        d = d_buf[:, :k]
-        np.subtract(
-            positions[s0:s1][np.newaxis, :, :], positions[:, np.newaxis, :], out=d
+    kb = resolve_backend(backend)
+    if kb.kind != "reference":
+        kb.self_forces(
+            np.ascontiguousarray(positions),
+            np.ascontiguousarray(masses),
+            eps2=eps2,
+            out=acc,
         )
-        r2 = r2_buf[:, :k]
-        np.einsum("ijk,ijk->ij", d, d, out=r2)
-        r2 += eps2
-        rows = np.arange(s0, s1)
-        # Masking via +inf: inf**-1.5 == 0.0 exactly, so the diagonal
-        # contributes nothing — same result as zeroing inv_r3 afterwards.
-        r2[rows, rows - s0] = np.inf
-        if eps2 == 0.0 and not np.all(r2 > 0.0):
-            raise ValueError(
-                "coincident distinct bodies with zero softening have "
-                "undefined force"
-            )
-        inv_r3 = r2  # reciprocal in place; r2 is not needed afterwards
-        np.power(r2, -1.5, out=inv_r3)
-        inv_r3 *= masses[s0:s1][np.newaxis, :]
-        np.einsum("ij,ijk->ik", inv_r3, d, out=acc_buf)
-        acc += acc_buf
+    else:
+        ws = workspace if workspace is not None else local_workspace()
+        blocked_self(
+            positions, masses,
+            eps2=eps2, dtype=dtype, block=block, out=acc, workspace=ws,
+        )
     if G != 1.0:
         acc *= dtype(G)
     return acc

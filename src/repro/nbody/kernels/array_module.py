@@ -1,0 +1,129 @@
+"""Array-module backend: any numpy-like module can supply the arithmetic.
+
+The hook CuPy / JAX slot into: :class:`ArrayModuleBackend` expresses the
+force rectangle through a generic numpy-compatible namespace (``asarray``
+/ broadcasting / ``sum`` — nothing exotic), moves inputs into the module
+once per call and the accelerations back to host NumPy at the end.
+Availability is simply "does the module import"; everything else (device
+placement, jit) is the module's business.
+
+Registered names (``cupy``, ``jax``) construct lazily — on hosts without
+the library the backend reports unavailable and the force paths stay on
+the reference, exactly like the compiled backends.  Third-party modules
+register through :func:`repro.nbody.kernels.register_backend`::
+
+    register_backend(ArrayModuleBackend("torch-like", "mymodule.numpy"))
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import numpy as np
+
+from repro.nbody.kernels.base import CoincidentPairError, KernelBackend
+
+__all__ = ["ArrayModuleBackend"]
+
+
+class ArrayModuleBackend(KernelBackend):
+    """Force kernels evaluated through a numpy-like array module."""
+
+    kind = "array-module"
+
+    def __init__(self, name: str, module: str) -> None:
+        self.name = name
+        self._module_name = module
+        self._xp = None
+        self._error: str | None = None
+
+    def _load(self):
+        if self._xp is None and self._error is None:
+            try:
+                self._xp = importlib.import_module(self._module_name)
+            except ImportError as exc:
+                self._error = f"module '{self._module_name}' not importable ({exc})"
+        return self._xp
+
+    @property
+    def available(self) -> bool:
+        return self._load() is not None
+
+    @property
+    def unavailable_reason(self) -> str | None:
+        self._load()
+        return self._error
+
+    # ------------------------------------------------------------------
+    def _to_host(self, arr) -> np.ndarray:
+        xp = self._xp
+        if hasattr(xp, "asnumpy"):  # CuPy
+            return xp.asnumpy(arr)
+        return np.asarray(arr)  # JAX arrays support __array__
+
+    def _rectangle(self, targets, src_pos, src_mass, eps2, G, dtype):
+        """The dense rectangle in module arithmetic; returns a host array."""
+        xp = self._xp
+        t = xp.asarray(targets)
+        s = xp.asarray(src_pos)
+        m = xp.asarray(src_mass)
+        d = s[None, :, :] - t[:, None, :]
+        r2 = (d * d).sum(axis=-1) + dtype.type(eps2)
+        w = m[None, :] * r2 ** dtype.type(-1.5)
+        acc = (w[:, :, None] * d).sum(axis=1)
+        if G != 1.0:
+            acc = acc * dtype.type(G)
+        return self._to_host(acc).astype(dtype, copy=False)
+
+    def sources(
+        self,
+        targets: np.ndarray,
+        src_pos: np.ndarray,
+        src_mass: np.ndarray,
+        *,
+        eps2: float,
+        G: float = 1.0,
+        out: np.ndarray,
+        accumulate: bool = False,
+    ) -> np.ndarray:
+        assert self._load() is not None, "backend unavailable"
+        acc = self._rectangle(targets, src_pos, src_mass, eps2, G, out.dtype)
+        if accumulate:
+            out += acc
+        else:
+            out[:] = acc
+        return out
+
+    def self_forces(
+        self,
+        positions: np.ndarray,
+        masses: np.ndarray,
+        *,
+        eps2: float,
+        G: float = 1.0,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        assert self._load() is not None, "backend unavailable"
+        xp = self._xp
+        dtype = out.dtype
+        x = xp.asarray(positions)
+        m = xp.asarray(masses)
+        d = x[None, :, :] - x[:, None, :]
+        r2 = (d * d).sum(axis=-1) + dtype.type(eps2)
+        n = positions.shape[0]
+        # Diagonal to +inf: inf**-1.5 == 0 exactly, the i == j term drops.
+        eye = xp.asarray(np.eye(n, dtype=bool))
+        r2 = xp.where(eye, xp.asarray(np.inf, dtype=r2.dtype), r2)
+        if eps2 == 0.0:
+            bad = self._to_host(~(r2 > 0))
+            if bad.any():
+                tgt, src = np.nonzero(bad)
+                raise CoincidentPairError(
+                    [(int(i), int(j)) for i, j in zip(tgt, src)]
+                )
+        w = m[None, :] * r2 ** dtype.type(-1.5)
+        acc = (w[:, :, None] * d).sum(axis=1)
+        if G != 1.0:
+            acc = acc * dtype.type(G)
+        out[:] = self._to_host(acc).astype(dtype, copy=False)
+        return out

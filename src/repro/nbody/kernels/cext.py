@@ -1,0 +1,263 @@
+"""Compiled C direct-sum kernels, built on demand with the host compiler.
+
+The register-blocked formulation of Elsen et al. / Belleman et al.
+(PAPERS.md) applied to the CPU: one accumulator triple per target body
+held in registers, a single pass over the sources with the compiler
+auto-vectorising the inner loop (``-O3 -march=native -ffast-math``).
+Against the blocked-NumPy reference this trades the ``(nt, block, 3)``
+temporary traffic for pure arithmetic, which is where the order-of-
+magnitude single-thread speedup comes from (see ``BENCH_PR7.json``).
+
+The shared library is compiled once per source revision into a per-user
+cache directory (``REPRO_KERNEL_CACHE``, else ``~/.cache/repro-kernels``)
+and loaded with :mod:`ctypes` — no build-time dependency, no Python
+headers.  Hosts without a working C compiler simply report the backend
+unavailable and the force paths stay on the NumPy reference.
+
+Summation is reassociated by vectorisation and ``-ffast-math``, so
+results are *not* bit-identical to the reference; the differential
+oracle admits them under the ``compiled-f64`` / ``compiled-f32``
+tolerances (:mod:`repro.check.oracle`).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.nbody.kernels.base import CoincidentPairError, KernelBackend
+
+__all__ = ["CExtensionBackend"]
+
+ENV_CACHE_DIR = "REPRO_KERNEL_CACHE"
+
+#: Most coincident pairs reported before truncating the scan.
+_MAX_BAD_PAIRS = 64
+
+_SOURCE = r"""
+#include <math.h>
+#include <stdint.h>
+
+/* Dense targets x sources direct sum.  One register accumulator triple
+ * per target; the j loop auto-vectorises.  G is applied per target row
+ * so `accumulate` composes per contribution. */
+#define SOURCES_KERNEL(NAME, T, SQRT)                                        \
+void NAME(const T *tx, int64_t nt, const T *sx, const T *sm, int64_t ns,     \
+          T eps2, T G, T *out, int32_t accumulate)                           \
+{                                                                            \
+    for (int64_t i = 0; i < nt; ++i) {                                       \
+        const T xi = tx[3*i], yi = tx[3*i+1], zi = tx[3*i+2];                \
+        T ax = 0, ay = 0, az = 0;                                            \
+        for (int64_t j = 0; j < ns; ++j) {                                   \
+            const T dx = sx[3*j]   - xi;                                     \
+            const T dy = sx[3*j+1] - yi;                                     \
+            const T dz = sx[3*j+2] - zi;                                     \
+            const T r2 = dx*dx + dy*dy + dz*dz + eps2;                       \
+            const T inv = (T)1 / SQRT(r2);                                   \
+            const T w = sm[j] * inv * inv * inv;                             \
+            ax += w * dx; ay += w * dy; az += w * dz;                        \
+        }                                                                    \
+        if (accumulate) {                                                    \
+            out[3*i] += G*ax; out[3*i+1] += G*ay; out[3*i+2] += G*az;        \
+        } else {                                                             \
+            out[3*i] = G*ax; out[3*i+1] = G*ay; out[3*i+2] = G*az;           \
+        }                                                                    \
+    }                                                                        \
+}
+
+/* All-pairs self interaction, diagonal excluded.  With eps2 == 0 a zero
+ * (or non-finite) off-diagonal r2 is a coincident distinct pair: the
+ * offending (i, j) pairs are recorded into `bad` (up to max_bad) and the
+ * count returned, so the caller can name the bodies in its error. */
+#define SELF_KERNEL(NAME, T, SQRT)                                           \
+int64_t NAME(const T *x, const T *m, int64_t n, T eps2, T G, T *out,         \
+             int64_t *bad, int64_t max_bad)                                  \
+{                                                                            \
+    int64_t n_bad = 0;                                                       \
+    for (int64_t i = 0; i < n; ++i) {                                        \
+        const T xi = x[3*i], yi = x[3*i+1], zi = x[3*i+2];                   \
+        T ax = 0, ay = 0, az = 0;                                            \
+        for (int64_t j = 0; j < n; ++j) {                                    \
+            if (j == i) continue;                                            \
+            const T dx = x[3*j]   - xi;                                      \
+            const T dy = x[3*j+1] - yi;                                      \
+            const T dz = x[3*j+2] - zi;                                      \
+            const T r2 = dx*dx + dy*dy + dz*dz + eps2;                       \
+            if (eps2 == (T)0 && !(r2 > (T)0)) {                              \
+                if (n_bad < max_bad) {                                       \
+                    bad[2*n_bad] = i; bad[2*n_bad+1] = j;                    \
+                }                                                            \
+                ++n_bad;                                                     \
+                continue;                                                    \
+            }                                                                \
+            const T inv = (T)1 / SQRT(r2);                                   \
+            const T w = m[j] * inv * inv * inv;                              \
+            ax += w * dx; ay += w * dy; az += w * dz;                        \
+        }                                                                    \
+        out[3*i] = G*ax; out[3*i+1] = G*ay; out[3*i+2] = G*az;               \
+    }                                                                        \
+    return n_bad;                                                            \
+}
+
+SOURCES_KERNEL(repro_sources_f64, double, sqrt)
+SOURCES_KERNEL(repro_sources_f32, float, sqrtf)
+SELF_KERNEL(repro_self_f64, double, sqrt)
+SELF_KERNEL(repro_self_f32, float, sqrtf)
+"""
+
+#: Compile flags for the kernel translation unit.  fast-math is confined
+#: to these kernels' own arithmetic.
+_CFLAGS = ["-O3", "-march=native", "-ffast-math", "-fno-math-errno", "-fPIC"]
+
+#: Link flags — deliberately *without* any fast-math option: linking a
+#: shared object with -ffast-math pulls in gcc's crtfastmath startup,
+#: whose constructor flips the process-wide FTZ/DAZ bits at dlopen time
+#: and silently breaks subnormal arithmetic for every other library in
+#: the process.  Compiling fast, linking plain keeps the damage local.
+_LDFLAGS = ["-shared"]
+
+
+def _cache_dir() -> Path:
+    configured = os.environ.get(ENV_CACHE_DIR)
+    if configured:
+        return Path(configured)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-kernels"
+
+
+def _find_compiler() -> str | None:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _build_library() -> Path:
+    """Compile (or reuse) the shared library for the current source."""
+    digest = hashlib.sha256(
+        (_SOURCE + " ".join(_CFLAGS) + " ".join(_LDFLAGS)).encode()
+    ).hexdigest()[:16]
+    lib_path = _cache_dir() / f"repro_kernels_{digest}.so"
+    if lib_path.exists():
+        return lib_path
+    cc = _find_compiler()
+    if cc is None:
+        raise RuntimeError("no C compiler found (tried $CC, cc, gcc, clang)")
+    lib_path.parent.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(dir=lib_path.parent) as tmp:
+        src = Path(tmp) / "kernels.c"
+        src.write_text(_SOURCE)
+        obj = Path(tmp) / "kernels.o"
+        tmp_lib = Path(tmp) / "kernels.so"
+        for cmd in (
+            [cc, *_CFLAGS, "-c", "-o", str(obj), str(src)],
+            [cc, *_LDFLAGS, "-o", str(tmp_lib), str(obj), "-lm"],
+        ):
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"{cc} failed (exit {proc.returncode}): "
+                    f"{proc.stderr.strip()[:500]}"
+                )
+        # Atomic publish: concurrent builders race benignly to the same name.
+        os.replace(tmp_lib, lib_path)
+    return lib_path
+
+
+class CExtensionBackend(KernelBackend):
+    """Direct-sum kernels compiled with the host C compiler via ctypes."""
+
+    name = "cext"
+    kind = "compiled"
+
+    def __init__(self) -> None:
+        self._lib: ctypes.CDLL | None = None
+        self._error: str | None = None
+
+    # -- lazy build ------------------------------------------------------
+    def _load(self) -> ctypes.CDLL | None:
+        if self._lib is not None or self._error is not None:
+            return self._lib
+        try:
+            lib = ctypes.CDLL(str(_build_library()))
+            c_i64, c_i32 = ctypes.c_int64, ctypes.c_int32
+            c_f64, c_f32, p = ctypes.c_double, ctypes.c_float, ctypes.c_void_p
+            lib.repro_sources_f64.restype = None
+            lib.repro_sources_f64.argtypes = [p, c_i64, p, p, c_i64, c_f64, c_f64, p, c_i32]
+            lib.repro_sources_f32.restype = None
+            lib.repro_sources_f32.argtypes = [p, c_i64, p, p, c_i64, c_f32, c_f32, p, c_i32]
+            lib.repro_self_f64.restype = c_i64
+            lib.repro_self_f64.argtypes = [p, p, c_i64, c_f64, c_f64, p, p, c_i64]
+            lib.repro_self_f32.restype = c_i64
+            lib.repro_self_f32.argtypes = [p, p, c_i64, c_f32, c_f32, p, p, c_i64]
+            self._lib = lib
+        except (RuntimeError, OSError) as exc:
+            self._error = str(exc)
+        return self._lib
+
+    @property
+    def available(self) -> bool:
+        return self._load() is not None
+
+    @property
+    def unavailable_reason(self) -> str | None:
+        self._load()
+        return self._error
+
+    # -- kernels ---------------------------------------------------------
+    @staticmethod
+    def _ptr(arr: np.ndarray) -> ctypes.c_void_p:
+        return ctypes.c_void_p(arr.ctypes.data)
+
+    def sources(
+        self,
+        targets: np.ndarray,
+        src_pos: np.ndarray,
+        src_mass: np.ndarray,
+        *,
+        eps2: float,
+        G: float = 1.0,
+        out: np.ndarray,
+        accumulate: bool = False,
+    ) -> np.ndarray:
+        lib = self._load()
+        assert lib is not None, "backend unavailable; resolve_backend gates this"
+        fn = lib.repro_sources_f64 if out.dtype == np.float64 else lib.repro_sources_f32
+        scalar = float(np.dtype(out.dtype).type(eps2))
+        fn(
+            self._ptr(targets), targets.shape[0],
+            self._ptr(src_pos), self._ptr(src_mass), src_pos.shape[0],
+            scalar, G, self._ptr(out), int(accumulate),
+        )
+        return out
+
+    def self_forces(
+        self,
+        positions: np.ndarray,
+        masses: np.ndarray,
+        *,
+        eps2: float,
+        G: float = 1.0,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        lib = self._load()
+        assert lib is not None, "backend unavailable; resolve_backend gates this"
+        fn = lib.repro_self_f64 if out.dtype == np.float64 else lib.repro_self_f32
+        bad = np.empty((_MAX_BAD_PAIRS, 2), dtype=np.int64)
+        scalar = float(np.dtype(out.dtype).type(eps2))
+        n_bad = fn(
+            self._ptr(positions), self._ptr(masses), positions.shape[0],
+            scalar, G, self._ptr(out), self._ptr(bad), _MAX_BAD_PAIRS,
+        )
+        if n_bad:
+            shown = bad[: min(int(n_bad), _MAX_BAD_PAIRS)]
+            raise CoincidentPairError([(int(i), int(j)) for i, j in shown])
+        return out

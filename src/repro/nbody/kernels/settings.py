@@ -1,0 +1,67 @@
+"""Kernel-backend settings: which force kernels the library runs on.
+
+The force paths default to the pure-NumPy reference kernels; a compiled
+backend is opted into with the library's usual precedence chain (first
+hit wins):
+
+1. an explicit ``backend=`` argument to a force function, or a
+   :class:`~repro.core.plans.base.PlanConfig` with ``kernel_backend``
+   set (pins the backend for that plan instance, including through
+   serve job specs and checkpoint resume);
+2. the name set through :func:`repro.configure` (``kernel_backend=``)
+   or the ``--kernel-backend`` CLI flag (which calls it);
+3. the ``REPRO_KERNEL_BACKEND`` environment variable;
+4. the built-in default: ``"numpy"``.
+
+The environment is read when a backend is resolved (force-pass time),
+not at import, so tests and subprocesses can adjust it freely.
+Process-pool workers inherit the parent's selection: the
+:class:`~repro.exec.engine.ExecutionEngine` installs it in each worker
+through a pool initializer (configure-level overrides don't survive
+fork/spawn on their own).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "ENV_KERNEL_BACKEND",
+    "kernel_backend_name",
+    "set_kernel_backend_override",
+    "clear_overrides",
+]
+
+ENV_KERNEL_BACKEND = "REPRO_KERNEL_BACKEND"
+
+#: Built-in default backend: the bit-stable NumPy reference.
+DEFAULT_BACKEND = "numpy"
+
+#: ``repro.configure(kernel_backend=...)`` value (precedence level 2);
+#: ``None`` means "not configured, fall through to the environment".
+_backend_override: str | None = None
+
+
+def set_kernel_backend_override(name: str | None) -> None:
+    """Install the ``repro.configure``-level kernel backend name.
+
+    Name validity is checked by the registry at install time (see
+    :func:`repro.nbody.kernels.get_backend`); availability is checked at
+    resolve time so an unavailable compiled backend degrades to the
+    NumPy reference instead of failing the run.
+    """
+    global _backend_override
+    _backend_override = None if name is None else str(name)
+
+
+def clear_overrides() -> None:
+    """Drop the configure-level kernel backend (tests)."""
+    global _backend_override
+    _backend_override = None
+
+
+def kernel_backend_name() -> str:
+    """The configured backend name, before availability resolution."""
+    if _backend_override is not None:
+        return _backend_override
+    return os.environ.get(ENV_KERNEL_BACKEND) or DEFAULT_BACKEND

@@ -64,7 +64,7 @@ _HOSTS: dict[str, HostCpuModel] = {PENTIUM_E5300.name: PENTIUM_E5300}
 
 def plan_config_to_dict(config: PlanConfig) -> dict[str, Any]:
     """JSON-friendly plan configuration (device/host referenced by name)."""
-    return {
+    data = {
         "device": config.device.name,
         "host": config.host.name,
         "wg_size": config.wg_size,
@@ -73,6 +73,11 @@ def plan_config_to_dict(config: PlanConfig) -> dict[str, Any]:
         "theta": config.theta,
         "leaf_size": config.leaf_size,
     }
+    # Only serialized when pinned, so manifests and job-spec content hashes
+    # of default-config runs are unchanged from before the field existed.
+    if config.kernel_backend is not None:
+        data["kernel_backend"] = config.kernel_backend
+    return data
 
 
 def plan_config_from_dict(data: dict[str, Any]) -> PlanConfig:
@@ -93,6 +98,7 @@ def plan_config_from_dict(data: dict[str, Any]) -> PlanConfig:
             f"manifest references unknown host model '{host_name}'; "
             "pass plan= explicitly when resuming"
         ) from None
+    kernel_backend = data.get("kernel_backend")
     return PlanConfig(
         device=device,
         host=host,
@@ -101,6 +107,7 @@ def plan_config_from_dict(data: dict[str, Any]) -> PlanConfig:
         G=float(data["G"]),
         theta=float(data["theta"]),
         leaf_size=int(data["leaf_size"]),
+        kernel_backend=None if kernel_backend is None else str(kernel_backend),
     )
 
 

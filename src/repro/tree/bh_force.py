@@ -64,6 +64,7 @@ def _walk_task(
     softening: float,
     G: float,
     dtype: np.dtype | type,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Evaluate one walk's group block (runs on an engine worker)."""
     tree = walks.tree
@@ -80,6 +81,7 @@ def _walk_task(
         G=G,
         dtype=dtype,
         workspace=ws,
+        backend=backend,
     )
 
 
@@ -90,6 +92,7 @@ def accelerations_from_walks(
     G: float = 1.0,
     dtype: np.dtype | type = np.float64,
     engine: ExecutionEngine | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Accelerations of all bodies from their walks, in **original** body order.
 
@@ -97,16 +100,22 @@ def accelerations_from_walks(
     :func:`repro.tree.walks.generate_walks` guarantees).  Walk evaluation
     fans out across ``engine`` (default: the process-global engine); walk
     blocks are written back in fixed walk order, so the result is
-    bit-identical for every backend and worker count.
+    bit-identical for every engine backend and worker count (within one
+    *kernel* backend — ``backend`` selects it, resolved here once so
+    fallback happens in the parent, and passed to workers by name).
     """
     tree = walks.tree
     eng = engine if engine is not None else get_default_engine()
+    from repro.nbody.kernels import resolve_backend
+
+    kernel_backend = resolve_backend(backend).name
     acc_sorted = np.full((tree.n_bodies, 3), np.nan, dtype=np.float64)
     with obs.span(
         "bh_force.walk_eval", n=tree.n_bodies, n_walks=len(walks)
     ) as sp:
         task = partial(
-            _walk_task, walks=walks, softening=softening, G=G, dtype=dtype
+            _walk_task, walks=walks, softening=softening, G=G, dtype=dtype,
+            backend=kernel_backend,
         )
         blocks = eng.map(task, range(len(walks)), label="bh.walk")
         for w, block in zip(walks, blocks):

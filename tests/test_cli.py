@@ -301,6 +301,31 @@ class TestCheckCommand:
     def test_check_passes_through_compat(self):
         assert _compat_argv(["check", "--n", "48"]) == ["check", "--n", "48"]
 
+    def test_check_rejects_unknown_kernel_backend_csv(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["check", "--kernel-backends", "numpy,fortran77"])
+        assert exc.value.code == 2
+        assert "fortran77" in capsys.readouterr().err
+
+    def test_unknown_kernel_backend_flag_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--n", "32", "--steps", "1", "--kernel-backend", "nope"])
+        assert exc.value.code == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_kernel_backend_flag_configures(self, tmp_path):
+        from repro.nbody.kernels import settings as kernel_settings
+
+        try:
+            assert main([
+                "run", "--n", "32", "--steps", "1",
+                "--out", str(tmp_path / "run"),
+                "--kernel-backend", "numpy",
+            ]) == 0
+            assert kernel_settings.kernel_backend_name() == "numpy"
+        finally:
+            kernel_settings.clear_overrides()
+
 
 @pytest.mark.cli
 @pytest.mark.serve
@@ -446,6 +471,20 @@ class TestTopAndReport:
             "report", "--out", "x.md"
         ]
         assert _compat_argv(["top", "--once"]) == ["top", "--once"]
+
+    def test_flat_report_with_mixed_flags_is_ambiguous(self, capsys):
+        # Bench flags (--quick/--output) and ledger flags (--out/--format)
+        # in one flat 'report' can't be routed to either subcommand; the
+        # CLI must refuse loudly (exit 2) instead of guessing.
+        with pytest.raises(SystemExit) as exc:
+            _compat_argv(["report", "--quick", "--out", "x.md"])
+        assert exc.value.code == 2
+
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as exc:
+            main(["report", "--quick", "--out", "x.md"])
+        assert exc.value.code == 2
+        assert "ambiguous" in capsys.readouterr().err
 
     def test_prometheus_out_flag(self, tmp_path, capsys):
         prom = tmp_path / "metrics.prom"
