@@ -1,8 +1,8 @@
 """Batched-vs-sequential serving benchmark (PR 4 acceptance gate).
 
 Submits a mixed batch of small-N jobs — several plans, one fault-injected
-job recovering through per-job retries, and deliberate repeats — to a
-:class:`repro.serve.JobService`, and compares wall-clock throughput
+job recovering through per-job retries, and deliberate repeats — through
+:func:`repro.serve.connect`, and compares wall-clock throughput
 against the obvious baseline: a fresh :class:`RunSession` per submission,
 run back-to-back.
 
@@ -38,7 +38,7 @@ import numpy as np
 from repro.check import compare_arrays
 from repro.exec.faults import FaultInjector, RetryPolicy
 from repro.runtime import RunSession
-from repro.serve import Client, JobService, JobSpec
+from repro.serve import JobSpec, connect
 
 #: (workload, n, seed, plan) for the unique jobs in the batch.
 BATCH = [
@@ -92,7 +92,8 @@ def run_batched(
     workers: int,
     max_concurrent: int,
 ) -> tuple[float, list, dict]:
-    service = JobService(
+    service = connect(
+        None,
         cache_dir=cache_dir,
         max_concurrent_jobs=max_concurrent,
         pool_backend=backend,
@@ -185,7 +186,7 @@ def main(argv: list[str] | None = None) -> int:
             print("FAIL: batched results are not bit-identical", file=sys.stderr)
 
         # --- cache gate: a fresh service answers from the cache ---------
-        with Client(cache_dir=cache_dir) as client:
+        with connect(None, cache_dir=cache_dir) as client:
             t0 = time.perf_counter()
             replay = client.run(specs[0])
             cache_wall = time.perf_counter() - t0

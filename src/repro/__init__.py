@@ -65,10 +65,13 @@ _EXPORTS = {
     "ExecutionEngine": "repro.exec",
     "EnginePool": "repro.exec",
     "Client": "repro.serve",
+    "Coordinator": "repro.serve",
     "JobHandle": "repro.serve",
     "JobResult": "repro.serve",
     "JobService": "repro.serve",
     "JobSpec": "repro.serve",
+    "Worker": "repro.serve",
+    "connect": "repro.serve",
     "RetryPolicy": "repro.exec",
     "FaultInjector": "repro.exec",
     "configure": "repro.config",

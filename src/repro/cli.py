@@ -6,8 +6,12 @@ Subcommands::
     repro-nbody profile <experiment> [...] # one experiment with tracing on
     repro-nbody run [...]                  # a checkpointed simulation run
     repro-nbody resume <rundir>            # continue an interrupted run
-    repro-nbody serve --jobs FILE [...]    # batch of jobs over one pool
-    repro-nbody submit [...]               # one cached job (spec flags)
+    repro-nbody serve batch --jobs FILE    # batch of jobs over one pool
+    repro-nbody serve submit [...]         # one cached job (spec flags)
+    repro-nbody serve coordinator [...]    # distributed-tier coordinator
+    repro-nbody serve worker [...]         # worker shard pulling jobs
+    repro-nbody serve merge-shards [...]   # combine shard ledgers
+    repro-nbody serve shutdown [...]       # stop a running coordinator
     repro-nbody check [...]                # differential + invariant battery
     repro-nbody top [...]                  # live run table from the ledger
     repro-nbody report [...]               # markdown/HTML ledger report
@@ -20,9 +24,15 @@ Examples::
     repro-nbody run --n 4096 --plan jw --steps 200 --checkpoint-every 25 \\
         --out runs/demo
     repro-nbody resume runs/demo
-    repro-nbody serve --jobs jobs.json --max-concurrent 4 --cache-dir cache \\
-        --ledger-dir ledger
-    repro-nbody submit --n 2048 --plan jw --steps 100 --cache-dir cache
+    repro-nbody serve batch --jobs jobs.json --max-concurrent 4 \\
+        --cache-dir cache --ledger-dir ledger
+    repro-nbody serve submit --n 2048 --plan jw --steps 100 --cache-dir cache
+    repro-nbody serve coordinator --addr 127.0.0.1:7464 --cache-dir cache
+    repro-nbody serve worker --addr 127.0.0.1:7464 --shard shard-a \\
+        --cache-dir cache --ledger-dir ledger/a
+    repro-nbody serve submit --addr 127.0.0.1:7464 --n 2048 --steps 100
+    repro-nbody serve merge-shards ledger/a ledger/b --out ledger/all
+    repro-nbody serve shutdown --addr 127.0.0.1:7464
     repro-nbody check --n 256 --json check.json
     repro-nbody check --golden tests/golden --bless
     repro-nbody top --ledger-dir ledger --once
@@ -33,7 +43,12 @@ working: an unrecognised leading token is routed through a hidden
 compatibility path that prefixes ``bench``.  The flat ``report`` form
 (``repro-nbody report --output rep.md``) still reaches the bench report
 — bench-style flags (``--output``/``--quick``/``--workload``/``--steps``)
-disambiguate it from the ledger ``report`` subcommand.
+disambiguate it from the ledger ``report`` subcommand.  The pre-PR-8
+serve spellings also keep working: ``repro-nbody serve --jobs ...``
+rewrites to ``serve batch`` and flat ``repro-nbody submit ...`` rewrites
+to ``serve submit`` — unless batch-only flags (``--jobs`` /
+``--summary-out``) are mixed into a flat ``submit``, which is ambiguous
+and rejected with exit code 2.
 """
 
 from __future__ import annotations
@@ -41,6 +56,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Sequence
 
 from repro import obs
@@ -76,6 +92,16 @@ SUBCOMMANDS = (
     "run", "profile", "bench", "resume", "serve", "submit", "check",
     "top", "report",
 )
+
+#: ``serve``'s own subcommands (used by the serve compat rewrites).
+SERVE_SUBCOMMANDS = (
+    "batch", "submit", "coordinator", "worker", "merge-shards", "shutdown",
+)
+
+#: Flags that belong only to ``serve batch``; mixing them into the flat
+#: ``submit`` form is ambiguous and rejected (same policy as the flat
+#: ``report`` disambiguation).
+_BATCH_ONLY_FLAGS = frozenset({"--jobs", "--summary-out"})
 
 #: Flags that mark a flat ``report`` invocation as the *bench* report.
 _BENCH_REPORT_FLAGS = frozenset({"--output", "--quick", "--workload", "--steps"})
@@ -295,28 +321,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
+        help="batched job serving: local batches and the distributed tier",
+    )
+    serve_sub = serve.add_subparsers(
+        dest="serve_command", required=True, metavar="SERVE_COMMAND"
+    )
+
+    batch = serve_sub.add_parser(
+        "batch",
         parents=[common],
         help="execute a batch of jobs over one shared worker pool",
     )
-    serve.add_argument(
+    batch.add_argument(
         "--jobs",
         required=True,
         metavar="FILE",
         help="JSON file: a list of job-spec objects (workload/n/seed/plan/"
         "dt/steps[/plan_config/checkpoint_every/priority])",
     )
-    _add_serve_flags(serve)
-    serve.add_argument(
+    _add_serve_flags(batch)
+    _add_addr_flag(batch)
+    batch.add_argument(
         "--summary-out",
         default=None,
         metavar="PATH",
         help="write a JSON summary of per-job outcomes to PATH",
     )
 
-    submit = sub.add_parser(
+    submit = serve_sub.add_parser(
         "submit",
         parents=[common],
-        help="run one job spec through the cached job service",
+        help="run one job spec through the cached job service "
+        "(in-process, or against a coordinator via --addr)",
     )
     submit.add_argument("--n", type=int, default=4096, metavar="N")
     submit.add_argument("--plan", default="jw", choices=_run_plans())
@@ -329,6 +365,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint cadence inside the cached run directory",
     )
     _add_serve_flags(submit)
+    _add_addr_flag(submit)
+
+    coordinator = serve_sub.add_parser(
+        "coordinator",
+        parents=[common],
+        help="run the distributed-tier coordinator (serves clients and "
+        "worker shards until 'serve shutdown' or Ctrl-C)",
+    )
+    coordinator.add_argument(
+        "--addr", default="127.0.0.1:7464", metavar="HOST:PORT",
+        help="address to listen on; port 0 picks a free port "
+        "(default: 127.0.0.1:7464)",
+    )
+    coordinator.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared result-cache root every worker and client must "
+        "also use (default: .repro_cache)",
+    )
+    coordinator.add_argument(
+        "--queue-capacity", type=int, default=None, metavar="N",
+        help="queued-but-unassigned jobs before submissions are rejected",
+    )
+
+    workerp = serve_sub.add_parser(
+        "worker",
+        parents=[common],
+        help="run one worker shard pulling jobs from a coordinator",
+    )
+    workerp.add_argument(
+        "--addr", required=True, metavar="HOST:PORT",
+        help="the coordinator's address",
+    )
+    workerp.add_argument(
+        "--shard", default=None, metavar="NAME",
+        help="this shard's name, stamped on its ledger rows "
+        "(default: <hostname>-<pid>)",
+    )
+    _add_serve_flags(workerp)
+    workerp.add_argument(
+        "--max-idle-s", type=float, default=None, metavar="S",
+        help="exit after S seconds with no work claimed or offered "
+        "(default: stay until the coordinator goes away)",
+    )
+
+    merge = serve_sub.add_parser(
+        "merge-shards",
+        parents=[common],
+        help="combine per-shard run ledgers into one experiment database",
+    )
+    merge.add_argument(
+        "shards", nargs="+", metavar="LEDGER",
+        help="shard ledger paths (directories holding repro_ledger.sqlite, "
+        "or the .sqlite files themselves)",
+    )
+    merge.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="destination ledger the shard databases are folded into "
+        "(run ids are remapped; shard provenance is preserved)",
+    )
+
+    shutdown = serve_sub.add_parser(
+        "shutdown",
+        parents=[common],
+        help="ask a running coordinator to stop",
+    )
+    shutdown.add_argument(
+        "--addr", required=True, metavar="HOST:PORT",
+        help="the coordinator's address",
+    )
 
     check = sub.add_parser(
         "check",
@@ -473,6 +578,17 @@ def _add_serve_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_addr_flag(parser: argparse.ArgumentParser) -> None:
+    """The transport switch shared by ``serve batch`` / ``serve submit``."""
+    parser.add_argument(
+        "--addr", default=None, metavar="HOST:PORT",
+        help="submit to the coordinator at HOST:PORT instead of an "
+        "in-process service; the literal value 'local' forces in-process "
+        "(default: repro.configure(serve_addr=...), then the "
+        "REPRO_SERVE_ADDR environment variable, else in-process)",
+    )
+
+
 def _compat_argv(
     argv: Sequence[str], parser: argparse.ArgumentParser | None = None
 ) -> list[str]:
@@ -483,14 +599,40 @@ def _compat_argv(
     ``profile`` subcommand and passes through untouched, as do help and
     version flags.
 
+    The pre-PR-8 serve spellings rewrite the same way:
+    ``repro-nbody serve --jobs ...`` (flags straight after ``serve``)
+    becomes ``serve batch ...``, and flat ``repro-nbody submit ...``
+    becomes ``serve submit ...``.
+
     A flat ``report`` carrying *both* bench-report flags and ledger-report
     flags belongs to neither command; it is rejected outright (exit 2)
     rather than routed somewhere that would die on an unrecognised flag —
-    or worse, silently accept a subset.
+    or worse, silently accept a subset.  A flat ``submit`` mixing in
+    batch-only flags (``--jobs`` / ``--summary-out``) is rejected the
+    same way.
     """
     argv = list(argv)
     if argv and not argv[0].startswith("-") and argv[0] not in SUBCOMMANDS:
         return ["bench", *argv]
+    if argv and argv[0] == "serve":
+        rest = argv[1:]
+        if rest and rest[0] not in SERVE_SUBCOMMANDS and rest[0].startswith("-"):
+            # Old flat serve: flags straight after `serve` mean `batch`.
+            return ["serve", "batch", *rest]
+    if argv and argv[0] == "submit":
+        batch_hits = _BATCH_ONLY_FLAGS.intersection(argv[1:])
+        if batch_hits:
+            message = (
+                "ambiguous flat 'submit': "
+                f"{'/'.join(sorted(batch_hits))} belongs to 'serve batch', "
+                "not 'serve submit'; spell out 'repro-nbody serve batch' "
+                "or drop the batch flags"
+            )
+            if parser is not None:
+                parser.error(message)  # exits 2
+            print(f"error: {message}", file=sys.stderr)
+            raise SystemExit(2)
+        return ["serve", "submit", *argv[1:]]
     if argv and argv[0] == "report":
         bench_hits = _BENCH_REPORT_FLAGS.intersection(argv[1:])
         ledger_hits = _LEDGER_REPORT_FLAGS.intersection(argv[1:])
@@ -659,10 +801,31 @@ def _cmd_resume(parser: argparse.ArgumentParser, args: argparse.Namespace) -> No
     _print_run_summary(session)
 
 
-def _make_service(args: argparse.Namespace):
-    from repro.serve import JobService
+def _resolve_cli_addr(args: argparse.Namespace) -> str | None:
+    """The coordinator address a serve command should dial, or ``None``.
 
-    return JobService(
+    ``--addr HOST:PORT`` dials that coordinator, the literal value
+    ``local`` forces in-process, and no flag falls through the settings
+    chain (``repro.configure(serve_addr=...)`` / ``REPRO_SERVE_ADDR``).
+    """
+    if args.addr == "local":
+        return None
+    if args.addr is not None:
+        return args.addr
+    from repro.serve.settings import current_settings
+
+    return current_settings().addr
+
+
+def _make_client(args: argparse.Namespace):
+    """A :class:`repro.serve.Client` on whichever transport ``args`` picks."""
+    from repro.serve import connect
+
+    addr = _resolve_cli_addr(args)
+    if addr is not None:
+        return connect(addr)
+    return connect(
+        None,
         max_concurrent_jobs=args.max_concurrent,
         queue_capacity=args.queue_capacity,
         cache_dir=args.cache_dir,
@@ -701,6 +864,13 @@ def _print_job_rows(rows: list[dict]) -> None:
 
 
 def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Dispatch ``serve`` to its subcommand handler."""
+    _SERVE_HANDLERS[args.serve_command](parser, args)
+
+
+def _cmd_serve_batch(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
     import json
 
     from repro.errors import AdmissionError, ServeError
@@ -713,7 +883,7 @@ def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> Non
     if not isinstance(entries, list) or not entries:
         parser.error(f"{args.jobs} must hold a non-empty JSON list of job specs")
     t0 = time.perf_counter()
-    service = _make_service(args)
+    client = _make_client(args)
     handles = []
     try:
         for i, entry in enumerate(entries):
@@ -723,7 +893,7 @@ def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> Non
             except ServeError as exc:
                 parser.error(f"job {i} in {args.jobs}: {exc}")
             try:
-                handles.append(service.submit(spec, priority=priority))
+                handles.append(client.submit(spec, priority=priority))
             except AdmissionError as exc:
                 print(
                     f"job {i} in {args.jobs} rejected: {exc}\n"
@@ -733,8 +903,9 @@ def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> Non
                 raise SystemExit(3) from None
         for h in handles:
             h.wait()
+        described = client.describe()
     finally:
-        service.close()
+        client.close()
     wall = time.perf_counter() - t0
     rows = [_job_row(h, wall) for h in handles]
     _print_job_rows(rows)
@@ -742,13 +913,13 @@ def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> Non
     cached = sum(r["from_cache"] for r in rows)
     print(
         f"\n{done}/{len(rows)} jobs complete ({cached} from cache, "
-        f"{service.deduped} deduped) in {wall:.2f} s wall-clock"
+        f"{described.get('deduped', 0)} deduped) in {wall:.2f} s wall-clock"
     )
     if args.summary_out:
         summary = {
             "jobs": rows,
             "wall_s": wall,
-            "service": service.describe(),
+            "service": described,
         }
         with open(args.summary_out, "w") as fh:
             json.dump(summary, fh, indent=2)
@@ -757,7 +928,9 @@ def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> Non
         raise SystemExit(1)
 
 
-def _cmd_submit(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+def _cmd_serve_submit(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
     from repro.serve import JobSpec
 
     spec = JobSpec(
@@ -769,13 +942,13 @@ def _cmd_submit(parser: argparse.ArgumentParser, args: argparse.Namespace) -> No
         steps=args.steps,
         checkpoint_every=args.checkpoint_every,
     )
-    service = _make_service(args)
+    client = _make_client(args)
     try:
         t0 = time.perf_counter()
-        result = service.run(spec)
+        result = client.run(spec)
         wall = time.perf_counter() - t0
     finally:
-        service.close()
+        client.close()
     source = "cache" if result.from_cache else "fresh run"
     print(
         f"job {result.spec_hash[:12]} complete from {source}: "
@@ -784,6 +957,128 @@ def _cmd_submit(parser: argparse.ArgumentParser, args: argparse.Namespace) -> No
         f"in {wall:.2f} s wall-clock"
     )
     print(f"result directory: {result.run_dir}")
+
+
+def _cmd_serve_coordinator(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    from repro.serve import Coordinator
+
+    coord = Coordinator(
+        args.addr,
+        cache_dir=args.cache_dir,
+        queue_capacity=args.queue_capacity,
+    ).start()
+    # Flush immediately: launcher scripts read this line for the port.
+    print(f"coordinator listening at {coord.addr}", flush=True)
+    try:
+        coord.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coord.stop()
+    print(
+        f"coordinator stopped: {coord.jobs_submitted} submissions "
+        f"({coord.cache_hits} cache hits, {coord.deduped} deduped)"
+    )
+
+
+def _cmd_serve_worker(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    import os
+    import socket as socketlib
+
+    from repro.serve import Worker
+
+    shard = args.shard or f"{socketlib.gethostname()}-{os.getpid()}"
+    worker = Worker(
+        args.addr,
+        shard,
+        cache_dir=args.cache_dir,
+        max_idle_s=args.max_idle_s,
+        max_concurrent_jobs=args.max_concurrent,
+        queue_capacity=args.queue_capacity,
+        pool_backend=args.pool_backend,
+        pool_workers=args.pool_workers,
+        steps_per_slice=args.steps_per_slice,
+    )
+    print(f"worker {shard} pulling from {args.addr}", flush=True)
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        pass
+    print(
+        f"worker {shard} done: {worker.jobs_done} jobs completed, "
+        f"{worker.jobs_failed} failed"
+    )
+
+
+def _cmd_serve_merge(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    from repro.errors import LedgerError
+    from repro.obs.ledger import RunLedger
+
+    for path in args.shards:
+        if not Path(path).is_file():
+            # Opening a missing path would create an empty database and
+            # merge zero rows — fail loudly instead.
+            parser.error(f"shard database {path} does not exist")
+    merged = RunLedger(args.out)
+    try:
+        total = 0
+        for path in args.shards:
+            try:
+                count = merged.merge(path)
+            except (LedgerError, OSError) as exc:
+                parser.error(f"cannot merge {path}: {exc}")
+            print(f"merged {count} runs from {path}")
+            total += count
+        counts = merged.counts()
+        shard_rows = merged.shard_table()
+    finally:
+        merged.close()
+    print(
+        f"\nmerged database {args.out}: {counts['runs']} runs, "
+        f"{counts['slices']} slices, {counts['events']} events"
+    )
+    header = (
+        f"{'shard':16} {'runs':>5} {'done':>5} {'fail':>5} {'cached':>6} "
+        f"{'retry':>5} {'dedup':>5} {'steps':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in shard_rows:
+        print(
+            f"{row['shard'] or '-':16} {row['runs']:>5} "
+            f"{row['complete'] or 0:>5} {row['failed'] or 0:>5} "
+            f"{row['cached'] or 0:>6} {row['retries'] or 0:>5} "
+            f"{row['deduped'] or 0:>5} {row['steps'] or 0:>9}"
+        )
+
+
+def _cmd_serve_shutdown(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    from repro.serve import RemoteService
+
+    remote = RemoteService(args.addr)
+    try:
+        remote.shutdown()
+    finally:
+        remote.close()
+    print(f"coordinator at {args.addr} stopping")
+
+
+_SERVE_HANDLERS = {
+    "batch": _cmd_serve_batch,
+    "submit": _cmd_serve_submit,
+    "coordinator": _cmd_serve_coordinator,
+    "worker": _cmd_serve_worker,
+    "merge-shards": _cmd_serve_merge,
+    "shutdown": _cmd_serve_shutdown,
+}
 
 
 def _cmd_check(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
@@ -940,7 +1235,6 @@ _HANDLERS = {
     "run": _cmd_run,
     "resume": _cmd_resume,
     "serve": _cmd_serve,
-    "submit": _cmd_submit,
     "check": _cmd_check,
     "top": _cmd_top,
     "report": _cmd_report,
@@ -975,7 +1269,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             configure(kernel_backend=args.kernel_backend)
         except ConfigurationError as exc:
             parser.error(str(exc))
-    if args.command in ("run", "resume", "serve", "submit"):
+    if args.command in ("run", "resume", "serve") and getattr(
+        args, "serve_command", None
+    ) not in ("merge-shards", "shutdown"):
         from repro.obs.settings import default_ledger
 
         ledger = default_ledger()

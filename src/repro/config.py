@@ -46,6 +46,7 @@ def configure(
     max_concurrent_jobs: int | None = None,
     queue_capacity: int | None = None,
     cache_dir: str | None = None,
+    serve_addr: str | None = None,
     verify: "bool | object | None" = None,
     ledger_dir: str | None = None,
     kernel_backend: str | None = None,
@@ -69,13 +70,17 @@ def configure(
     trace:
         ``True`` enables :mod:`repro.obs` (clearing prior data),
         ``False`` disables it, ``None`` leaves it unchanged.
-    max_concurrent_jobs, queue_capacity, cache_dir:
+    max_concurrent_jobs, queue_capacity, cache_dir, serve_addr:
         Defaults for :mod:`repro.serve` services created afterwards.
-        Precedence (first hit wins): explicit ``JobService`` /
-        ``Client`` keywords, then these values, then the
+        ``serve_addr`` is the coordinator address
+        :func:`repro.serve.connect` dials when called with no argument
+        (``"host:port"``; unset = in-process).  Precedence (first hit
+        wins): explicit ``connect()`` / ``JobService`` / ``Client``
+        keywords, then these values, then the
         ``REPRO_SERVE_MAX_CONCURRENT_JOBS`` /
-        ``REPRO_SERVE_QUEUE_CAPACITY`` / ``REPRO_SERVE_CACHE_DIR``
-        environment variables, then the built-in defaults.
+        ``REPRO_SERVE_QUEUE_CAPACITY`` / ``REPRO_SERVE_CACHE_DIR`` /
+        ``REPRO_SERVE_ADDR`` environment variables, then the built-in
+        defaults.
     verify:
         Default invariant guarding for :class:`~repro.runtime.RunSession`
         objects (and hence served jobs) created afterwards: ``True``
@@ -135,7 +140,8 @@ def configure(
             )
         )
     if any(
-        v is not None for v in (max_concurrent_jobs, queue_capacity, cache_dir)
+        v is not None
+        for v in (max_concurrent_jobs, queue_capacity, cache_dir, serve_addr)
     ):
         from repro.serve.settings import set_overrides
 
@@ -143,6 +149,7 @@ def configure(
             max_concurrent_jobs=max_concurrent_jobs,
             queue_capacity=queue_capacity,
             cache_dir=cache_dir,
+            addr=serve_addr,
         )
     if verify is not None:
         from repro.check.settings import set_verify_override

@@ -8,7 +8,8 @@ content-addressing the serve layer already uses
 
 * ``runs`` — one row per submitted/executed run: spec identity
   (workload/n/seed/plan/dt/steps + sha256), source (``run`` / ``serve``
-  / ``resume``), backend, lifecycle timestamps, wall and simulated time,
+  / ``resume``), the shard that executed it (``None`` for single-host
+  runs), backend, lifecycle timestamps, wall and simulated time,
   queue wait, cache/retry/dedup accounting, checkpoint directory,
   invariant-report pointer, a JSON metrics snapshot, and final status.
 * ``slices`` — per scheduler slice (or checkpoint interval): sequence
@@ -28,12 +29,16 @@ connection is opened with ``check_same_thread=False`` so the serve
 scheduler's runner threads can share it.  Schema identity lives in
 ``PRAGMA user_version`` (:data:`LEDGER_VERSION`) — opening a newer or
 unrelated database raises :class:`~repro.errors.LedgerError` instead of
-guessing, which is the drift gate CI asserts on.
+guessing, which is the drift gate CI asserts on; an *older* supported
+version is migrated forward in place (v1 → v2 adds the ``shard``
+column).
 
 :meth:`RunLedger.merge` folds another ledger file into this one with
-run-id remapping — the precursor of the multi-host shard-merge tool
-(ROADMAP item 1): each worker shard writes its own ledger, the
-coordinator merges.
+run-id remapping — `repro-nbody serve merge-shards` uses it to combine
+per-shard worker databases into one experiment database; shard
+provenance survives the merge because every copied row keeps its
+``shard`` value.  :meth:`RunLedger.shard_table` and the ``shard=``
+filter on :meth:`RunLedger.runs` answer "which shard ran what".
 """
 
 from __future__ import annotations
@@ -58,13 +63,14 @@ __all__ = [
 LEDGER_NAME = "ledger.sqlite"
 
 #: Schema version recorded in ``PRAGMA user_version``.
-LEDGER_VERSION = 1
+LEDGER_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
     run_id        INTEGER PRIMARY KEY,
     spec_hash     TEXT,
     source        TEXT NOT NULL DEFAULT 'run',
+    shard         TEXT,
     workload      TEXT,
     n             INTEGER,
     seed          INTEGER,
@@ -111,9 +117,14 @@ CREATE INDEX IF NOT EXISTS idx_events_run ON events(run_id);
 
 #: Columns of ``runs`` settable at submission time.
 _SUBMIT_COLUMNS = (
-    "spec_hash", "source", "workload", "n", "seed", "plan", "dt", "steps",
-    "backend", "checkpoint_dir",
+    "spec_hash", "source", "shard", "workload", "n", "seed", "plan", "dt",
+    "steps", "backend", "checkpoint_dir",
 )
+
+#: In-place forward migrations: from-version -> DDL statements.
+_MIGRATIONS: dict[int, tuple[str, ...]] = {
+    1: ("ALTER TABLE runs ADD COLUMN shard TEXT",),
+}
 
 #: Columns of ``runs`` settable at finish time.
 _FINISH_COLUMNS = (
@@ -165,6 +176,15 @@ class RunLedger:
                         "version; refusing to touch an unversioned database"
                     )
                 self._conn.executescript(_SCHEMA)
+                self._conn.execute(f"PRAGMA user_version = {LEDGER_VERSION}")
+            elif version < LEDGER_VERSION:
+                # Older supported schema: migrate forward in place, one
+                # version at a time, so shard merges can mix old and new
+                # worker databases.
+                while version < LEDGER_VERSION:
+                    for statement in _MIGRATIONS[version]:
+                        self._conn.execute(statement)
+                    version += 1
                 self._conn.execute(f"PRAGMA user_version = {LEDGER_VERSION}")
             elif version != LEDGER_VERSION:
                 raise LedgerError(
@@ -314,12 +334,13 @@ class RunLedger:
 
     def runs(
         self, *, status: str | None = None, spec_hash: str | None = None,
-        plan: str | None = None,
+        plan: str | None = None, shard: str | None = None,
     ) -> list[dict[str, Any]]:
         """Run rows (newest last), optionally filtered."""
         clauses, params = [], []
         for col, val in (
-            ("status", status), ("spec_hash", spec_hash), ("plan", plan)
+            ("status", status), ("spec_hash", spec_hash), ("plan", plan),
+            ("shard", shard),
         ):
             if val is not None:
                 clauses.append(f"{col} = ?")
@@ -404,6 +425,38 @@ class RunLedger:
                 }
             )
         return out
+
+    def shard_table(self) -> list[dict[str, Any]]:
+        """Per-shard aggregate rows — the provenance view of a merged DB.
+
+        Single-host rows (no shard) aggregate under ``shard=None``.
+        """
+        return self._rows(
+            "SELECT shard, COUNT(*) AS runs, "
+            "SUM(status = 'complete') AS complete, "
+            "SUM(status = 'failed') AS failed, "
+            "SUM(status = 'cached') AS cached, "
+            "SUM(COALESCE(retries, 0)) AS retries, "
+            "SUM(COALESCE(dedup_count, 0)) AS deduped, "
+            "AVG(wall_s) AS mean_wall_s, "
+            "SUM(COALESCE(steps, 0)) AS steps "
+            "FROM runs GROUP BY shard ORDER BY shard IS NULL, shard"
+        )
+
+    def counts(self) -> dict[str, int]:
+        """Total ``runs`` / ``slices`` / ``events`` rows — the merge gate.
+
+        ``merge-shards`` asserts the merged database's counts equal the
+        per-shard sums with these numbers.
+        """
+        with self._lock:
+            db = self._db()
+            return {
+                table: int(
+                    db.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+                )
+                for table in ("runs", "slices", "events")
+            }
 
     def plan_table(self) -> list[dict[str, Any]]:
         """Per-plan aggregate rows — the ``report`` view."""

@@ -24,10 +24,11 @@ from repro.runtime.checkpoint import (
     read_checkpoint,
     write_checkpoint,
 )
-from repro.runtime.session import RunSession
+from repro.runtime.session import RunSession, is_resumable
 
 __all__ = [
     "RunSession",
+    "is_resumable",
     "RunManifest",
     "CheckpointInfo",
     "read_checkpoint",

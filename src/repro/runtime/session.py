@@ -70,7 +70,31 @@ from repro.runtime.checkpoint import (
     write_checkpoint,
 )
 
-__all__ = ["RunSession"]
+__all__ = ["RunSession", "is_resumable"]
+
+
+def is_resumable(directory: str | Path) -> bool:
+    """Whether ``directory`` holds an incomplete run a session can resume.
+
+    True only when a manifest reads back with at least one checkpoint
+    *and* that checkpoint's payload loads cleanly — the gate a worker
+    shard applies before adopting an orphaned job left by a killed
+    sibling, so a torn or corrupt orphan is re-run from scratch instead
+    of poisoning the resumed run.  A *complete* run is not "resumable";
+    it is a cache hit and callers should load it instead.
+    """
+    directory = Path(directory)
+    try:
+        manifest = RunManifest.read(directory)
+    except (CheckpointError, OSError):
+        return False
+    if manifest.status == "complete" or not manifest.checkpoints:
+        return False
+    try:
+        read_checkpoint(directory / manifest.latest.path)
+    except (CheckpointError, OSError, ValueError, KeyError):
+        return False
+    return True
 
 
 class RunSession:
@@ -425,6 +449,7 @@ class RunSession:
         *,
         plan: Plan | str | None = None,
         engine: ExecutionEngine | None = None,
+        guard: "RunGuard | bool | None" = None,
         ledger: "RunLedger | bool | None" = None,
     ) -> "RunSession":
         """Rebuild a session from the last completed checkpoint.
@@ -435,8 +460,9 @@ class RunSession:
         e.g. ``resume(d, plan="w")`` replays a ``jw`` run under the
         w-parallel plan.  ``engine`` rewires force execution — safe for
         any backend/worker count because parallel execution is
-        bit-identical to serial.  ``ledger`` resolves as in the
-        constructor; the resumed run is recorded with ``source='resume'``.
+        bit-identical to serial.  ``guard`` and ``ledger`` resolve as in
+        the constructor; the resumed run is recorded with
+        ``source='resume'``.
         """
         directory = Path(directory)
         manifest = RunManifest.read(directory)
@@ -467,6 +493,7 @@ class RunSession:
             sim,
             directory,
             checkpoint_every=manifest.checkpoint_every,
+            guard=guard,
             ledger=ledger,
             _manifest=manifest,
         )

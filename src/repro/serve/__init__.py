@@ -1,22 +1,27 @@
-"""repro.serve — batched multi-run job service.
+"""repro.serve — batched multi-run job service, local or distributed.
 
 Submit many :class:`JobSpec` jobs; the service interleaves their steps
 over one shared worker pool (the paper's time-axis overlap applied to
 whole runs), answers repeated specs from a content-addressed result
 cache, coalesces identical in-flight submissions, and isolates faults
 per job.  Results are **bit-identical** whether a job runs alone,
-batched against siblings, or is served from cache.
+batched against siblings, sharded across workers, or is served from
+cache.
 
-Quick start::
+Quick start — :func:`connect` is the one entry point for both
+transports::
 
-    from repro.serve import Client, JobSpec
+    from repro.serve import JobSpec, connect
 
-    with Client(max_concurrent_jobs=4, cache_dir="cache") as client:
+    with connect(max_concurrent_jobs=4, cache_dir="cache") as client:
         specs = [JobSpec(workload="plummer", n=2048, plan=p, steps=50)
                  for p in ("i", "j", "w", "jw")]
         results = client.map(specs)
 
     # resubmitting any of those specs is now a cache hit
+
+    with connect("127.0.0.1:7321") as client:   # same verbs, remote
+        result = client.run(specs[0])
 
 Layers (each importable on its own):
 
@@ -29,26 +34,47 @@ Layers (each importable on its own):
 * :mod:`~repro.serve.scheduler` — :class:`Scheduler`: round-robin step
   slicing of live sessions.
 * :mod:`~repro.serve.service` — :class:`JobService`, :class:`JobHandle`,
-  :class:`Client`.
+  :class:`Client` (direct construction deprecated in favour of
+  :func:`connect`).
 * :mod:`~repro.serve.settings` — knob resolution (configure/env/defaults).
+
+Distributed tier:
+
+* :mod:`~repro.serve.wire` — length-prefixed JSON framing + error codec.
+* :mod:`~repro.serve.coordinator` — :class:`Coordinator`: the shared
+  queue worker shards pull from.
+* :mod:`~repro.serve.worker` — :class:`Worker`: one shard = one
+  :class:`JobService` fed by the coordinator, resuming orphans left by
+  killed siblings.
+* :mod:`~repro.serve.remote` — :func:`connect`, :class:`RemoteService`,
+  :class:`RemoteHandle`: the transport-agnostic client surface.
 """
 
-from repro.serve.cache import JobResult, ResultCache
+from repro.serve.cache import JobResult, ResultCache, load_result
+from repro.serve.coordinator import Coordinator
 from repro.serve.queue import JobQueue
+from repro.serve.remote import RemoteHandle, RemoteService, connect
 from repro.serve.scheduler import Scheduler
 from repro.serve.service import Client, JobHandle, JobService
 from repro.serve.settings import ServeSettings, current_settings
 from repro.serve.spec import JobSpec
+from repro.serve.worker import Worker
 
 __all__ = [
     "Client",
+    "Coordinator",
     "JobHandle",
     "JobQueue",
     "JobResult",
     "JobService",
     "JobSpec",
+    "RemoteHandle",
+    "RemoteService",
     "ResultCache",
     "Scheduler",
     "ServeSettings",
+    "Worker",
+    "connect",
     "current_settings",
+    "load_result",
 ]

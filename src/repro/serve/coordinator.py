@@ -1,0 +1,505 @@
+"""The distributed serve coordinator: one queue, many worker shards.
+
+The coordinator is the meeting point of the distributed tier: remote
+clients submit :class:`~repro.serve.JobSpec` jobs to it, worker shards
+pull jobs from it, and every party talks the same length-prefixed JSON
+protocol (:mod:`repro.serve.wire`) over a plain TCP socket.
+
+Distribution model — *pull*, not push: a worker asks for its ``next``
+job whenever it has capacity, so load balancing falls out of worker
+backpressure and the coordinator never needs worker health heuristics.
+The failure signal is the connection itself: when a worker's socket
+drops, every job it had claimed but not reported done is requeued
+(``retries`` incremented) for the next worker.  A job that *reports*
+failure is failed permanently — jobs are deterministic, so re-running a
+genuinely failing spec on another shard would loop forever.
+
+Dedup and caching mirror the in-process :class:`~repro.serve.JobService`:
+identical specs coalesce onto one tracked job by content hash, and a
+spec already complete in the shared :class:`~repro.serve.ResultCache`
+is answered without touching the queue.  Workers share that cache
+directory (shared filesystem), which is also how results travel:
+``done`` messages carry only the run directory path, and clients load
+the checkpoint themselves — particle arrays never cross the socket, so
+sharded results are bit-identical to solo runs by construction (same
+files, same loader).
+
+The coordinator's optional ledger records coordinator-*level* events
+(submissions, assignments, requeues, worker lifecycle) with no run rows
+— run accounting lives in the worker shards' ledgers, stamped with their
+shard names, and ``repro-nbody serve merge-shards`` folds those into one
+experiment database.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro import obs
+from repro.errors import AdmissionError, ServeError
+from repro.obs.ledger import RunLedger
+from repro.obs.settings import default_ledger
+from repro.serve.cache import ResultCache
+from repro.serve.settings import current_settings
+from repro.serve.spec import JobSpec
+from repro.serve.wire import (
+    encode_error,
+    format_addr,
+    parse_addr,
+    recv_msg,
+    send_msg,
+)
+
+__all__ = ["Coordinator"]
+
+#: Server-side wait slice — bounds how long a dead client can pin a
+#: handler thread inside one ``wait`` RPC.
+_WAIT_CHUNK_S = 0.25
+
+
+class _TrackedJob:
+    """One spec's lifecycle at the coordinator.
+
+    ``status`` walks ``queued`` → ``running`` → ``done`` | ``failed``,
+    with ``running`` → ``queued`` again on a worker loss.  ``_finished``
+    is the event client ``wait`` RPCs block on.
+    """
+
+    def __init__(self, spec: JobSpec, spec_hash: str, priority: int) -> None:
+        self.spec = spec
+        self.spec_hash = spec_hash
+        self.priority = priority
+        self.status = "queued"
+        self.worker: str | None = None
+        self.run_dir: str | None = None
+        self.from_cache = False
+        #: wire-form error payload when status == "failed"
+        self.error: dict[str, str] | None = None
+        self.dedup_count = 0
+        self.retries = 0
+        self._finished = threading.Event()
+
+    def finish(
+        self,
+        *,
+        run_dir: str | None = None,
+        error: dict[str, str] | None = None,
+        from_cache: bool = False,
+    ) -> None:
+        self.status = "failed" if error is not None else "done"
+        self.run_dir = run_dir
+        self.error = error
+        self.from_cache = from_cache
+        self._finished.set()
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "spec_hash": self.spec_hash,
+            "status": self.status,
+            "worker": self.worker,
+            "run_dir": self.run_dir,
+            "from_cache": self.from_cache,
+            "error": self.error,
+            "dedup_count": self.dedup_count,
+            "retries": self.retries,
+        }
+
+
+class Coordinator:
+    """Socket server distributing jobs to pull-model worker shards.
+
+    Parameters
+    ----------
+    addr:
+        ``"host:port"`` to listen on; port ``0`` picks a free port — the
+        bound address is available as :attr:`addr` after construction.
+    cache_dir:
+        Shared result-cache root (must be reachable by every worker and
+        client); resolves through the usual serve-settings chain.
+    queue_capacity:
+        Bound on queued-but-unassigned jobs before submissions are
+        rejected with :class:`~repro.errors.AdmissionError`.
+    ledger:
+        A :class:`~repro.obs.ledger.RunLedger` for coordinator events,
+        ``False`` to opt out, ``None`` to resolve via
+        ``repro.configure(ledger_dir=...)`` / ``REPRO_LEDGER_DIR``.
+    """
+
+    def __init__(
+        self,
+        addr: str = "127.0.0.1:0",
+        *,
+        cache_dir: str | Path | None = None,
+        queue_capacity: int | None = None,
+        ledger: "RunLedger | bool | None" = None,
+    ) -> None:
+        settings = current_settings(
+            queue_capacity=queue_capacity,
+            cache_dir=None if cache_dir is None else str(cache_dir),
+        )
+        self.settings = settings
+        self.cache = ResultCache(settings.cache_dir)
+        if ledger is None:
+            self.ledger: RunLedger | None = default_ledger()
+        elif ledger is False:
+            self.ledger = None
+        else:
+            self.ledger = ledger
+        host, port = parse_addr(addr)
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen()
+        #: the bound address (concrete port even when asked for :0)
+        self.addr = format_addr(self._sock.getsockname()[:2])
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        #: every spec this coordinator has seen, by content hash
+        self._jobs: dict[str, _TrackedJob] = {}
+        #: queued hashes in dispatch order (priority desc, FIFO within)
+        self._queue: list[_TrackedJob] = []
+        self._seq = 0
+        self._order: dict[str, tuple[int, int]] = {}
+        self._workers_seen: set[str] = set()
+        self._stopped = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._conns: set[socket.socket] = set()
+        self.jobs_submitted = 0
+        self.cache_hits = 0
+        self.deduped = 0
+        self._accept_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Coordinator":
+        """Launch the accept loop (idempotent); returns ``self``."""
+        if self._accept_thread is None:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="repro-coordinator", daemon=True
+            )
+            self._accept_thread.start()
+            self._event("coordinator_start", self.addr)
+        return self
+
+    def stop(self) -> None:
+        """Shut the coordinator down and drop every connection."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self._event("coordinator_stop", self.addr)
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns)
+            # Unblock workers parked in `next` and fail undispatched work
+            # so no client waits on a job that can never run.
+            for job in self._queue:
+                job.finish(error=encode_error(
+                    ServeError("coordinator stopped before job was assigned")
+                ))
+            self._queue.clear()
+            self._order.clear()
+            self._cond.notify_all()
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Block until :meth:`stop` (a ``shutdown`` RPC counts)."""
+        return self._stopped.wait(timeout=timeout)
+
+    def __enter__(self) -> "Coordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # accept / connection loops
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                conn, _peer = self._sock.accept()
+            except OSError:
+                return  # listener closed by stop()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._conns.add(conn)
+            t = threading.Thread(
+                target=self._serve_conn, args=(conn,),
+                name="repro-coordinator-conn", daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def _serve_conn(self, conn: socket.socket) -> None:
+        #: jobs this connection (a worker) has claimed and not finished
+        assigned: dict[str, _TrackedJob] = {}
+        shard: str | None = None
+        try:
+            while not self._stopped.is_set():
+                try:
+                    msg = recv_msg(conn)
+                except (ServeError, OSError):
+                    break
+                if msg is None:
+                    break  # clean EOF
+                if msg.get("op") == "shutdown":
+                    # Acknowledge before stopping — stop() drops every
+                    # connection, so a dispatched reply would race it.
+                    try:
+                        send_msg(conn, {"ok": True, "stopping": True})
+                    except (ServeError, OSError):
+                        pass
+                    threading.Thread(target=self.stop, daemon=True).start()
+                    break
+                try:
+                    reply, shard = self._dispatch(msg, assigned, shard)
+                except ServeError as exc:
+                    reply = {"ok": False, **encode_error(exc)}
+                except Exception as exc:  # defensive: never kill the conn silently
+                    reply = {"ok": False, **encode_error(ServeError(str(exc)))}
+                try:
+                    send_msg(conn, reply)
+                except (ServeError, OSError):
+                    break
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+            if assigned:
+                self._requeue(assigned, shard)
+            if shard is not None:
+                self._event("worker_disconnect", shard)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        msg: dict[str, Any],
+        assigned: dict[str, _TrackedJob],
+        shard: str | None,
+    ) -> tuple[dict[str, Any], str | None]:
+        op = msg.get("op")
+        if op == "submit":
+            return self._op_submit(msg), shard
+        if op == "wait":
+            return self._op_wait(msg), shard
+        if op == "status":
+            return self._op_status(msg), shard
+        if op == "describe":
+            return {"ok": True, "describe": self.describe()}, shard
+        if op == "hello":
+            shard = str(msg.get("shard", "worker"))
+            with self._lock:
+                self._workers_seen.add(shard)
+            self._event("worker_connect", shard)
+            return {"ok": True, "addr": self.addr}, shard
+        if op == "next":
+            return self._op_next(msg, assigned, shard), shard
+        if op == "done":
+            return self._op_done(msg, assigned), shard
+        raise ServeError(f"unknown coordinator op: {op!r}")
+
+    def _op_submit(self, msg: dict[str, Any]) -> dict[str, Any]:
+        spec = JobSpec.from_dict(msg["spec"])
+        priority = int(msg.get("priority", 0))
+        spec_hash = spec.spec_hash()
+        with self._lock:
+            if self._stopped.is_set():
+                raise ServeError("coordinator is stopped")
+            self.jobs_submitted += 1
+            obs.inc("serve.coord.jobs_total")
+            job = self._jobs.get(spec_hash)
+            if job is not None and job.status in ("queued", "running"):
+                # In-flight dedup only — a *done* job falls through to
+                # the cache lookup below (mirroring JobService, where a
+                # finished spec's resubmission is a cache hit).
+                job.dedup_count += 1
+                self.deduped += 1
+                obs.inc("serve.coord.dedup_total")
+                self._event("dedup", spec_hash[:12])
+                return {"ok": True, "job": job.snapshot(), "deduped": True}
+            if self.cache.lookup(spec) is not None:
+                self.cache_hits += 1
+                obs.inc("serve.coord.cache_hits_total")
+                job = _TrackedJob(spec, spec_hash, priority)
+                job.finish(
+                    run_dir=str(self.cache.entry_dir(spec)), from_cache=True
+                )
+                self._jobs[spec_hash] = job
+                self._event("cache_hit", spec_hash[:12])
+                return {"ok": True, "job": job.snapshot(), "deduped": False}
+            if len(self._queue) >= self.settings.queue_capacity:
+                obs.inc("serve.coord.rejected_total")
+                raise AdmissionError(
+                    f"coordinator queue is full "
+                    f"({self.settings.queue_capacity} jobs queued)"
+                )
+            job = _TrackedJob(spec, spec_hash, priority)
+            self._jobs[spec_hash] = job
+            self._push(job)
+            self._event("submit", spec_hash[:12])
+            self._cond.notify()
+            return {"ok": True, "job": job.snapshot(), "deduped": False}
+
+    def _op_wait(self, msg: dict[str, Any]) -> dict[str, Any]:
+        job = self._get_job(msg)
+        timeout = msg.get("timeout")
+        deadline = None if timeout is None else float(timeout)
+        waited = 0.0
+        while True:
+            if job._finished.wait(timeout=_WAIT_CHUNK_S):
+                return {"ok": True, "job": job.snapshot()}
+            waited += _WAIT_CHUNK_S
+            if deadline is not None and waited >= deadline:
+                return {"ok": True, "job": job.snapshot(), "timed_out": True}
+            if self._stopped.is_set():
+                raise ServeError("coordinator stopped while waiting")
+
+    def _op_status(self, msg: dict[str, Any]) -> dict[str, Any]:
+        return {"ok": True, "job": self._get_job(msg).snapshot()}
+
+    def _op_next(
+        self,
+        msg: dict[str, Any],
+        assigned: dict[str, _TrackedJob],
+        shard: str | None,
+    ) -> dict[str, Any]:
+        if shard is None:
+            raise ServeError("worker must say hello before asking for work")
+        timeout = float(msg.get("timeout", 0.0))
+        with self._cond:
+            if not self._queue:
+                self._cond.wait(timeout=min(timeout, 30.0))
+            if self._stopped.is_set():
+                raise ServeError("coordinator is stopped")
+            if not self._queue:
+                return {"ok": True, "job": None}
+            job = self._pop()
+            job.status = "running"
+            job.worker = shard
+        assigned[job.spec_hash] = job
+        self._event("assign", f"{job.spec_hash[:12]} -> {shard}")
+        return {
+            "ok": True,
+            "job": {
+                "spec": job.spec.to_dict(),
+                "spec_hash": job.spec_hash,
+                "priority": job.priority,
+                "retries": job.retries,
+            },
+        }
+
+    def _op_done(
+        self, msg: dict[str, Any], assigned: dict[str, _TrackedJob]
+    ) -> dict[str, Any]:
+        spec_hash = str(msg.get("spec_hash", ""))
+        job = assigned.pop(spec_hash, None)
+        if job is None:
+            with self._lock:
+                job = self._jobs.get(spec_hash)
+        if job is None:
+            raise ServeError(f"done for unknown job {spec_hash[:12]}")
+        error = msg.get("error")
+        job.finish(
+            run_dir=msg.get("run_dir"),
+            error=None if error is None else dict(error),
+            from_cache=bool(msg.get("from_cache", False)),
+        )
+        self._event(
+            "failed" if error is not None else "done", spec_hash[:12]
+        )
+        return {"ok": True}
+
+    # ------------------------------------------------------------------
+    # queue helpers (call with self._lock held)
+    # ------------------------------------------------------------------
+    def _push(self, job: _TrackedJob) -> None:
+        self._seq += 1
+        self._order[job.spec_hash] = (-job.priority, self._seq)
+        self._queue.append(job)
+        self._queue.sort(key=lambda j: self._order[j.spec_hash])
+
+    def _pop(self) -> _TrackedJob:
+        return self._queue.pop(0)
+
+    def _requeue(
+        self, assigned: dict[str, _TrackedJob], shard: str | None
+    ) -> None:
+        """Return a lost worker's unfinished claims to the queue."""
+        with self._lock:
+            for job in assigned.values():
+                if job.status != "running":
+                    continue
+                job.status = "queued"
+                job.worker = None
+                job.retries += 1
+                obs.inc("serve.coord.requeues_total")
+                self._push(job)
+                self._event(
+                    "requeue", f"{job.spec_hash[:12]} (lost {shard})"
+                )
+            self._cond.notify_all()
+
+    def _get_job(self, msg: dict[str, Any]) -> _TrackedJob:
+        spec_hash = str(msg.get("spec_hash", ""))
+        with self._lock:
+            job = self._jobs.get(spec_hash)
+        if job is None:
+            raise ServeError(f"unknown job {spec_hash[:12] or '<missing>'}")
+        return job
+
+    # ------------------------------------------------------------------
+    def _event(self, kind: str, detail: str | None = None) -> None:
+        if self.ledger is not None:
+            self.ledger.record_event(f"coord.{kind}", detail)
+
+    def describe(self) -> dict[str, Any]:
+        """Introspection snapshot (mirrors ``JobService.describe``)."""
+        with self._lock:
+            statuses: dict[str, int] = {}
+            for job in self._jobs.values():
+                statuses[job.status] = statuses.get(job.status, 0) + 1
+            return {
+                "addr": self.addr,
+                "settings": {
+                    "queue_capacity": self.settings.queue_capacity,
+                    "cache_dir": str(self.settings.cache_dir),
+                },
+                "queue_depth": len(self._queue),
+                "jobs": statuses,
+                "jobs_submitted": self.jobs_submitted,
+                "cache_hits": self.cache_hits,
+                "deduped": self.deduped,
+                "workers": sorted(self._workers_seen),
+                "ledger": None if self.ledger is None else str(self.ledger.path),
+                "closed": self._stopped.is_set(),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Coordinator(addr={self.addr!r}, queued={len(self._queue)}, "
+            f"jobs={len(self._jobs)})"
+        )

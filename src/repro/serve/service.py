@@ -32,22 +32,38 @@ SQLite through the scheduler's ``slice_observer`` seam — pure
 observation, so batched results stay bit-identical to solo runs.  The
 ``repro-nbody top`` and ``report`` commands read that ledger.
 
-:class:`Client` is the ergonomic front end::
+:class:`Client` is the ergonomic front end, and
+:func:`repro.serve.connect` is the one public way to obtain one —
+in-process or against a coordinator, same verbs either way::
 
-    from repro.serve import Client, JobSpec
+    from repro.serve import JobSpec, connect
 
-    with Client(max_concurrent_jobs=4) as client:
+    with connect() as client:          # in-process service
         handles = [client.submit(JobSpec(n=2048, plan=p, steps=50))
                    for p in ("i", "j", "w", "jw")]
         results = [h.result() for h in handles]
+
+Constructing :class:`JobService` or :class:`Client` directly still works
+but emits a :class:`DeprecationWarning` — ``connect()`` is the supported
+surface and the direct constructors are a one-release compatibility
+shim.
+
+Sharding: a service created with ``shard=`` stamps that shard name onto
+every ledger row it writes (the provenance column ``merge-shards``
+relies on), and ``resume_orphans=True`` lets it adopt incomplete cache
+entries left by a killed sibling shard — resuming from the orphan's last
+checkpoint instead of starting over, bit-identical by the runtime's
+resume guarantee.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import warnings
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro import obs
 from repro.check.guards import RunGuard
@@ -65,6 +81,42 @@ from repro.serve.settings import ServeSettings, current_settings
 from repro.serve.spec import JobSpec
 
 __all__ = ["Client", "JobHandle", "JobService"]
+
+# ---------------------------------------------------------------------------
+# deprecation shim for direct construction
+# ---------------------------------------------------------------------------
+
+_construction = threading.local()
+
+
+@contextmanager
+def _internal_construction() -> Iterator[None]:
+    """Suppress the direct-construction deprecation warning.
+
+    ``connect()`` (and ``Client`` building its own service) construct
+    these classes on the user's behalf — those paths are the supported
+    surface and must not warn.  Thread-local so one thread's connect()
+    never silences a genuine direct construction on another.
+    """
+    previous = getattr(_construction, "internal", False)
+    _construction.internal = True
+    try:
+        yield
+    finally:
+        _construction.internal = previous
+
+
+def _warn_deprecated_constructor(name: str) -> None:
+    if getattr(_construction, "internal", False):
+        return
+    warnings.warn(
+        f"constructing {name} directly is deprecated and will be removed "
+        "in the next release; use repro.serve.connect() — no argument (or "
+        "addr=None) for an in-process service, 'host:port' for a "
+        "coordinator — which returns a Client with the same API",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class JobHandle:
@@ -153,25 +205,54 @@ class _Job:
         self._slice_seq = 0
         self._submitted_at = time.time()
         self._retries = 0
+        #: set when another shard completed the spec before we could run
+        self._from_cache = False
 
     # -- scheduler protocol --------------------------------------------
     def begin(self) -> None:
         self._t0 = time.perf_counter()
         self.handle.status = "running"
-        run_dir = self.service.cache.claim(self.spec)
-        self.engine = self.service.pool.engine(
+        service = self.service
+        if service.resume_orphans:
+            run_dir, mode = service.cache.claim_or_resume(self.spec)
+        else:
+            run_dir, mode = service.cache.claim(self.spec), "fresh"
+        if mode == "complete":
+            # Another shard completed this spec between our cache lookup
+            # and the claim — serve its result instead of re-running.
+            self._from_cache = True
+            service._note_dequeued()
+            return
+        self.engine = service.pool.engine(
             retry=self.retry, fault_injector=self.fault_injector
         )
-        sim = self.spec.build_simulation(engine=self.engine)
-        # ledger=False: the service records this job itself (queue wait,
-        # slices, status) — a session-level ledger row would double it.
-        self.session = RunSession(
-            sim,
-            run_dir,
-            checkpoint_every=self.spec.checkpoint_every,
-            guard=self._resolve_guard(),
-            ledger=False,
-        )
+        if mode == "resume":
+            # A killed sibling's orphan: continue from its last
+            # checkpoint.  Bit-identical to a fresh run by the runtime's
+            # resume guarantee, and strictly less work.
+            self.session = RunSession.resume(
+                run_dir,
+                engine=self.engine,
+                guard=self._resolve_guard(),
+                ledger=False,
+            )
+            obs.inc("serve.orphan_resumes_total")
+            if service.ledger is not None and self.run_id is not None:
+                service.ledger.record_event(
+                    "orphan_resume", self.spec_hash12, run_id=self.run_id
+                )
+        else:
+            sim = self.spec.build_simulation(engine=self.engine)
+            # ledger=False: the service records this job itself (queue
+            # wait, slices, status) — a session-level ledger row would
+            # double it.
+            self.session = RunSession(
+                sim,
+                run_dir,
+                checkpoint_every=self.spec.checkpoint_every,
+                guard=self._resolve_guard(),
+                ledger=False,
+            )
         self.session.start(self.spec.steps)
         queue_wait = max(0.0, time.time() - self._submitted_at)
         obs.observe(
@@ -205,6 +286,9 @@ class _Job:
         )
 
     def advance(self, max_steps: int) -> bool:
+        if self._from_cache:
+            self.last_slice_steps = 0
+            return True
         assert self.session is not None
         before = self.session.simulation.record.steps
         done = self.session.advance(max_steps)
@@ -224,7 +308,7 @@ class _Job:
             guard.check(self.session.simulation, where="slice")
 
     def finish(self) -> None:
-        result = self.service.cache.load(self.spec, from_cache=False)
+        result = self.service.cache.load(self.spec, from_cache=self._from_cache)
         self._close_engine()
         obs.complete_span(
             "serve.job",
@@ -263,6 +347,16 @@ class JobService:
     existing :class:`~repro.exec.EnginePool` (the service then does not
     close it); otherwise a thread-backed pool with ``pool_workers``
     workers is created and owned.
+
+    ``shard`` names this service's fault domain — every ledger row it
+    writes carries the name, so a merged multi-shard database keeps
+    per-shard provenance.  ``resume_orphans=True`` lets the service adopt
+    incomplete cache entries (a killed sibling shard's half-finished
+    runs) by resuming from their last checkpoint.
+
+    .. deprecated::
+        Direct construction is deprecated; use
+        :func:`repro.serve.connect`.
     """
 
     def __init__(
@@ -278,7 +372,14 @@ class JobService:
         steps_per_slice: int = 8,
         verify: "bool | TolerancePolicy | None" = None,
         ledger: "RunLedger | bool | None" = None,
+        shard: str | None = None,
+        resume_orphans: bool = False,
     ) -> None:
+        _warn_deprecated_constructor("JobService")
+        #: fault-domain name stamped onto this service's ledger rows
+        self.shard = shard
+        #: adopt killed siblings' incomplete cache entries via resume
+        self.resume_orphans = resume_orphans
         self.settings: ServeSettings = current_settings(
             max_concurrent_jobs=max_concurrent_jobs,
             queue_capacity=queue_capacity,
@@ -417,10 +518,9 @@ class JobService:
             obs.set_gauge("serve.queue_depth", len(self.queue))
             return handle
 
-    @staticmethod
-    def _spec_fields(spec: JobSpec, spec_hash: str) -> dict[str, Any]:
+    def _spec_fields(self, spec: JobSpec, spec_hash: str) -> dict[str, Any]:
         """Ledger ``runs`` columns carrying the spec's identity."""
-        return {
+        fields: dict[str, Any] = {
             "spec_hash": spec_hash,
             "workload": spec.workload,
             "n": spec.n,
@@ -429,6 +529,9 @@ class JobService:
             "dt": spec.dt,
             "steps": spec.steps,
         }
+        if self.shard is not None:
+            fields["shard"] = self.shard
+        return fields
 
     def submit_many(
         self, specs: Iterable[JobSpec], *, priority: int = 0
@@ -515,6 +618,13 @@ class JobService:
         record = result.record  # serialised SimulationRecord (a dict)
         fields["simulated_s"] = record.get("simulated_seconds")
         fields["force_passes"] = record.get("force_passes")
+        if result.from_cache:
+            # Raced another shard to completion — record as a cache
+            # answer, not a run this service executed.
+            fields["from_cache"] = True
+            fields["checkpoint_dir"] = str(result.run_dir)
+            self.ledger.record_finished(job.run_id, status="cached", **fields)
+            return
         snapshot = obs.metrics().snapshot()
         metrics = {
             k: v for k, v in sorted(snapshot.items())
@@ -563,6 +673,8 @@ class JobService:
             "cache_hits": self.cache_hits,
             "deduped": self.deduped,
             "ledger": None if self.ledger is None else str(self.ledger.path),
+            "shard": self.shard,
+            "resume_orphans": self.resume_orphans,
             "closed": self._closed,
         }
 
@@ -580,15 +692,39 @@ class Client:
     service configured from the remaining keyword arguments (same
     precedence chain as :class:`JobService`); ``close`` then tears it
     down.  A shared service passed in stays open.
+
+    The same class fronts a remote coordinator: :func:`repro.serve.connect`
+    wraps either an in-process :class:`JobService` or a
+    :class:`~repro.serve.remote.RemoteService` — identical verbs, same
+    errors, so call sites never branch on transport.
+
+    .. deprecated::
+        Direct construction is deprecated; use
+        :func:`repro.serve.connect`.
     """
 
     def __init__(self, service: JobService | None = None, **service_kwargs: Any) -> None:
+        _warn_deprecated_constructor("Client")
         if service is not None and service_kwargs:
             raise ServeError(
                 "pass either an existing service or service kwargs, not both"
             )
         self._own_service = service is None
-        self.service = service or JobService(**service_kwargs)
+        with _internal_construction():
+            self.service = service or JobService(**service_kwargs)
+
+    @classmethod
+    def _wrap(cls, service: Any, *, own: bool) -> "Client":
+        """Build a client around an existing (or remote) service.
+
+        The ``connect()`` path: bypasses ``__init__`` so wrapping emits
+        no deprecation warning and accepts any object speaking the
+        service protocol (``submit``/``run``/``describe``/``close``).
+        """
+        client = cls.__new__(cls)
+        client._own_service = own
+        client.service = service
+        return client
 
     # ------------------------------------------------------------------
     def submit(self, spec: JobSpec | None = None, /, **spec_kwargs: Any) -> JobHandle:
@@ -623,6 +759,10 @@ class Client:
         """Submit a batch and wait for every result, in order."""
         handles = [self.service.submit(s, priority=priority) for s in specs]
         return [h.result(timeout=timeout) for h in handles]
+
+    def describe(self) -> dict[str, Any]:
+        """The backing service's introspection snapshot."""
+        return self.service.describe()
 
     def close(self, *, drain: bool = True) -> None:
         if self._own_service:

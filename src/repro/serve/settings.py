@@ -1,16 +1,21 @@
 """Serve-layer settings: defaults, environment variables, overrides.
 
-Three knobs govern the job service, resolved with one documented
+Four knobs govern the job service, resolved with one documented
 precedence chain (first hit wins):
 
-1. explicit keyword arguments to :class:`~repro.serve.JobService` /
-   :class:`~repro.serve.Client`;
+1. explicit keyword arguments to :func:`repro.serve.connect` (or the
+   deprecated direct :class:`~repro.serve.JobService` /
+   :class:`~repro.serve.Client` constructors);
 2. values set through :func:`repro.configure` (``max_concurrent_jobs=``,
-   ``queue_capacity=``, ``cache_dir=``);
+   ``queue_capacity=``, ``cache_dir=``, ``serve_addr=``);
 3. the ``REPRO_SERVE_MAX_CONCURRENT_JOBS`` /
-   ``REPRO_SERVE_QUEUE_CAPACITY`` / ``REPRO_SERVE_CACHE_DIR``
-   environment variables;
+   ``REPRO_SERVE_QUEUE_CAPACITY`` / ``REPRO_SERVE_CACHE_DIR`` /
+   ``REPRO_SERVE_ADDR`` environment variables;
 4. the built-in defaults on :class:`ServeSettings`.
+
+``addr`` is the distributed-tier switch: ``None`` (the default) means
+in-process serving, a ``"host:port"`` string points ``connect()`` and
+``repro-nbody serve submit`` at a running coordinator.
 
 Environment variables are read when settings are resolved (service
 construction), not at import, so tests and subprocesses can adjust them
@@ -35,6 +40,7 @@ __all__ = [
 ENV_MAX_CONCURRENT_JOBS = "REPRO_SERVE_MAX_CONCURRENT_JOBS"
 ENV_QUEUE_CAPACITY = "REPRO_SERVE_QUEUE_CAPACITY"
 ENV_CACHE_DIR = "REPRO_SERVE_CACHE_DIR"
+ENV_ADDR = "REPRO_SERVE_ADDR"
 
 
 @dataclass(frozen=True)
@@ -45,12 +51,15 @@ class ServeSettings:
     live at once (and, by default, its runner-thread count);
     ``queue_capacity`` bounds queued-but-not-live submissions before
     :class:`~repro.errors.AdmissionError` backpressure kicks in;
-    ``cache_dir`` roots the content-addressed result cache.
+    ``cache_dir`` roots the content-addressed result cache; ``addr`` is
+    the default coordinator address for :func:`repro.serve.connect`
+    (``None`` = in-process).
     """
 
     max_concurrent_jobs: int = 2
     queue_capacity: int = 64
     cache_dir: str = ".repro_cache"
+    addr: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent_jobs < 1:
@@ -74,12 +83,14 @@ def set_overrides(
     max_concurrent_jobs: int | None = None,
     queue_capacity: int | None = None,
     cache_dir: str | None = None,
+    addr: str | None = None,
 ) -> None:
     """Install ``repro.configure``-level overrides (``None`` = leave as-is)."""
     pairs = {
         "max_concurrent_jobs": max_concurrent_jobs,
         "queue_capacity": queue_capacity,
         "cache_dir": cache_dir,
+        "addr": addr,
     }
     staged = dict(_overrides)
     staged.update({k: v for k, v in pairs.items() if v is not None})
@@ -110,6 +121,7 @@ def current_settings(
     max_concurrent_jobs: int | None = None,
     queue_capacity: int | None = None,
     cache_dir: str | None = None,
+    addr: str | None = None,
 ) -> ServeSettings:
     """Resolve settings: explicit args > configure() > env > defaults."""
     values: dict[str, object] = {}
@@ -117,6 +129,7 @@ def current_settings(
         "max_concurrent_jobs": _env_int(ENV_MAX_CONCURRENT_JOBS),
         "queue_capacity": _env_int(ENV_QUEUE_CAPACITY),
         "cache_dir": os.environ.get(ENV_CACHE_DIR) or None,
+        "addr": os.environ.get(ENV_ADDR) or None,
     }
     values.update({k: v for k, v in env_pairs.items() if v is not None})
     values.update(_overrides)
@@ -124,6 +137,7 @@ def current_settings(
         "max_concurrent_jobs": max_concurrent_jobs,
         "queue_capacity": queue_capacity,
         "cache_dir": cache_dir,
+        "addr": addr,
     }
     values.update({k: v for k, v in explicit.items() if v is not None})
     return replace(ServeSettings(), **values)  # type: ignore[arg-type]

@@ -1,0 +1,171 @@
+"""Wire protocol for the distributed serve tier: framing + error codec.
+
+Everything the coordinator, workers, and remote clients exchange is a
+single JSON object per message, framed with a 4-byte big-endian length
+prefix.  JSON keeps the protocol debuggable (``nc`` + eyeballs) and the
+payloads are tiny — specs, hashes, status snapshots — so framing
+overhead is irrelevant next to a force pass.
+
+Three independent pieces:
+
+* :func:`send_msg` / :func:`recv_msg` — length-prefixed JSON over a
+  connected socket.  ``recv_msg`` returns ``None`` on a clean EOF at a
+  message boundary (the peer closed), and raises
+  :class:`~repro.errors.ServeError` on a truncated or oversized frame.
+* :func:`parse_addr` / :func:`format_addr` — ``"host:port"`` string
+  address form used by ``connect()``, the CLI, and ``REPRO_SERVE_ADDR``.
+* :func:`encode_error` / :func:`decode_error` — exceptions cross the
+  wire as ``{"error": <class name>, "message": <str>}`` and are
+  reconstructed client-side as the *same* :mod:`repro.errors` class, so
+  a remote :class:`~repro.errors.AdmissionError` is catchable exactly
+  like an in-process one.  Unknown classes degrade to
+  :class:`~repro.errors.ServeError` with the original name preserved in
+  the message.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import socket
+import struct
+from typing import Any
+
+from repro import errors as _errors
+from repro.errors import ReproError, ServeError
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "decode_error",
+    "encode_error",
+    "format_addr",
+    "parse_addr",
+    "recv_msg",
+    "send_msg",
+]
+
+#: Upper bound on one frame — far above any spec/status payload, so a
+#: hit means a corrupt or hostile peer, not a big job.
+MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+def send_msg(sock: socket.socket, obj: dict[str, Any]) -> None:
+    """Send one JSON message with a length prefix."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ServeError(
+            f"refusing to send a {len(payload)}-byte message "
+            f"(limit {MAX_MESSAGE_BYTES})"
+        )
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; ``None`` on EOF before the first byte."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(count - got)
+        if not chunk:
+            if got == 0:
+                return None
+            raise ServeError(
+                f"connection closed mid-message ({got}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> dict[str, Any] | None:
+    """Receive one JSON message; ``None`` on clean EOF between messages."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ServeError(
+            f"peer announced a {length}-byte message (limit {MAX_MESSAGE_BYTES})"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ServeError("connection closed between header and payload")
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"malformed wire message: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ServeError(
+            f"wire messages must be JSON objects, got {type(obj).__name__}"
+        )
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# addresses
+# ---------------------------------------------------------------------------
+
+def parse_addr(addr: str) -> tuple[str, int]:
+    """Split a ``"host:port"`` address string; raises :class:`ServeError`."""
+    if not isinstance(addr, str) or ":" not in addr:
+        raise ServeError(
+            f"serve address must look like 'host:port', got {addr!r}"
+        )
+    host, _, port_text = addr.rpartition(":")
+    if not host:
+        raise ServeError(
+            f"serve address must name a host, got {addr!r} "
+            "(use 127.0.0.1:PORT for localhost)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ServeError(
+            f"serve address port must be an integer, got {addr!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ServeError(f"serve address port out of range: {addr!r}")
+    return host, port
+
+
+def format_addr(addr: tuple[str, int]) -> str:
+    """The ``"host:port"`` form of a ``(host, port)`` pair."""
+    return f"{addr[0]}:{addr[1]}"
+
+
+# ---------------------------------------------------------------------------
+# error codec
+# ---------------------------------------------------------------------------
+
+def _error_registry() -> dict[str, type[ReproError]]:
+    return {
+        name: cls
+        for name, cls in inspect.getmembers(_errors, inspect.isclass)
+        if issubclass(cls, ReproError)
+    }
+
+
+def encode_error(exc: BaseException) -> dict[str, str]:
+    """The wire form of an exception: class name + message."""
+    return {"error": type(exc).__name__, "message": str(exc)}
+
+
+def decode_error(payload: dict[str, Any]) -> ReproError:
+    """Rebuild the library exception a peer reported.
+
+    The class is looked up in :mod:`repro.errors`; anything unknown
+    (including arbitrary exceptions a job raised) becomes a
+    :class:`ServeError` whose message preserves the original class name.
+    """
+    name = str(payload.get("error", "ServeError"))
+    message = str(payload.get("message", ""))
+    cls = _error_registry().get(name)
+    if cls is None:
+        return ServeError(f"{name}: {message}" if message else name)
+    return cls(message)

@@ -51,10 +51,13 @@ FACADE_EXPORTS = [
     "RetryPolicy",
     "FaultInjector",
     "Client",
+    "Coordinator",
     "JobHandle",
     "JobResult",
     "JobService",
     "JobSpec",
+    "Worker",
+    "connect",
     "configure",
     "ReproError",
     "VerificationError",
@@ -102,6 +105,13 @@ class TestExports:
         assert repro.Simulation is Simulation
         assert repro.ParticleSet is ParticleSet
         assert repro.RunSession is RunSession
+
+    def test_serve_facade_matches_serve_package(self):
+        import repro.serve as serve
+
+        assert repro.connect is serve.connect
+        assert repro.Coordinator is serve.Coordinator
+        assert repro.Worker is serve.Worker
 
     def test_facade_rejects_unknown_attribute(self):
         with pytest.raises(AttributeError):

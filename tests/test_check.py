@@ -55,7 +55,7 @@ from repro.errors import (
 from repro.exec import ExecutionEngine
 from repro.nbody.ic import plummer
 from repro.runtime import RunSession
-from repro.serve import JobService
+from repro.serve import connect
 from tests.conftest import EPS, make_sim, small_spec
 
 
@@ -501,7 +501,7 @@ class TestServeVerification:
             plan_config=PlanConfig(softening=EPS),
             steps=6,
         )
-        svc = JobService(cache_dir=tmp_path, verify=True, steps_per_slice=2)
+        svc = connect(None, cache_dir=tmp_path, verify=True, steps_per_slice=2)
         try:
             handle = svc.submit(spec)
             handle.wait(timeout=120)
@@ -512,7 +512,7 @@ class TestServeVerification:
 
     def test_guarded_job_with_good_forces_completes(self, tmp_path):
         spec = small_spec(steps=6)
-        svc = JobService(cache_dir=tmp_path, verify=True, steps_per_slice=2)
+        svc = connect(None, cache_dir=tmp_path, verify=True, steps_per_slice=2)
         try:
             result = svc.submit(spec).result(timeout=120)
         finally:
@@ -528,7 +528,7 @@ class TestServeVerification:
             plan_config=PlanConfig(softening=EPS),
             steps=6,
         )
-        svc = JobService(cache_dir=tmp_path, verify=True, steps_per_slice=2)
+        svc = connect(None, cache_dir=tmp_path, verify=True, steps_per_slice=2)
         try:
             handle = svc.submit(spec, verify=False)
             result = handle.result(timeout=120)
@@ -542,7 +542,7 @@ class TestServeVerification:
             plan_config=PlanConfig(softening=EPS),
             steps=6,
         )
-        svc = JobService(cache_dir=tmp_path, verify=True, steps_per_slice=2)
+        svc = connect(None, cache_dir=tmp_path, verify=True, steps_per_slice=2)
         try:
             bad = svc.submit(spec)
             bad.wait(timeout=120)

@@ -392,6 +392,152 @@ class TestServeCommand:
         assert "rejected" in capsys.readouterr().err
 
 
+class TestServeSubcommands:
+    """The PR-8 serve surface: subcommands, compat rewrites, distrib."""
+
+    def test_compat_flat_serve_rewrites_to_batch(self):
+        parser = build_parser()
+        assert _compat_argv(["serve", "--jobs", "j.json"], parser) == [
+            "serve", "batch", "--jobs", "j.json",
+        ]
+        # Explicit subcommands pass through untouched.
+        assert _compat_argv(["serve", "batch", "--jobs", "j.json"], parser) == [
+            "serve", "batch", "--jobs", "j.json",
+        ]
+        assert _compat_argv(
+            ["serve", "worker", "--addr", "h:1"], parser
+        ) == ["serve", "worker", "--addr", "h:1"]
+
+    def test_compat_flat_submit_rewrites(self):
+        parser = build_parser()
+        assert _compat_argv(["submit", "--n", "64"], parser) == [
+            "serve", "submit", "--n", "64",
+        ]
+
+    def test_flat_submit_with_batch_flags_is_ambiguous(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["submit", "--n", "64", "--jobs", "j.json"])
+        assert exc.value.code == 2
+        assert "ambiguous flat 'submit'" in capsys.readouterr().err
+
+    def test_serve_submit_runs_one_spec(self, tmp_path, capsys):
+        assert main(
+            [
+                "serve", "submit", "--n", "64", "--plan", "j",
+                "--seed", "3", "--steps", "3",
+                "--cache-dir", str(tmp_path / "c"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+
+    def test_flat_submit_still_runs(self, tmp_path, capsys):
+        assert main(
+            [
+                "submit", "--n", "64", "--steps", "3",
+                "--cache-dir", str(tmp_path / "c"),
+            ]
+        ) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_serve_batch_local_keyword_forces_in_process(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # An env-configured coordinator address must not leak into a
+        # run that explicitly asked for the in-process service.
+        monkeypatch.setenv("REPRO_SERVE_ADDR", "203.0.113.1:1")
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([
+            dict(workload="plummer", n=64, seed=1, plan="j", dt=1e-3, steps=3)
+        ]))
+        assert main(
+            [
+                "serve", "batch", "--jobs", str(jobs), "--addr", "local",
+                "--cache-dir", str(tmp_path / "c"),
+            ]
+        ) == 0
+        assert "1/1 jobs complete" in capsys.readouterr().out
+
+    def test_merge_shards_combines_ledgers(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+        from repro.serve import Client
+
+        shards = []
+        for shard, seed in (("shard-a", 1), ("shard-b", 2)):
+            path = tmp_path / f"{shard}.sqlite"
+            with RunLedger(path) as ledger:
+                with pytest.warns(DeprecationWarning):
+                    client = Client(
+                        cache_dir=tmp_path / "cache",
+                        ledger=ledger, shard=shard,
+                    )
+                with client:
+                    client.run(
+                        workload="plummer", n=64, seed=seed,
+                        plan="j", dt=1e-3, steps=3,
+                    )
+            shards.append(str(path))
+        merged = tmp_path / "merged.sqlite"
+        assert main(["serve", "merge-shards", *shards, "--out", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "shard-a" in out and "shard-b" in out
+        with RunLedger(merged) as ledger:
+            assert ledger.counts()["runs"] == 2
+
+    def test_merge_shards_missing_input_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "serve", "merge-shards", str(tmp_path / "nope.sqlite"),
+                    "--out", str(tmp_path / "m.sqlite"),
+                ]
+            )
+        assert exc.value.code == 2
+
+    def test_worker_requires_addr(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "worker"])
+        assert exc.value.code == 2
+
+    def test_coordinator_and_worker_roundtrip(self, tmp_path, capsys):
+        # In-process variant of the CI job: coordinator object + CLI
+        # worker command with an idle timeout, then a remote batch.
+        import threading
+
+        from repro.serve import Coordinator
+
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps([
+            dict(workload="plummer", n=64, seed=s, plan="j", dt=1e-3, steps=3)
+            for s in (1, 2)
+        ]))
+        with Coordinator(
+            cache_dir=tmp_path / "cache", ledger=False
+        ) as coord:
+            worker = threading.Thread(
+                target=main,
+                args=(
+                    [
+                        "serve", "worker", "--addr", coord.addr,
+                        "--shard", "cli-shard",
+                        "--cache-dir", str(tmp_path / "cache"),
+                        "--max-idle-s", "1.5",
+                    ],
+                ),
+            )
+            worker.start()
+            try:
+                assert main(
+                    ["serve", "batch", "--jobs", str(jobs),
+                     "--addr", coord.addr]
+                ) == 0
+            finally:
+                worker.join(timeout=60)
+            assert not worker.is_alive()
+        out = capsys.readouterr().out
+        assert "2/2 jobs complete" in out
+
+
 class TestTopAndReport:
     """repro-nbody top / report over the durable run ledger."""
 

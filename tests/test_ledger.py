@@ -23,6 +23,10 @@ from repro.serve import JobService
 
 from tests.conftest import Interrupt, interrupt_at, make_sim, small_spec, solo_state
 
+# Direct JobService construction below is deliberate (ledger plumbing is
+# service-level); the deprecation contract lives in tests/test_distrib.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture(autouse=True)
 def _clean_ledger_settings(monkeypatch):
@@ -134,6 +138,91 @@ class TestRunLedgerBasics:
             led.bump_dedup(run_id)
             led.bump_dedup(run_id)
             assert led.run(run_id)["dedup_count"] == 2
+
+
+class TestMigrations:
+    def _make_v1(self, path):
+        """A PR-6-era (schema v1) database: current schema minus shard."""
+        from repro.obs.ledger import _SCHEMA
+
+        v1_schema = "\n".join(
+            line for line in _SCHEMA.splitlines()
+            if not line.strip().startswith("shard")
+        )
+        conn = sqlite3.connect(path)
+        conn.executescript(v1_schema)
+        conn.execute(
+            "INSERT INTO runs (spec_hash, source, plan, status) "
+            "VALUES ('c0ffee', 'serve', 'jw', 'complete')"
+        )
+        conn.execute("PRAGMA user_version = 1")
+        conn.commit()
+        conn.close()
+
+    def test_v1_database_migrates_in_place(self, tmp_path):
+        db = tmp_path / "old.sqlite"
+        self._make_v1(db)
+        with RunLedger(db) as led:
+            assert led.user_version == LEDGER_VERSION == 2
+            (row,) = led.runs()
+            assert row["shard"] is None  # pre-shard rows survive unlabeled
+            assert row["plan"] == "jw"
+            # The migrated database accepts shard-stamped rows.
+            run_id = led.record_submitted(plan="i", shard="shard-a")
+            assert led.run(run_id)["shard"] == "shard-a"
+        # Reopening after migration is a no-op.
+        with RunLedger(db) as led:
+            assert led.user_version == LEDGER_VERSION
+
+    def test_v1_shard_merges_into_v2_database(self, tmp_path):
+        old = tmp_path / "old.sqlite"
+        self._make_v1(old)
+        with RunLedger(tmp_path / "merged.sqlite") as merged:
+            merged.record_submitted(plan="j", shard="shard-b")
+            assert merged.merge(old) == 1
+            shards = {r["shard"] for r in merged.runs()}
+            assert shards == {None, "shard-b"}
+
+
+class TestShardAccounting:
+    def test_shard_filter_and_table(self, tmp_path):
+        with RunLedger(tmp_path) as led:
+            for shard, plan in (("a", "i"), ("a", "j"), ("b", "jw")):
+                run_id = led.record_submitted(plan=plan, shard=shard, steps=4)
+                led.record_finished(run_id, status="complete", wall_s=1.0)
+            unlabeled = led.record_submitted(plan="w")
+            led.record_finished(unlabeled, status="failed", error="boom")
+
+            assert len(led.runs(shard="a")) == 2
+            assert [r["plan"] for r in led.runs(shard="b")] == ["jw"]
+            table = {row["shard"]: row for row in led.shard_table()}
+            assert set(table) == {"a", "b", None}
+            assert table["a"]["runs"] == 2 and table["a"]["complete"] == 2
+            assert table["b"]["runs"] == 1
+            assert table[None]["failed"] == 1
+
+    def test_counts(self, tmp_path):
+        with RunLedger(tmp_path) as led:
+            run_id = led.record_submitted(plan="i")
+            led.record_slice(run_id, seq=1, steps=4, wall_s=0.1)
+            led.record_slice(run_id, seq=2, steps=4, wall_s=0.1)
+            led.record_event("checkpoint", run_id=run_id)
+            led.record_event("coord.submit", "deadbeef")
+            assert led.counts() == {"runs": 1, "slices": 2, "events": 2}
+
+    def test_serve_stamps_shard_on_rows(self, tmp_path):
+        with RunLedger(tmp_path / "led") as ledger:
+            with pytest.warns(DeprecationWarning):
+                svc = JobService(
+                    cache_dir=tmp_path / "cache", ledger=ledger,
+                    shard="shard-x",
+                )
+            try:
+                svc.run(small_spec())
+            finally:
+                svc.close()
+            rows = ledger.runs()
+            assert rows and all(r["shard"] == "shard-x" for r in rows)
 
 
 class TestMerge:

@@ -42,7 +42,13 @@ from repro.serve.settings import clear_overrides, set_overrides
 from repro.check import assert_bit_identical
 from tests.conftest import small_spec, solo_state
 
-pytestmark = pytest.mark.serve
+pytestmark = [
+    pytest.mark.serve,
+    # This module exercises JobService/Client directly (their behaviour
+    # is unchanged behind connect()); the deprecation contract itself is
+    # covered in tests/test_distrib.py.
+    pytest.mark.filterwarnings("ignore::DeprecationWarning"),
+]
 
 
 # ---------------------------------------------------------------------------
@@ -184,6 +190,66 @@ class TestResultCache:
             cache.claim(spec)
         assert cache.evict(spec)
         assert cache.lookup(spec) is None
+
+    def test_concurrent_reclaim_has_exactly_one_winner(self, tmp_path):
+        # Regression: reclaim used to rmtree the entry in place, so two
+        # concurrent claimants could race the teardown (FileNotFoundError
+        # mid-walk, or one deleting the directory the other had started
+        # repopulating).  The rename-into-place makes it single-winner.
+        spec = small_spec()
+        cache = ResultCache(tmp_path)
+        for attempt in range(5):
+            stale = cache.entry_dir(spec)
+            (stale / "ckpt_00000001").mkdir(parents=True)
+            (stale / "manifest.json").write_text("{ not json")
+            wins, errors = [], []
+            barrier = threading.Barrier(4)
+
+            def reclaim():
+                barrier.wait()
+                try:
+                    wins.append(ResultCache._reclaim(stale))
+                except Exception as exc:  # noqa: BLE001 - the regression
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=reclaim) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert sum(wins) == 1, f"attempt {attempt}: {wins}"
+            assert not stale.exists()
+        # Retired debris is invisible to the entry count.
+        assert len(cache) == 0
+
+    def test_claim_or_resume_modes(self, tmp_path):
+        spec = small_spec(steps=10, checkpoint_every=2)
+        cache = ResultCache(tmp_path)
+        # Nothing on disk: fresh.
+        path, mode = cache.claim_or_resume(spec)
+        assert mode == "fresh" and path == cache.entry_dir(spec)
+        # Unusable debris (no checkpoints): retired, still fresh.
+        path.mkdir(parents=True)
+        (path / "manifest.json").write_text("{ not json")
+        path, mode = cache.claim_or_resume(spec)
+        assert mode == "fresh" and not path.exists()
+        # An interrupted run with intact checkpoints: resume.
+        from tests.conftest import Interrupt, interrupt_at
+
+        session = repro.RunSession(
+            spec.build_simulation(), path, checkpoint_every=2, ledger=False
+        )
+        with pytest.raises(Interrupt):
+            session.run(spec.steps, callback=interrupt_at(5))
+        path, mode = cache.claim_or_resume(spec)
+        assert mode == "resume"
+        # Completed by another shard between lookup and claim: complete.
+        resumed = repro.RunSession.resume(path, ledger=False)
+        resumed.run(spec.steps)
+        path, mode = cache.claim_or_resume(spec)
+        assert mode == "complete"
+        assert cache.load(spec, from_cache=True).steps == spec.steps
 
 
 # ---------------------------------------------------------------------------
