@@ -38,7 +38,7 @@ import numpy as np
 from repro.check import compare_arrays
 from repro.exec.faults import FaultInjector, RetryPolicy
 from repro.runtime import RunSession
-from repro.serve import JobSpec, connect
+from repro.serve import JobSpec, SubmitOptions, connect
 
 #: (workload, n, seed, plan) for the unique jobs in the batch.
 BATCH = [
@@ -103,15 +103,15 @@ def run_batched(
     try:
         handles = []
         for i, spec in enumerate(specs):
-            kwargs = {}
+            options = None
             if i == FAULTY:
-                kwargs = {
-                    "fault_injector": FaultInjector(
+                options = SubmitOptions(
+                    fault_injector=FaultInjector(
                         seed=13, task_failure_rate=0.2, fail_attempts=1
                     ),
-                    "retry": RetryPolicy(max_retries=4, backoff_s=0.0),
-                }
-            handles.append(service.submit(spec, **kwargs))
+                    retry=RetryPolicy(max_retries=4, backoff_s=0.0),
+                )
+            handles.append(service.submit(spec, options=options))
         for h in handles:
             h.result(timeout=600)
         wall = time.perf_counter() - t0

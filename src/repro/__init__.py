@@ -66,10 +66,13 @@ _EXPORTS = {
     "EnginePool": "repro.exec",
     "Client": "repro.serve",
     "Coordinator": "repro.serve",
+    "Gateway": "repro.serve",
     "JobHandle": "repro.serve",
     "JobResult": "repro.serve",
     "JobService": "repro.serve",
     "JobSpec": "repro.serve",
+    "SubmitOptions": "repro.serve",
+    "TenantPolicy": "repro.serve",
     "Worker": "repro.serve",
     "connect": "repro.serve",
     "RetryPolicy": "repro.exec",

@@ -1,0 +1,348 @@
+"""A/B benchmark: multi-tenant fair gateway vs a no-fairness baseline.
+
+Drives a large batch of tiny unique jobs (default 1000) through the
+HTTP gateway from a thread-pool of concurrent clients, split into two
+tenant classes:
+
+* ``interactive`` — 1 job in 4, weight 4, priority 2 (latency-sensitive)
+* ``bulk``        — 3 jobs in 4, weight 1, priority 0 (throughput work)
+
+Phase A ("fair") runs the gateway with those tenant policies; phase B
+("baseline") replays the *same* spec list with no tenant labels — one
+FIFO class — so the two phases differ only in scheduling.  For each
+class we report p50/p99/mean completion latency (submit-request start
+to result-response done) and throughput.  The benchmark's verdict
+checks the two claims the fairness layer makes:
+
+1. interactive p99 improves under fair scheduling (latency isolation);
+2. bulk throughput stays within 10% of baseline (work conservation —
+   fairness reorders, it does not waste slots).
+
+Determinism rides along: sampled jobs are re-run solo and compared by
+state digest, and every job's digest must agree across the two phases
+(scheduling must never touch physics).
+
+This is the record behind ``BENCH_PR9.json``::
+
+    PYTHONPATH=src python -m repro.bench.gateway_ab --output BENCH_PR9.json
+
+Completion is detected by non-blocking status sweeps (~50 ms
+resolution); queue wait dominates at this scale, so class-to-class
+comparisons are unaffected by the probe cadence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.check.golden import state_digest
+from repro.nbody.particles import ParticleSet
+from repro.serve import Gateway, JobSpec
+
+__all__ = ["gateway_ab_bench", "main"]
+
+#: Tenant policies for the fair phase; baseline runs with none.
+FAIR_TENANTS = {
+    "interactive": {"weight": 4.0},
+    "bulk": {"weight": 1.0},
+}
+INTERACTIVE_PRIORITY = 2
+#: Every 4th job is interactive — bulk provides the contending backlog.
+INTERACTIVE_EVERY = 4
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _make_specs(jobs: int, n: int) -> list[tuple[str, JobSpec]]:
+    """(class, spec) per job; unique (seed, steps) so nothing dedups."""
+    out = []
+    for i in range(jobs):
+        cls = "interactive" if i % INTERACTIVE_EVERY == 0 else "bulk"
+        out.append((cls, JobSpec(n=n, seed=i, steps=1 + i % 2)))
+    return out
+
+
+def _http(base: str, method: str, path: str, body: Any = None, timeout: float = 900.0):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(base + path, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _run_phase(
+    name: str,
+    specs: list[tuple[str, JobSpec]],
+    *,
+    fair: bool,
+    threads: int,
+    max_concurrent: int,
+) -> dict[str, Any]:
+    records = [
+        {"cls": cls, "spec": spec, "t_submit": None, "t_done": None,
+         "sha": None, "status": None}
+        for cls, spec in specs
+    ]
+    with tempfile.TemporaryDirectory(prefix=f"gwbench-{name}-") as cache_dir:
+        gateway = Gateway(
+            backend=None,
+            cache_dir=cache_dir,
+            ledger=False,
+            max_concurrent_jobs=max_concurrent,
+            queue_capacity=len(specs) + 8,
+            tenants=FAIR_TENANTS if fair else None,
+        ).start()
+        base = f"http://{gateway.addr}"
+        try:
+            def submit(record):
+                options: dict[str, Any] = {}
+                if fair:
+                    options["tenant"] = record["cls"]
+                    if record["cls"] == "interactive":
+                        options["priority"] = INTERACTIVE_PRIORITY
+                record["t_submit"] = time.perf_counter()
+                status, _ = _http(
+                    base, "POST", "/v1/jobs",
+                    {"spec": record["spec"].to_dict(), "options": options},
+                )
+                record["status"] = status
+
+            def check(record):
+                """One non-blocking status probe; None once terminal."""
+                spec_hash = record["spec"].spec_hash()
+                code, body = _http(base, "GET", f"/v1/jobs/{spec_hash}")
+                if code != 200 or body["job"]["status"] not in (
+                    "complete", "failed", "cancelled"
+                ):
+                    return record
+                record["t_done"] = time.perf_counter()
+                code, body = _http(
+                    base, "GET", f"/v1/jobs/{spec_hash}/result?timeout=60"
+                )
+                if code == 200 and body.get("result"):
+                    record["sha"] = body["result"]["state_sha256"]
+                return None
+
+            wall_start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                # Submit the whole batch first so the scheduler faces a
+                # genuinely contended queue, then sweep completion with
+                # non-blocking status probes (~50 ms resolution) — a
+                # blocking-result sweep would measure connection
+                # scheduling, not completion time.
+                list(pool.map(submit, records))
+                pending = [r for r in records if r["status"] == 200]
+                deadline = time.perf_counter() + 900
+                while pending and time.perf_counter() < deadline:
+                    pending = [
+                        r for r in pool.map(check, pending) if r is not None
+                    ]
+                    if pending:
+                        time.sleep(0.05)
+            wall = time.perf_counter() - wall_start
+            shed_total = gateway.shed_total
+            requests_total = gateway.requests_total
+        finally:
+            gateway.stop()
+
+    classes: dict[str, dict[str, Any]] = {}
+    for cls in ("interactive", "bulk"):
+        done = [
+            r for r in records
+            if r["cls"] == cls and r["t_done"] is not None
+        ]
+        latencies = sorted(r["t_done"] - r["t_submit"] for r in done)
+        first_submit = min((r["t_submit"] for r in done), default=0.0)
+        last_done = max((r["t_done"] for r in done), default=0.0)
+        makespan = max(1e-9, last_done - first_submit)
+        classes[cls] = {
+            "jobs": len(done),
+            "p50_s": round(_percentile(latencies, 0.50), 4),
+            "p99_s": round(_percentile(latencies, 0.99), 4),
+            "mean_s": round(sum(latencies) / max(1, len(latencies)), 4),
+            "max_s": round(latencies[-1] if latencies else 0.0, 4),
+            "makespan_s": round(makespan, 3),
+            "throughput_jobs_s": round(len(done) / makespan, 2),
+        }
+
+    completed = sum(1 for r in records if r["t_done"] is not None)
+    return {
+        "phase": name,
+        "fair_scheduling": fair,
+        "jobs_submitted": len(records),
+        "jobs_completed": completed,
+        "jobs_shed": shed_total,
+        "gateway_requests_total": requests_total,
+        "wall_s": round(wall, 3),
+        "throughput_jobs_s": round(completed / max(1e-9, wall), 2),
+        "classes": classes,
+        "digests": {
+            r["spec"].spec_hash(): r["sha"]
+            for r in records if r["sha"] is not None
+        },
+    }
+
+
+def _solo_digest(spec: JobSpec) -> str:
+    sim = spec.build_simulation()
+    for _ in range(spec.steps):
+        sim.step()
+    return state_digest(
+        ParticleSet(
+            positions=sim.particles.positions,
+            velocities=sim.particles.velocities,
+            masses=sim.particles.masses,
+        ),
+        sim.time,
+    )
+
+
+def gateway_ab_bench(
+    *,
+    jobs: int = 1000,
+    n: int = 256,
+    threads: int = 16,
+    max_concurrent: int = 4,
+    identity_samples: int = 3,
+) -> dict[str, Any]:
+    """Run both phases and assemble the benchmark record."""
+    # Headroom for ast.literal_eval in numpy's npy-header parser, which
+    # CPython 3.11 can crash with "AST constructor recursion depth
+    # mismatch" when many threads parse headers near the default limit.
+    sys.setrecursionlimit(max(10_000, sys.getrecursionlimit()))
+    specs = _make_specs(jobs, n)
+    fair = _run_phase(
+        "fair", specs, fair=True, threads=threads, max_concurrent=max_concurrent
+    )
+    baseline = _run_phase(
+        "baseline", specs, fair=False, threads=threads,
+        max_concurrent=max_concurrent,
+    )
+
+    # -- fairness verdict ---------------------------------------------
+    bulk_ratio = (
+        fair["classes"]["bulk"]["throughput_jobs_s"]
+        / max(1e-9, baseline["classes"]["bulk"]["throughput_jobs_s"])
+    )
+    p99_fair = fair["classes"]["interactive"]["p99_s"]
+    p99_base = baseline["classes"]["interactive"]["p99_s"]
+    fairness = {
+        "bulk_throughput_ratio_fair_vs_baseline": round(bulk_ratio, 3),
+        "bulk_throughput_within_10pct": bulk_ratio >= 0.9,
+        "interactive_p99_fair_s": p99_fair,
+        "interactive_p99_baseline_s": p99_base,
+        "interactive_p99_speedup": round(p99_base / max(1e-9, p99_fair), 2),
+        "interactive_isolated": p99_fair <= p99_base,
+    }
+
+    # -- determinism gate ---------------------------------------------
+    shared = sorted(set(fair["digests"]) & set(baseline["digests"]))
+    cross_ok = all(fair["digests"][h] == baseline["digests"][h] for h in shared)
+    samples = []
+    for cls, spec in specs[:identity_samples]:
+        spec_hash = spec.spec_hash()
+        solo = _solo_digest(spec)
+        samples.append({
+            "spec_hash": spec_hash[:12],
+            "class": cls,
+            "solo": solo[:16],
+            "gateway": (fair["digests"].get(spec_hash) or "")[:16],
+            "identical": fair["digests"].get(spec_hash) == solo,
+        })
+    bit_identity = {
+        "cross_phase_digests_compared": len(shared),
+        "cross_phase_identical": cross_ok,
+        "solo_samples": samples,
+        "solo_identical": all(s["identical"] for s in samples),
+    }
+
+    ok = (
+        fairness["bulk_throughput_within_10pct"]
+        and fairness["interactive_isolated"]
+        and bit_identity["cross_phase_identical"]
+        and bit_identity["solo_identical"]
+        and fair["jobs_completed"] == jobs
+        and baseline["jobs_completed"] == jobs
+    )
+    for phase in (fair, baseline):
+        del phase["digests"]  # bulky; the comparison above is the record
+    return {
+        "bench": "gateway_ab",
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "config": {
+            "jobs": jobs,
+            "n": n,
+            "steps": "1-2 (alternating)",
+            "client_threads": threads,
+            "max_concurrent_jobs": max_concurrent,
+            "tenants": FAIR_TENANTS,
+            "interactive_priority": INTERACTIVE_PRIORITY,
+            "interactive_share": f"1/{INTERACTIVE_EVERY}",
+        },
+        "phases": {"fair": fair, "baseline": baseline},
+        "fairness": fairness,
+        "bit_identity": bit_identity,
+        "verdict": "ok" if ok else "check-failed",
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="A/B: multi-tenant fair gateway vs no-fairness baseline"
+    )
+    parser.add_argument("--jobs", type=int, default=1000)
+    parser.add_argument("--n", type=int, default=256)
+    parser.add_argument("--threads", type=int, default=16)
+    parser.add_argument("--max-concurrent", type=int, default=4)
+    parser.add_argument("--output", default="BENCH_PR9.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small run (150 jobs) for smoke-testing the harness",
+    )
+    args = parser.parse_args(argv)
+    jobs = 150 if args.quick else args.jobs
+
+    summary = gateway_ab_bench(
+        jobs=jobs, n=args.n, threads=args.threads,
+        max_concurrent=args.max_concurrent,
+    )
+    Path(args.output).write_text(json.dumps(summary, indent=2) + "\n")
+
+    for name, phase in summary["phases"].items():
+        print(f"[{name}] {phase['jobs_completed']}/{phase['jobs_submitted']} "
+              f"jobs in {phase['wall_s']}s "
+              f"({phase['throughput_jobs_s']} jobs/s)")
+        for cls, row in phase["classes"].items():
+            print(f"  {cls:<12} p50={row['p50_s']}s p99={row['p99_s']}s "
+                  f"({row['throughput_jobs_s']} jobs/s)")
+    fairness = summary["fairness"]
+    print(f"bulk throughput fair/baseline: "
+          f"{fairness['bulk_throughput_ratio_fair_vs_baseline']} "
+          f"(within 10%: {fairness['bulk_throughput_within_10pct']})")
+    print(f"interactive p99: fair={fairness['interactive_p99_fair_s']}s "
+          f"baseline={fairness['interactive_p99_baseline_s']}s")
+    print(f"bit-identity: cross-phase={summary['bit_identity']['cross_phase_identical']} "
+          f"solo={summary['bit_identity']['solo_identical']}")
+    print(f"verdict: {summary['verdict']}")
+    return 0 if summary["verdict"] == "ok" else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ Subcommands::
     repro-nbody serve submit [...]         # one cached job (spec flags)
     repro-nbody serve coordinator [...]    # distributed-tier coordinator
     repro-nbody serve worker [...]         # worker shard pulling jobs
+    repro-nbody serve gateway [...]        # async multi-tenant HTTP gateway
     repro-nbody serve merge-shards [...]   # combine shard ledgers
     repro-nbody serve shutdown [...]       # stop a running coordinator
     repro-nbody check [...]                # differential + invariant battery
@@ -31,6 +32,7 @@ Examples::
     repro-nbody serve worker --addr 127.0.0.1:7464 --shard shard-a \\
         --cache-dir cache --ledger-dir ledger/a
     repro-nbody serve submit --addr 127.0.0.1:7464 --n 2048 --steps 100
+    repro-nbody serve gateway --addr 127.0.0.1:8080 --backend 127.0.0.1:7464
     repro-nbody serve merge-shards ledger/a ledger/b --out ledger/all
     repro-nbody serve shutdown --addr 127.0.0.1:7464
     repro-nbody check --n 256 --json check.json
@@ -95,7 +97,8 @@ SUBCOMMANDS = (
 
 #: ``serve``'s own subcommands (used by the serve compat rewrites).
 SERVE_SUBCOMMANDS = (
-    "batch", "submit", "coordinator", "worker", "merge-shards", "shutdown",
+    "batch", "submit", "coordinator", "worker", "gateway", "merge-shards",
+    "shutdown",
 )
 
 #: Flags that belong only to ``serve batch``; mixing them into the flat
@@ -341,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serve_flags(batch)
     _add_addr_flag(batch)
+    _add_submit_option_flags(batch)
     batch.add_argument(
         "--summary-out",
         default=None,
@@ -366,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serve_flags(submit)
     _add_addr_flag(submit)
+    _add_submit_option_flags(submit)
 
     coordinator = serve_sub.add_parser(
         "coordinator",
@@ -387,6 +392,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-capacity", type=int, default=None, metavar="N",
         help="queued-but-unassigned jobs before submissions are rejected",
     )
+    _add_token_flag(coordinator)
+    _add_tenants_flag(coordinator)
 
     workerp = serve_sub.add_parser(
         "worker",
@@ -408,6 +415,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after S seconds with no work claimed or offered "
         "(default: stay until the coordinator goes away)",
     )
+    _add_token_flag(workerp)
+
+    gateway = serve_sub.add_parser(
+        "gateway",
+        parents=[common],
+        help="run the async multi-tenant HTTP gateway "
+        "(submit/status/result/cancel + SSE slice streaming)",
+    )
+    gateway.add_argument(
+        "--addr", default=None, metavar="HOST:PORT",
+        help="address to listen on; port 0 picks a free port "
+        "(default: repro.configure(gateway_addr=...), then "
+        "REPRO_GATEWAY_ADDR, else 127.0.0.1:0)",
+    )
+    gateway.add_argument(
+        "--backend", default=None, metavar="HOST:PORT",
+        help="front the coordinator at HOST:PORT; omitted = an "
+        "in-process job service configured by the serve flags below",
+    )
+    _add_serve_flags(gateway)
+    _add_token_flag(gateway)
+    _add_tenants_flag(gateway)
 
     merge = serve_sub.add_parser(
         "merge-shards",
@@ -434,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--addr", required=True, metavar="HOST:PORT",
         help="the coordinator's address",
     )
+    _add_token_flag(shutdown)
 
     check = sub.add_parser(
         "check",
@@ -587,6 +617,58 @@ def _add_addr_flag(parser: argparse.ArgumentParser) -> None:
         "(default: repro.configure(serve_addr=...), then the "
         "REPRO_SERVE_ADDR environment variable, else in-process)",
     )
+
+
+def _add_token_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--token", default=None, metavar="SECRET",
+        help="serve-tier shared secret (default: "
+        "repro.configure(serve_token=...), then REPRO_SERVE_TOKEN, "
+        "else auth disabled)",
+    )
+
+
+def _add_tenants_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tenants", default=None, metavar="JSON",
+        help="tenant policies as inline JSON or @file, e.g. "
+        '\'{"interactive": {"weight": 4, "max_queued": 32}, '
+        '"bulk": {"weight": 1}}\'',
+    )
+
+
+def _add_submit_option_flags(parser: argparse.ArgumentParser) -> None:
+    """Per-submission SubmitOptions knobs shared by batch/submit."""
+    parser.add_argument(
+        "--priority", type=int, default=0, metavar="P",
+        help="scheduling priority (higher pops first within a tenant; "
+        "default: 0)",
+    )
+    parser.add_argument(
+        "--tenant", default=None, metavar="NAME",
+        help="tenant label for fair scheduling and quotas (default: "
+        "repro.configure(tenant=...), then REPRO_TENANT, else 'default')",
+    )
+    _add_token_flag(parser)
+
+
+def _parse_tenants_arg(
+    parser: argparse.ArgumentParser, raw: "str | None"
+) -> "dict | None":
+    """``--tenants`` as inline JSON or ``@file`` -> policy mapping."""
+    if raw is None:
+        return None
+    import json
+
+    try:
+        if raw.startswith("@"):
+            raw = open(raw[1:]).read()
+        tenants = json.loads(raw)
+    except (OSError, json.JSONDecodeError) as exc:
+        parser.error(f"--tenants: {exc}")
+    if not isinstance(tenants, dict):
+        parser.error("--tenants must be a JSON object of tenant -> policy")
+    return tenants
 
 
 def _compat_argv(
@@ -823,7 +905,7 @@ def _make_client(args: argparse.Namespace):
 
     addr = _resolve_cli_addr(args)
     if addr is not None:
-        return connect(addr)
+        return connect(addr, token=getattr(args, "token", None))
     return connect(
         None,
         max_concurrent_jobs=args.max_concurrent,
@@ -874,7 +956,7 @@ def _cmd_serve_batch(
     import json
 
     from repro.errors import AdmissionError, ServeError
-    from repro.serve import JobSpec
+    from repro.serve import JobSpec, SubmitOptions
 
     try:
         entries = json.loads(open(args.jobs).read())
@@ -887,13 +969,17 @@ def _cmd_serve_batch(
     handles = []
     try:
         for i, entry in enumerate(entries):
-            priority = int(entry.pop("priority", 0))
+            # Per-entry fields win over the batch-wide flags.
+            options = SubmitOptions(
+                priority=int(entry.pop("priority", args.priority)),
+                tenant=entry.pop("tenant", None) or args.tenant,
+            )
             try:
                 spec = JobSpec.from_dict(entry)
             except ServeError as exc:
                 parser.error(f"job {i} in {args.jobs}: {exc}")
             try:
-                handles.append(client.submit(spec, priority=priority))
+                handles.append(client.submit(spec, options=options))
             except AdmissionError as exc:
                 print(
                     f"job {i} in {args.jobs} rejected: {exc}\n"
@@ -931,7 +1017,7 @@ def _cmd_serve_batch(
 def _cmd_serve_submit(
     parser: argparse.ArgumentParser, args: argparse.Namespace
 ) -> None:
-    from repro.serve import JobSpec
+    from repro.serve import JobSpec, SubmitOptions
 
     spec = JobSpec(
         workload=args.workload,
@@ -942,10 +1028,11 @@ def _cmd_serve_submit(
         steps=args.steps,
         checkpoint_every=args.checkpoint_every,
     )
+    options = SubmitOptions(priority=args.priority, tenant=args.tenant)
     client = _make_client(args)
     try:
         t0 = time.perf_counter()
-        result = client.run(spec)
+        result = client.run(spec, options=options)
         wall = time.perf_counter() - t0
     finally:
         client.close()
@@ -968,6 +1055,8 @@ def _cmd_serve_coordinator(
         args.addr,
         cache_dir=args.cache_dir,
         queue_capacity=args.queue_capacity,
+        token=args.token,
+        tenants=_parse_tenants_arg(parser, args.tenants),
     ).start()
     # Flush immediately: launcher scripts read this line for the port.
     print(f"coordinator listening at {coord.addr}", flush=True)
@@ -997,6 +1086,7 @@ def _cmd_serve_worker(
         shard,
         cache_dir=args.cache_dir,
         max_idle_s=args.max_idle_s,
+        token=args.token,
         max_concurrent_jobs=args.max_concurrent,
         queue_capacity=args.queue_capacity,
         pool_backend=args.pool_backend,
@@ -1062,8 +1152,9 @@ def _cmd_serve_shutdown(
     parser: argparse.ArgumentParser, args: argparse.Namespace
 ) -> None:
     from repro.serve import RemoteService
+    from repro.serve.settings import current_settings
 
-    remote = RemoteService(args.addr)
+    remote = RemoteService(args.addr, token=current_settings(token=args.token).token)
     try:
         remote.shutdown()
     finally:
@@ -1071,11 +1162,54 @@ def _cmd_serve_shutdown(
     print(f"coordinator at {args.addr} stopping")
 
 
+def _cmd_serve_gateway(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    from repro.serve import Gateway
+
+    tenants = _parse_tenants_arg(parser, args.tenants)
+    if args.backend is not None:
+        gw = Gateway(args.addr, backend=args.backend, token=args.token)
+        if tenants:
+            parser.error(
+                "--tenants configures the in-process backend; when "
+                "fronting a coordinator, pass it to 'serve coordinator'"
+            )
+    else:
+        gw = Gateway(
+            args.addr,
+            token=args.token,
+            tenants=tenants,
+            max_concurrent_jobs=args.max_concurrent,
+            queue_capacity=args.queue_capacity,
+            cache_dir=args.cache_dir,
+            pool_backend=args.pool_backend,
+            pool_workers=args.pool_workers,
+            steps_per_slice=args.steps_per_slice,
+        )
+    gw.start()
+    # Flush immediately: launcher scripts read this line for the port.
+    print(f"gateway listening at http://{gw.addr} "
+          f"(backend: {args.backend or 'in-process'})", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        gw.stop()
+    print(
+        f"gateway stopped: {gw.requests_total} requests "
+        f"({gw.shed_total} shed, {gw.auth_failures} auth failures)"
+    )
+
+
 _SERVE_HANDLERS = {
     "batch": _cmd_serve_batch,
     "submit": _cmd_serve_submit,
     "coordinator": _cmd_serve_coordinator,
     "worker": _cmd_serve_worker,
+    "gateway": _cmd_serve_gateway,
     "merge-shards": _cmd_serve_merge,
     "shutdown": _cmd_serve_shutdown,
 }

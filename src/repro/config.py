@@ -47,6 +47,9 @@ def configure(
     queue_capacity: int | None = None,
     cache_dir: str | None = None,
     serve_addr: str | None = None,
+    serve_token: str | None = None,
+    tenant: str | None = None,
+    gateway_addr: str | None = None,
     verify: "bool | object | None" = None,
     ledger_dir: str | None = None,
     kernel_backend: str | None = None,
@@ -81,6 +84,21 @@ def configure(
         ``REPRO_SERVE_QUEUE_CAPACITY`` / ``REPRO_SERVE_CACHE_DIR`` /
         ``REPRO_SERVE_ADDR`` environment variables, then the built-in
         defaults.
+    serve_token:
+        Shared secret for the serve wire protocol and the HTTP gateway:
+        a coordinator or :class:`~repro.serve.Gateway` constructed with
+        a token requires it from every client
+        (``connect(addr, token=)`` / ``Authorization: Bearer``).  Env
+        fallback ``REPRO_SERVE_TOKEN``.
+    tenant:
+        Default tenant label stamped on submissions that don't name one
+        (fair scheduling and quotas are per tenant; see
+        :class:`~repro.serve.TenantPolicy`).  Env fallback
+        ``REPRO_TENANT``.
+    gateway_addr:
+        Default listen address for :class:`~repro.serve.Gateway` /
+        ``repro-nbody serve gateway``.  Env fallback
+        ``REPRO_GATEWAY_ADDR``.
     verify:
         Default invariant guarding for :class:`~repro.runtime.RunSession`
         objects (and hence served jobs) created afterwards: ``True``
@@ -141,7 +159,10 @@ def configure(
         )
     if any(
         v is not None
-        for v in (max_concurrent_jobs, queue_capacity, cache_dir, serve_addr)
+        for v in (
+            max_concurrent_jobs, queue_capacity, cache_dir, serve_addr,
+            serve_token, tenant, gateway_addr,
+        )
     ):
         from repro.serve.settings import set_overrides
 
@@ -150,6 +171,9 @@ def configure(
             queue_capacity=queue_capacity,
             cache_dir=cache_dir,
             addr=serve_addr,
+            token=serve_token,
+            tenant=tenant,
+            gateway_addr=gateway_addr,
         )
     if verify is not None:
         from repro.check.settings import set_verify_override

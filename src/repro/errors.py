@@ -103,3 +103,29 @@ class AdmissionError(ServeError):
     than block.  Resubmit after draining or raise the capacity via
     ``repro.configure(queue_capacity=...)``.
     """
+
+
+class QuotaError(AdmissionError):
+    """A per-tenant quota refused a submission.
+
+    Subclass of :class:`AdmissionError` so existing backpressure handling
+    (CLI exit 3, gateway 429) applies unchanged, but distinguishable when
+    the refusal came from a tenant's ``max_queued`` / ``max_inflight``
+    budget rather than global queue capacity.  Carries the offending
+    tenant on :attr:`tenant`.
+    """
+
+    def __init__(self, message: str, *, tenant: str | None = None) -> None:
+        super().__init__(message)
+        #: tenant whose quota was exceeded, when known
+        self.tenant = tenant
+
+
+class JobCancelledError(ServeError):
+    """A job was cancelled before it completed.
+
+    Raised from :meth:`JobHandle.result` / gateway result polls when
+    :meth:`~repro.serve.JobService.cancel` stopped the job — either while
+    still queued or mid-slice.  Cancellation releases the job's result-
+    cache claim so a later identical submission starts fresh.
+    """

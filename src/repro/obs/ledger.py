@@ -31,7 +31,7 @@ scheduler's runner threads can share it.  Schema identity lives in
 unrelated database raises :class:`~repro.errors.LedgerError` instead of
 guessing, which is the drift gate CI asserts on; an *older* supported
 version is migrated forward in place (v1 → v2 adds the ``shard``
-column).
+column, v2 → v3 adds ``tenant``).
 
 :meth:`RunLedger.merge` folds another ledger file into this one with
 run-id remapping — `repro-nbody serve merge-shards` uses it to combine
@@ -63,7 +63,7 @@ __all__ = [
 LEDGER_NAME = "ledger.sqlite"
 
 #: Schema version recorded in ``PRAGMA user_version``.
-LEDGER_VERSION = 2
+LEDGER_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -71,6 +71,7 @@ CREATE TABLE IF NOT EXISTS runs (
     spec_hash     TEXT,
     source        TEXT NOT NULL DEFAULT 'run',
     shard         TEXT,
+    tenant        TEXT,
     workload      TEXT,
     n             INTEGER,
     seed          INTEGER,
@@ -117,13 +118,14 @@ CREATE INDEX IF NOT EXISTS idx_events_run ON events(run_id);
 
 #: Columns of ``runs`` settable at submission time.
 _SUBMIT_COLUMNS = (
-    "spec_hash", "source", "shard", "workload", "n", "seed", "plan", "dt",
-    "steps", "backend", "checkpoint_dir",
+    "spec_hash", "source", "shard", "tenant", "workload", "n", "seed", "plan",
+    "dt", "steps", "backend", "checkpoint_dir",
 )
 
 #: In-place forward migrations: from-version -> DDL statements.
 _MIGRATIONS: dict[int, tuple[str, ...]] = {
     1: ("ALTER TABLE runs ADD COLUMN shard TEXT",),
+    2: ("ALTER TABLE runs ADD COLUMN tenant TEXT",),
 }
 
 #: Columns of ``runs`` settable at finish time.
@@ -335,12 +337,13 @@ class RunLedger:
     def runs(
         self, *, status: str | None = None, spec_hash: str | None = None,
         plan: str | None = None, shard: str | None = None,
+        tenant: str | None = None,
     ) -> list[dict[str, Any]]:
         """Run rows (newest last), optionally filtered."""
         clauses, params = [], []
         for col, val in (
             ("status", status), ("spec_hash", spec_hash), ("plan", plan),
-            ("shard", shard),
+            ("shard", shard), ("tenant", tenant),
         ):
             if val is not None:
                 clauses.append(f"{col} = ?")
@@ -441,6 +444,25 @@ class RunLedger:
             "AVG(wall_s) AS mean_wall_s, "
             "SUM(COALESCE(steps, 0)) AS steps "
             "FROM runs GROUP BY shard ORDER BY shard IS NULL, shard"
+        )
+
+    def tenant_table(self) -> list[dict[str, Any]]:
+        """Per-tenant aggregate rows — the multi-tenancy accounting view.
+
+        Untenanted rows (solo runs, pre-v3 databases) aggregate under
+        ``tenant=None``.
+        """
+        return self._rows(
+            "SELECT tenant, COUNT(*) AS runs, "
+            "SUM(status = 'complete') AS complete, "
+            "SUM(status = 'failed') AS failed, "
+            "SUM(status = 'cached') AS cached, "
+            "SUM(COALESCE(retries, 0)) AS retries, "
+            "SUM(COALESCE(dedup_count, 0)) AS deduped, "
+            "AVG(wall_s) AS mean_wall_s, "
+            "AVG(queue_wait_s) AS mean_queue_wait_s, "
+            "SUM(COALESCE(steps, 0)) AS steps "
+            "FROM runs GROUP BY tenant ORDER BY tenant IS NULL, tenant"
         )
 
     def counts(self) -> dict[str, int]:

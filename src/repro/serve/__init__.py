@@ -48,21 +48,43 @@ Distributed tier:
   killed siblings.
 * :mod:`~repro.serve.remote` — :func:`connect`, :class:`RemoteService`,
   :class:`RemoteHandle`: the transport-agnostic client surface.
+
+Multi-tenant tier:
+
+* :mod:`~repro.serve.options` — :class:`SubmitOptions`: the one
+  submission-tuning surface (priority, tenant, retry, fault injection,
+  verify) shared by every submit path.
+* :mod:`~repro.serve.tenancy` — :class:`TenantPolicy` /
+  :class:`FairJobQueue`: weighted fair scheduling, priority aging, and
+  per-tenant quotas.
+* :mod:`~repro.serve.schema` — the versioned describe-document contract
+  shared by ``describe()`` surfaces and the gateway's ``/v1/status``.
+* :mod:`~repro.serve.gateway` — :class:`Gateway`: asyncio HTTP front
+  end (submit/status/result/cancel + SSE slice streaming) over either
+  transport.
 """
 
 from repro.serve.cache import JobResult, ResultCache, load_result
 from repro.serve.coordinator import Coordinator
+from repro.serve.gateway import Gateway
+from repro.serve.options import SubmitOptions
 from repro.serve.queue import JobQueue
 from repro.serve.remote import RemoteHandle, RemoteService, connect
 from repro.serve.scheduler import Scheduler
+from repro.serve.schema import DESCRIBE_VERSION, validate_describe
 from repro.serve.service import Client, JobHandle, JobService
 from repro.serve.settings import ServeSettings, current_settings
 from repro.serve.spec import JobSpec
+from repro.serve.tenancy import DEFAULT_TENANT, FairJobQueue, TenantPolicy
 from repro.serve.worker import Worker
 
 __all__ = [
     "Client",
     "Coordinator",
+    "DEFAULT_TENANT",
+    "DESCRIBE_VERSION",
+    "FairJobQueue",
+    "Gateway",
     "JobHandle",
     "JobQueue",
     "JobResult",
@@ -73,8 +95,11 @@ __all__ = [
     "ResultCache",
     "Scheduler",
     "ServeSettings",
+    "SubmitOptions",
+    "TenantPolicy",
     "Worker",
     "connect",
     "current_settings",
     "load_result",
+    "validate_describe",
 ]

@@ -35,16 +35,20 @@ from __future__ import annotations
 
 import socket
 import threading
+from dataclasses import asdict
 from pathlib import Path
 from typing import Any
 
 from repro import obs
-from repro.errors import AdmissionError, ServeError
+from repro.errors import JobCancelledError, QuotaError, ServeError
 from repro.obs.ledger import RunLedger
 from repro.obs.settings import default_ledger
 from repro.serve.cache import ResultCache
+from repro.serve.options import SubmitOptions
+from repro.serve.schema import DESCRIBE_VERSION
 from repro.serve.settings import current_settings
 from repro.serve.spec import JobSpec
+from repro.serve.tenancy import DEFAULT_TENANT, FairJobQueue, TenantPolicy
 from repro.serve.wire import (
     encode_error,
     format_addr,
@@ -68,10 +72,17 @@ class _TrackedJob:
     is the event client ``wait`` RPCs block on.
     """
 
-    def __init__(self, spec: JobSpec, spec_hash: str, priority: int) -> None:
+    def __init__(
+        self,
+        spec: JobSpec,
+        spec_hash: str,
+        priority: int,
+        tenant: str = DEFAULT_TENANT,
+    ) -> None:
         self.spec = spec
         self.spec_hash = spec_hash
         self.priority = priority
+        self.tenant = tenant
         self.status = "queued"
         self.worker: str | None = None
         self.run_dir: str | None = None
@@ -99,6 +110,7 @@ class _TrackedJob:
         return {
             "spec_hash": self.spec_hash,
             "status": self.status,
+            "tenant": self.tenant,
             "worker": self.worker,
             "run_dir": self.run_dir,
             "from_cache": self.from_cache,
@@ -126,6 +138,16 @@ class Coordinator:
         A :class:`~repro.obs.ledger.RunLedger` for coordinator events,
         ``False`` to opt out, ``None`` to resolve via
         ``repro.configure(ledger_dir=...)`` / ``REPRO_LEDGER_DIR``.
+    token:
+        Shared-secret every RPC must carry (``connect(addr, token=)``);
+        resolves through ``configure(serve_token=)`` /
+        ``REPRO_SERVE_TOKEN``.  ``None`` (after resolution) disables the
+        check.
+    tenants:
+        Tenant-name → :class:`~repro.serve.TenantPolicy` (or dict)
+        mapping: fair-scheduling weights plus ``max_queued`` /
+        ``max_inflight`` quotas, mirroring
+        :class:`~repro.serve.JobService`.
     """
 
     def __init__(
@@ -135,12 +157,19 @@ class Coordinator:
         cache_dir: str | Path | None = None,
         queue_capacity: int | None = None,
         ledger: "RunLedger | bool | None" = None,
+        token: str | None = None,
+        tenants: "dict[str, TenantPolicy | dict[str, Any]] | None" = None,
+        aging_every: int = 8,
+        age_max_boost: int = 8,
     ) -> None:
         settings = current_settings(
             queue_capacity=queue_capacity,
             cache_dir=None if cache_dir is None else str(cache_dir),
+            token=token,
         )
         self.settings = settings
+        #: shared-secret RPCs must present (None = auth disabled)
+        self.token = settings.token
         self.cache = ResultCache(settings.cache_dir)
         if ledger is None:
             self.ledger: RunLedger | None = default_ledger()
@@ -159,10 +188,13 @@ class Coordinator:
         self._cond = threading.Condition(self._lock)
         #: every spec this coordinator has seen, by content hash
         self._jobs: dict[str, _TrackedJob] = {}
-        #: queued hashes in dispatch order (priority desc, FIFO within)
-        self._queue: list[_TrackedJob] = []
-        self._seq = 0
-        self._order: dict[str, tuple[int, int]] = {}
+        #: queued jobs: weighted fair across tenants, aged priority within
+        self._queue = FairJobQueue(
+            settings.queue_capacity,
+            tenants=tenants,
+            aging_every=aging_every,
+            age_max_boost=age_max_boost,
+        )
         self._workers_seen: set[str] = set()
         self._stopped = threading.Event()
         self._threads: list[threading.Thread] = []
@@ -170,6 +202,7 @@ class Coordinator:
         self.jobs_submitted = 0
         self.cache_hits = 0
         self.deduped = 0
+        self.jobs_cancelled = 0
         self._accept_thread: threading.Thread | None = None
 
     # ------------------------------------------------------------------
@@ -199,12 +232,10 @@ class Coordinator:
             conns = list(self._conns)
             # Unblock workers parked in `next` and fail undispatched work
             # so no client waits on a job that can never run.
-            for job in self._queue:
+            for job in self._queue.remove(lambda _job: True):
                 job.finish(error=encode_error(
                     ServeError("coordinator stopped before job was assigned")
                 ))
-            self._queue.clear()
-            self._order.clear()
             self._cond.notify_all()
         for conn in conns:
             try:
@@ -261,6 +292,23 @@ class Coordinator:
                     break
                 if msg is None:
                     break  # clean EOF
+                if self.token is not None and msg.get("token") != self.token:
+                    # Auth precedes every op, including shutdown: an
+                    # unauthenticated peer can neither run jobs nor stop
+                    # the coordinator.
+                    obs.inc("serve.coord.auth_failures_total")
+                    try:
+                        send_msg(conn, {
+                            "ok": False,
+                            **encode_error(ServeError(
+                                "authentication failed: bad or missing serve "
+                                "token (pass connect(addr, token=...) or set "
+                                "REPRO_SERVE_TOKEN)"
+                            )),
+                        })
+                    except (ServeError, OSError):
+                        pass
+                    break
                 if msg.get("op") == "shutdown":
                     # Acknowledge before stopping — stop() drops every
                     # connection, so a dispatched reply would race it.
@@ -308,6 +356,8 @@ class Coordinator:
             return self._op_wait(msg), shard
         if op == "status":
             return self._op_status(msg), shard
+        if op == "cancel":
+            return self._op_cancel(msg), shard
         if op == "describe":
             return {"ok": True, "describe": self.describe()}, shard
         if op == "hello":
@@ -324,13 +374,19 @@ class Coordinator:
 
     def _op_submit(self, msg: dict[str, Any]) -> dict[str, Any]:
         spec = JobSpec.from_dict(msg["spec"])
-        priority = int(msg.get("priority", 0))
+        if "options" in msg and msg["options"] is not None:
+            options = SubmitOptions.from_wire(msg["options"])
+        else:
+            # Pre-SubmitOptions clients send a bare priority field.
+            options = SubmitOptions(priority=int(msg.get("priority", 0)))
+        tenant = options.tenant or DEFAULT_TENANT
         spec_hash = spec.spec_hash()
         with self._lock:
             if self._stopped.is_set():
                 raise ServeError("coordinator is stopped")
             self.jobs_submitted += 1
             obs.inc("serve.coord.jobs_total")
+            obs.inc("serve.coord.jobs_total", labels={"tenant": tenant})
             job = self._jobs.get(spec_hash)
             if job is not None and job.status in ("queued", "running"):
                 # In-flight dedup only — a *done* job falls through to
@@ -344,22 +400,34 @@ class Coordinator:
             if self.cache.lookup(spec) is not None:
                 self.cache_hits += 1
                 obs.inc("serve.coord.cache_hits_total")
-                job = _TrackedJob(spec, spec_hash, priority)
+                job = _TrackedJob(spec, spec_hash, options.priority, tenant)
                 job.finish(
                     run_dir=str(self.cache.entry_dir(spec)), from_cache=True
                 )
                 self._jobs[spec_hash] = job
                 self._event("cache_hit", spec_hash[:12])
                 return {"ok": True, "job": job.snapshot(), "deduped": False}
-            if len(self._queue) >= self.settings.queue_capacity:
-                obs.inc("serve.coord.rejected_total")
-                raise AdmissionError(
-                    f"coordinator queue is full "
-                    f"({self.settings.queue_capacity} jobs queued)"
+            policy = self._queue.policy_for(tenant)
+            if policy.max_inflight is not None:
+                inflight = sum(
+                    1 for j in self._jobs.values()
+                    if j.tenant == tenant and j.status in ("queued", "running")
                 )
-            job = _TrackedJob(spec, spec_hash, priority)
+                if inflight >= policy.max_inflight:
+                    obs.inc("serve.coord.rejected_total")
+                    raise QuotaError(
+                        f"tenant {tenant!r} at max_inflight "
+                        f"({policy.max_inflight} admitted jobs); retry after "
+                        "some finish",
+                        tenant=tenant,
+                    )
+            job = _TrackedJob(spec, spec_hash, options.priority, tenant)
+            try:
+                self._queue.push(job, priority=options.priority, tenant=tenant)
+            except Exception:
+                obs.inc("serve.coord.rejected_total")
+                raise
             self._jobs[spec_hash] = job
-            self._push(job)
             self._event("submit", spec_hash[:12])
             self._cond.notify()
             return {"ok": True, "job": job.snapshot(), "deduped": False}
@@ -395,9 +463,10 @@ class Coordinator:
                 self._cond.wait(timeout=min(timeout, 30.0))
             if self._stopped.is_set():
                 raise ServeError("coordinator is stopped")
-            if not self._queue:
+            entry = self._queue.pop_nowait()
+            if entry is None:
                 return {"ok": True, "job": None}
-            job = self._pop()
+            job = entry.item
             job.status = "running"
             job.worker = shard
         assigned[job.spec_hash] = job
@@ -409,6 +478,9 @@ class Coordinator:
                 "spec_hash": job.spec_hash,
                 "priority": job.priority,
                 "retries": job.retries,
+                # Worker passthrough: the shard resubmits locally with
+                # these so its ledger rows carry the tenant label.
+                "options": {"priority": job.priority, "tenant": job.tenant},
             },
         }
 
@@ -433,17 +505,24 @@ class Coordinator:
         )
         return {"ok": True}
 
-    # ------------------------------------------------------------------
-    # queue helpers (call with self._lock held)
-    # ------------------------------------------------------------------
-    def _push(self, job: _TrackedJob) -> None:
-        self._seq += 1
-        self._order[job.spec_hash] = (-job.priority, self._seq)
-        self._queue.append(job)
-        self._queue.sort(key=lambda j: self._order[j.spec_hash])
-
-    def _pop(self) -> _TrackedJob:
-        return self._queue.pop(0)
+    def _op_cancel(self, msg: dict[str, Any]) -> dict[str, Any]:
+        job = self._get_job(msg)
+        with self._lock:
+            if job.status != "queued":
+                # Running/done jobs are out of the coordinator's reach —
+                # the claim lives on a worker.  Report non-cancellation
+                # rather than guessing.
+                return {"ok": True, "cancelled": False, "job": job.snapshot()}
+            removed = self._queue.remove(lambda j: j is job)
+            if not removed:
+                return {"ok": True, "cancelled": False, "job": job.snapshot()}
+            self.jobs_cancelled += 1
+            obs.inc("serve.coord.cancelled_total")
+            job.finish(error=encode_error(JobCancelledError(
+                f"job {job.spec_hash[:12]} cancelled while queued"
+            )))
+            self._event("cancel", job.spec_hash[:12])
+            return {"ok": True, "cancelled": True, "job": job.snapshot()}
 
     def _requeue(
         self, assigned: dict[str, _TrackedJob], shard: str | None
@@ -457,7 +536,11 @@ class Coordinator:
                 job.worker = None
                 job.retries += 1
                 obs.inc("serve.coord.requeues_total")
-                self._push(job)
+                # force=True: a lost worker's claim must never be shed
+                # by capacity/quota checks on its way back in.
+                self._queue.push(
+                    job, priority=job.priority, tenant=job.tenant, force=True
+                )
                 self._event(
                     "requeue", f"{job.spec_hash[:12]} (lost {shard})"
                 )
@@ -483,16 +566,25 @@ class Coordinator:
             for job in self._jobs.values():
                 statuses[job.status] = statuses.get(job.status, 0) + 1
             return {
+                "describe_version": DESCRIBE_VERSION,
+                "kind": "coordinator",
                 "addr": self.addr,
                 "settings": {
                     "queue_capacity": self.settings.queue_capacity,
                     "cache_dir": str(self.settings.cache_dir),
+                    "auth": self.token is not None,
                 },
                 "queue_depth": len(self._queue),
+                "queue_depth_by_tenant": self._queue.depth_by_tenant(),
+                "tenants": {
+                    name: asdict(policy)
+                    for name, policy in sorted(self._queue.policies.items())
+                },
                 "jobs": statuses,
                 "jobs_submitted": self.jobs_submitted,
                 "cache_hits": self.cache_hits,
                 "deduped": self.deduped,
+                "cancelled": self.jobs_cancelled,
                 "workers": sorted(self._workers_seen),
                 "ledger": None if self.ledger is None else str(self.ledger.path),
                 "closed": self._stopped.is_set(),

@@ -1,0 +1,166 @@
+"""Unified submission options for every serve surface.
+
+Before this module, submission tuning was kwarg sprawl: ``priority=``,
+``retry=``, ``fault_injector=``, ``verify=`` threaded separately through
+:meth:`JobService.submit`, :meth:`Client.submit`, ``serve submit`` and the
+remote client — and each new knob (tenant, quotas) would have widened four
+signatures at once.  :class:`SubmitOptions` collapses them into one frozen
+dataclass accepted uniformly by the in-process service, the socket client,
+the HTTP gateway, and the CLI::
+
+    from repro.serve import SubmitOptions, connect
+
+    client = connect()
+    handle = client.submit(spec, options=SubmitOptions(priority=5, tenant="ops"))
+
+The legacy keyword forms keep working for one release behind exactly one
+:class:`DeprecationWarning` per call (see :func:`resolve_options`).
+
+Wire shape
+----------
+Only the JSON-safe subset — ``priority`` and ``tenant`` — crosses process
+boundaries (socket protocol, HTTP gateway, ``--jobs`` batch files).
+``retry`` / ``fault_injector`` / ``verify`` hold live Python objects and are
+in-process-only; :meth:`SubmitOptions.to_wire` raises
+:class:`~repro.errors.ServeError` when they are set, which is the same
+contract the remote client enforced before this class existed.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from repro.errors import ServeError
+
+__all__ = ["SubmitOptions", "resolve_options"]
+
+#: Legacy per-call keywords folded into SubmitOptions (shim set).
+DEPRECATED_SUBMIT_KWARGS = ("priority", "retry", "fault_injector", "verify")
+
+#: Fields that may cross a process boundary (socket / HTTP / batch JSON).
+WIRE_FIELDS = ("priority", "tenant")
+
+
+@dataclass(frozen=True)
+class SubmitOptions:
+    """Per-submission tuning, uniform across all serve surfaces.
+
+    ``priority`` — higher pops first within a tenant (FIFO on ties).
+    ``tenant`` — fair-scheduling and quota bucket; ``None`` falls back to
+    the service's default tenant (settings chain: ``configure(tenant=)``
+    > ``REPRO_TENANT`` > ``"default"``).
+    ``retry`` — per-job :class:`~repro.exec.RetryPolicy` (in-process only).
+    ``fault_injector`` — per-job :class:`~repro.exec.FaultInjector`
+    (in-process only, testing).
+    ``verify`` — per-job invariant-guard override (in-process only;
+    ``None`` inherits the service default).
+    """
+
+    priority: int = 0
+    tenant: str | None = None
+    retry: Any | None = None
+    fault_injector: Any | None = None
+    verify: Any | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise ServeError(
+                f"SubmitOptions.priority must be an int, got {self.priority!r}"
+            )
+        if self.tenant is not None and (
+            not isinstance(self.tenant, str) or not self.tenant
+        ):
+            raise ServeError(
+                f"SubmitOptions.tenant must be a non-empty string, got {self.tenant!r}"
+            )
+
+    # -- wire form -----------------------------------------------------
+    def wire_safe(self) -> bool:
+        """True when no in-process-only field is set."""
+        return self.retry is None and self.fault_injector is None and self.verify is None
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-safe dict of the fields that may cross a process boundary.
+
+        Raises :class:`ServeError` if an in-process-only field (``retry``,
+        ``fault_injector``, ``verify``) is set — those cannot be shipped
+        to a coordinator or gateway.
+        """
+        if not self.wire_safe():
+            offending = [
+                name
+                for name in ("retry", "fault_injector", "verify")
+                if getattr(self, name) is not None
+            ]
+            raise ServeError(
+                "SubmitOptions fields "
+                + ", ".join(offending)
+                + " are in-process only and cannot cross the wire; "
+                "configure them on the worker's service instead"
+            )
+        out: dict[str, Any] = {}
+        if self.priority != 0:
+            out["priority"] = self.priority
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
+        return out
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any] | None) -> "SubmitOptions":
+        """Rebuild from :meth:`to_wire` output; rejects unknown keys."""
+        if payload is None:
+            return cls()
+        unknown = set(payload) - set(WIRE_FIELDS)
+        if unknown:
+            raise ServeError(
+                f"unknown SubmitOptions wire fields: {sorted(unknown)} "
+                f"(supported: {list(WIRE_FIELDS)})"
+            )
+        return cls(**dict(payload))
+
+    def with_defaults(self, *, tenant: str | None = None) -> "SubmitOptions":
+        """Fill unset fields from service-level defaults (currently tenant)."""
+        if self.tenant is None and tenant is not None:
+            return replace(self, tenant=tenant)
+        return self
+
+
+def resolve_options(
+    options: SubmitOptions | None,
+    deprecated: Mapping[str, Any],
+    *,
+    where: str,
+    stacklevel: int = 3,
+) -> SubmitOptions:
+    """Merge the new ``options=`` form with legacy per-call keywords.
+
+    ``deprecated`` maps legacy kwarg names (a subset of
+    :data:`DEPRECATED_SUBMIT_KWARGS`) to the values the caller passed;
+    entries that equal the :class:`SubmitOptions` default are treated as
+    "not passed".  When any legacy value is present, exactly one
+    :class:`DeprecationWarning` is emitted naming ``where`` — and mixing
+    both forms in one call is an error, because silently preferring one
+    would make the migration ambiguous.
+    """
+    defaults = {f.name: f.default for f in fields(SubmitOptions)}
+    passed = {
+        name: value
+        for name, value in deprecated.items()
+        if value != defaults.get(name, None)
+    }
+    if not passed:
+        return options if options is not None else SubmitOptions()
+    if options is not None:
+        raise ServeError(
+            f"{where}: pass either options=SubmitOptions(...) or the legacy "
+            f"keywords ({sorted(passed)}), not both"
+        )
+    warnings.warn(
+        f"{where}: the {sorted(passed)} keyword(s) are deprecated; pass "
+        "options=SubmitOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return SubmitOptions(**passed)

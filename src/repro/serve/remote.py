@@ -33,6 +33,7 @@ from typing import Any
 
 from repro.errors import ServeError
 from repro.serve.cache import JobResult, load_result
+from repro.serve.options import SubmitOptions, resolve_options
 from repro.serve.service import (
     Client,
     JobHandle,
@@ -73,25 +74,34 @@ class RemoteHandle(JobHandle):
     ) -> None:
         super().__init__(spec, spec_hash)
         self._remote = service
+        self._absorb_lock = threading.Lock()
         self._absorb(snapshot)
 
     def _absorb(self, snapshot: dict[str, Any]) -> None:
-        """Fold a coordinator job snapshot into local future state."""
-        self.dedup_count = int(snapshot.get("dedup_count", 0) or 0)
-        status = snapshot.get("status")
-        if self._done.is_set():
-            return
-        if status == "done":
-            result = load_result(
-                self.spec,
-                snapshot["run_dir"],
-                from_cache=bool(snapshot.get("from_cache", False)),
-            )
-            self._resolve(result)
-        elif status == "failed":
-            self._reject(decode_error(snapshot.get("error") or {}))
-        elif status in ("queued", "running"):
-            self.status = status
+        """Fold a coordinator job snapshot into local future state.
+
+        Serialized: concurrent pollers (e.g. gateway status probes on
+        the same handle) must not both load the result or interleave a
+        terminal transition with a stale queued/running update.
+        """
+        with self._absorb_lock:
+            self.dedup_count = int(snapshot.get("dedup_count", 0) or 0)
+            if snapshot.get("tenant"):
+                self.tenant = snapshot["tenant"]
+            status = snapshot.get("status")
+            if self._done.is_set():
+                return
+            if status == "done":
+                result = load_result(
+                    self.spec,
+                    snapshot["run_dir"],
+                    from_cache=bool(snapshot.get("from_cache", False)),
+                )
+                self._resolve(result)
+            elif status == "failed":
+                self._reject(decode_error(snapshot.get("error") or {}))
+            elif status in ("queued", "running"):
+                self.status = status
 
     # -- waiting (RPC-backed) ------------------------------------------
     def done(self) -> bool:
@@ -128,8 +138,15 @@ class RemoteService:
     ``close`` — plus :meth:`shutdown` to stop the coordinator itself.
     """
 
-    def __init__(self, addr: str, *, connect_timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        addr: str,
+        *,
+        token: str | None = None,
+        connect_timeout: float = 30.0,
+    ) -> None:
         self.addr = addr
+        self._token = token
         host, port = parse_addr(addr)
         try:
             self._sock: socket.socket | None = socket.create_connection(
@@ -143,6 +160,8 @@ class RemoteService:
 
     # -- plumbing ------------------------------------------------------
     def _rpc(self, msg: dict[str, Any]) -> dict[str, Any]:
+        if self._token is not None:
+            msg = {**msg, "token": self._token}
         with self._lock:
             if self._sock is None:
                 raise ServeError("connection to coordinator is closed")
@@ -182,13 +201,21 @@ class RemoteService:
                     return job
 
     # -- service protocol ----------------------------------------------
-    def submit(self, spec: JobSpec, *, priority: int = 0, **unsupported: Any) -> RemoteHandle:
+    def submit(
+        self,
+        spec: JobSpec,
+        *,
+        options: SubmitOptions | None = None,
+        priority: int = 0,
+        **unsupported: Any,
+    ) -> RemoteHandle:
         """Submit to the coordinator; returns a :class:`RemoteHandle`.
 
         Engine-level per-job options (``retry``, ``fault_injector``,
         ``verify``) are worker-side policy in the distributed tier and
-        cannot be shipped with a submission — passing one raises
-        :class:`ServeError` rather than silently dropping it.
+        cannot be shipped with a submission — setting one (via ``options``
+        or the deprecated kwargs) raises :class:`ServeError` rather than
+        silently dropping it.
         """
         if not isinstance(spec, JobSpec):
             raise ServeError(
@@ -200,16 +227,46 @@ class RemoteService:
                 f"{sorted(given)} not supported over a coordinator "
                 "connection; configure them on the worker shards"
             )
+        opts = resolve_options(
+            options, {"priority": priority}, where="RemoteService.submit"
+        )
+        if not opts.wire_safe():
+            local_only = sorted(
+                name for name in ("fault_injector", "retry", "verify")
+                if getattr(opts, name) is not None
+            )
+            raise ServeError(
+                f"{local_only} not supported over a coordinator "
+                "connection; configure them on the worker shards"
+            )
         reply = self._rpc(
-            {"op": "submit", "spec": spec.to_dict(), "priority": priority}
+            {"op": "submit", "spec": spec.to_dict(), "options": opts.to_wire()}
         )
         return RemoteHandle(self, spec, spec.spec_hash(), reply["job"])
 
     def run(
-        self, spec: JobSpec, *, priority: int = 0, timeout: float | None = None
+        self,
+        spec: JobSpec,
+        *,
+        options: SubmitOptions | None = None,
+        priority: int = 0,
+        timeout: float | None = None,
     ) -> JobResult:
         """Submit and block for the result."""
-        return self.submit(spec, priority=priority).result(timeout=timeout)
+        opts = resolve_options(
+            options, {"priority": priority}, where="RemoteService.run"
+        )
+        return self.submit(spec, options=opts).result(timeout=timeout)
+
+    def cancel(self, spec_hash: str) -> bool:
+        """Cancel a queued job at the coordinator.
+
+        Returns ``True`` if the job was plucked from the queue (it fails
+        with :class:`~repro.errors.JobCancelledError`), ``False`` if it
+        was already running, finished, or unknown to the cancel op.
+        """
+        reply = self._rpc({"op": "cancel", "spec_hash": spec_hash})
+        return bool(reply.get("cancelled", False))
 
     def describe(self) -> dict[str, Any]:
         """The coordinator's introspection snapshot."""
@@ -233,7 +290,12 @@ class RemoteService:
         return f"RemoteService(addr={self.addr!r})"
 
 
-def connect(addr: "str | None" = _UNSET, **service_kwargs: Any) -> Client:
+def connect(
+    addr: "str | None" = _UNSET,
+    *,
+    token: str | None = None,
+    **service_kwargs: Any,
+) -> Client:
     """Open a serve client — in-process or against a coordinator.
 
     ``addr`` semantics:
@@ -243,6 +305,12 @@ def connect(addr: "str | None" = _UNSET, **service_kwargs: Any) -> Client:
       environment variable, else in-process;
     * ``None`` — force an in-process service regardless of settings;
     * ``"host:port"`` — dial that coordinator.
+
+    ``token`` is the shared secret a token-protected coordinator
+    requires; omitted, it resolves through ``configure(serve_token=)``
+    then ``REPRO_SERVE_TOKEN``.  A mismatch surfaces as a clear
+    :class:`~repro.errors.ServeError` on the first RPC.  The in-process
+    path ignores it (there is no wire to protect).
 
     The returned :class:`Client` exposes identical verbs and errors on
     both transports.  ``service_kwargs`` (``max_concurrent_jobs=``,
@@ -260,7 +328,9 @@ def connect(addr: "str | None" = _UNSET, **service_kwargs: Any) -> Client:
                 f"and don't apply when connecting to a coordinator "
                 f"({addr}); set them on the coordinator/workers instead"
             )
-        return Client._wrap(RemoteService(addr), own=True)
+        if token is None:
+            token = current_settings().token
+        return Client._wrap(RemoteService(addr, token=token), own=True)
     with _internal_construction():
         service = JobService(**service_kwargs)
     return Client._wrap(service, own=True)

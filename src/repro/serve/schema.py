@@ -1,0 +1,102 @@
+"""Versioned JSON schema for serve-tier status surfaces.
+
+``JobService.describe()``, ``Coordinator.describe()`` and the gateway's
+``GET /v1/status`` all return one JSON-safe document shape so ``top`` and
+external pollers can rely on it across releases.  The contract:
+
+* every document carries ``describe_version`` (this module's
+  :data:`DESCRIBE_VERSION`) and a ``kind`` discriminator
+  (``"service"`` | ``"coordinator"`` | ``"gateway"``);
+* the per-kind required keys below are stable within a version — new
+  optional keys may appear at any time, required keys only change with a
+  version bump;
+* pollers should reject documents whose major version they don't know
+  rather than guess.
+
+:func:`validate_describe` is the round-trip test's (and any poller's)
+entry point; it raises :class:`~repro.errors.ServeError` naming the
+first violated requirement.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import ServeError
+
+__all__ = ["DESCRIBE_VERSION", "DESCRIBE_KINDS", "validate_describe"]
+
+#: Bumped when a *required* key is added, removed, or changes meaning.
+DESCRIBE_VERSION = 1
+
+#: Required keys per document kind (beyond the common pair).
+DESCRIBE_KINDS: dict[str, tuple[str, ...]] = {
+    "service": (
+        "settings",
+        "queue_depth",
+        "queue_depth_by_tenant",
+        "tenants",
+        "default_tenant",
+        "live",
+        "jobs_submitted",
+        "cache_hits",
+        "deduped",
+        "closed",
+    ),
+    "coordinator": (
+        "addr",
+        "settings",
+        "queue_depth",
+        "queue_depth_by_tenant",
+        "tenants",
+        "jobs",
+        "workers",
+        "cache_hits",
+        "deduped",
+        "closed",
+    ),
+    "gateway": (
+        "addr",
+        "backend",
+        "requests_total",
+        "shed_total",
+        "streams_open",
+    ),
+}
+
+
+def validate_describe(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Check ``payload`` against the versioned describe contract.
+
+    Returns the payload (as a plain dict) on success so callers can
+    chain; raises :class:`ServeError` on the first violation.  Also
+    verifies JSON round-trip safety — a describe document that cannot
+    survive ``json.dumps``/``loads`` is a bug regardless of its keys.
+    """
+    if not isinstance(payload, Mapping):
+        raise ServeError(
+            f"describe document must be a mapping, got {type(payload).__name__}"
+        )
+    version = payload.get("describe_version")
+    if version != DESCRIBE_VERSION:
+        raise ServeError(
+            f"unsupported describe_version {version!r} "
+            f"(this library speaks {DESCRIBE_VERSION})"
+        )
+    kind = payload.get("kind")
+    if kind not in DESCRIBE_KINDS:
+        raise ServeError(
+            f"unknown describe kind {kind!r} (expected one of "
+            f"{sorted(DESCRIBE_KINDS)})"
+        )
+    missing = [key for key in DESCRIBE_KINDS[kind] if key not in payload]
+    if missing:
+        raise ServeError(
+            f"describe document (kind={kind!r}) missing required keys: {missing}"
+        )
+    try:
+        round_tripped = json.loads(json.dumps(dict(payload)))
+    except (TypeError, ValueError) as exc:
+        raise ServeError(f"describe document is not JSON-safe: {exc}") from None
+    return round_tripped

@@ -54,6 +54,19 @@ relies on), and ``resume_orphans=True`` lets it adopt incomplete cache
 entries left by a killed sibling shard — resuming from the orphan's last
 checkpoint instead of starting over, bit-identical by the runtime's
 resume guarantee.
+
+Tenancy: every submission lands in a tenant bucket (from
+:class:`~repro.serve.SubmitOptions`, else the service's default tenant)
+and the queue is a :class:`~repro.serve.FairJobQueue` — weighted fair
+across tenants with deterministic priority aging, so one tenant's bulk
+sweep cannot starve another's interactive probe.  Per-tenant
+``max_queued`` / ``max_inflight`` quotas shed excess load with
+:class:`~repro.errors.QuotaError` before it can crowd the queue, and
+ledger rows carry the tenant for per-tenant accounting.  Submission
+tuning itself is unified in :class:`~repro.serve.SubmitOptions`; the old
+``priority=`` / ``retry=`` / ``fault_injector=`` / ``verify=`` keywords
+keep working for one release behind a single :class:`DeprecationWarning`
+per call.
 """
 
 from __future__ import annotations
@@ -62,23 +75,26 @@ import threading
 import time
 import warnings
 from contextlib import contextmanager
+from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro import obs
 from repro.check.guards import RunGuard
 from repro.check.invariants import TolerancePolicy
-from repro.errors import ServeError
+from repro.errors import JobCancelledError, QuotaError, ServeError
 from repro.exec.engine import EnginePool, ExecutionEngine
 from repro.exec.faults import FaultInjector, RetryPolicy
 from repro.obs.ledger import RunLedger
 from repro.obs.settings import default_ledger
 from repro.runtime.session import RunSession
 from repro.serve.cache import JobResult, ResultCache
-from repro.serve.queue import JobQueue
+from repro.serve.options import SubmitOptions, resolve_options
 from repro.serve.scheduler import Scheduler
+from repro.serve.schema import DESCRIBE_VERSION
 from repro.serve.settings import ServeSettings, current_settings
 from repro.serve.spec import JobSpec
+from repro.serve.tenancy import DEFAULT_TENANT, FairJobQueue, TenantPolicy
 
 __all__ = ["Client", "JobHandle", "JobService"]
 
@@ -128,12 +144,17 @@ class JobHandle:
         self._done = threading.Event()
         self._result: JobResult | None = None
         self._error: BaseException | None = None
-        #: "queued" | "running" | "complete" | "failed"
+        #: "queued" | "running" | "complete" | "failed" | "cancelled"
         self.status = "queued"
         #: submissions coalesced onto this handle beyond the first
         self.dedup_count = 0
         #: run ledger row backing this submission (None when unledgered)
         self.run_id: int | None = None
+        #: fair-scheduling bucket this submission landed in
+        self.tenant: str | None = None
+        #: backing _Job while in flight (cancellation seam; None for
+        #: cache-hit handles, which are born resolved)
+        self._job: "_Job | None" = None
 
     # -- resolution (service-internal) ---------------------------------
     def _resolve(self, result: JobResult) -> None:
@@ -143,7 +164,9 @@ class JobHandle:
 
     def _reject(self, error: BaseException) -> None:
         self._error = error
-        self.status = "failed"
+        self.status = (
+            "cancelled" if isinstance(error, JobCancelledError) else "failed"
+        )
         self._done.set()
 
     # -- waiting -------------------------------------------------------
@@ -185,16 +208,18 @@ class _Job:
         spec: JobSpec,
         handle: JobHandle,
         *,
-        retry: RetryPolicy | None,
-        fault_injector: FaultInjector | None,
-        verify: "bool | TolerancePolicy | RunGuard | None" = None,
+        options: SubmitOptions,
     ) -> None:
         self.service = service
         self.spec = spec
         self.handle = handle
-        self.retry = retry
-        self.fault_injector = fault_injector
-        self.verify = verify
+        self.options = options
+        self.tenant = options.tenant or DEFAULT_TENANT
+        self.retry = options.retry
+        self.fault_injector = options.fault_injector
+        self.verify = options.verify
+        #: set by JobService.cancel(); checked at every slice boundary
+        self.cancel_event = threading.Event()
         self.engine: ExecutionEngine | None = None
         self.session: RunSession | None = None
         self._t0 = 0.0
@@ -210,6 +235,11 @@ class _Job:
 
     # -- scheduler protocol --------------------------------------------
     def begin(self) -> None:
+        if self.cancel_event.is_set():
+            # Cancelled after the pop but before admission finished.
+            raise JobCancelledError(
+                f"job {self.spec_hash12} cancelled before it started"
+            )
         self._t0 = time.perf_counter()
         self.handle.status = "running"
         service = self.service
@@ -286,6 +316,11 @@ class _Job:
         )
 
     def advance(self, max_steps: int) -> bool:
+        if self.cancel_event.is_set():
+            # Slice boundary is the cancellation point: the in-flight
+            # slice ran to completion (bit-exact state), and fail() will
+            # release the cache claim so nothing half-done lingers.
+            raise JobCancelledError(f"job {self.spec_hash12} cancelled")
         if self._from_cache:
             self.last_slice_steps = 0
             return True
@@ -323,6 +358,12 @@ class _Job:
 
     def fail(self, exc: BaseException) -> None:
         self._close_engine()
+        if isinstance(exc, JobCancelledError) and self.session is not None:
+            # Release the cache claim: a cancelled run's partial
+            # checkpoints must not be adoptable as a resumable orphan —
+            # a later identical submission starts fresh.
+            self.session = None
+            self.service.cache.evict(self.spec)
         self.service._job_finished(self, error=exc)
 
     # -- helpers -------------------------------------------------------
@@ -354,6 +395,15 @@ class JobService:
     incomplete cache entries (a killed sibling shard's half-finished
     runs) by resuming from their last checkpoint.
 
+    ``tenants`` maps tenant names to :class:`~repro.serve.TenantPolicy`
+    (or plain dicts) — scheduling weight plus ``max_queued`` /
+    ``max_inflight`` quotas; unnamed tenants get an unbounded weight-1
+    default.  ``default_tenant`` is the bucket for submissions whose
+    :class:`~repro.serve.SubmitOptions` name none (settings chain:
+    explicit > ``configure(tenant=)`` > ``REPRO_TENANT`` >
+    ``"default"``).  ``aging_every`` / ``age_max_boost`` tune the
+    deterministic priority aging (see :mod:`repro.serve.tenancy`).
+
     .. deprecated::
         Direct construction is deprecated; use
         :func:`repro.serve.connect`.
@@ -374,6 +424,10 @@ class JobService:
         ledger: "RunLedger | bool | None" = None,
         shard: str | None = None,
         resume_orphans: bool = False,
+        tenants: "dict[str, TenantPolicy | dict[str, Any]] | None" = None,
+        default_tenant: str | None = None,
+        aging_every: int = 8,
+        age_max_boost: int = 8,
     ) -> None:
         _warn_deprecated_constructor("JobService")
         #: fault-domain name stamped onto this service's ledger rows
@@ -384,9 +438,17 @@ class JobService:
             max_concurrent_jobs=max_concurrent_jobs,
             queue_capacity=queue_capacity,
             cache_dir=None if cache_dir is None else str(cache_dir),
+            tenant=default_tenant,
         )
+        #: bucket for submissions that name no tenant
+        self.default_tenant = self.settings.tenant or DEFAULT_TENANT
         self.cache = ResultCache(self.settings.cache_dir)
-        self.queue = JobQueue(self.settings.queue_capacity)
+        self.queue = FairJobQueue(
+            self.settings.queue_capacity,
+            tenants=tenants,
+            aging_every=aging_every,
+            age_max_boost=age_max_boost,
+        )
         self._own_pool = pool is None
         self.pool = pool or EnginePool(backend=pool_backend, workers=pool_workers)
         #: service-wide verification default (per-submit ``verify`` wins)
@@ -414,11 +476,16 @@ class JobService:
         )
         self._lock = threading.Lock()
         self._inflight: dict[str, JobHandle] = {}
+        #: admitted-but-unfinished jobs per tenant (max_inflight quota)
+        self._tenant_inflight: dict[str, int] = {}
+        #: gateway/SSE seam: callables fed slice + completion events
+        self._listeners: list[Any] = []
         self._closed = False
         #: submission counters (also mirrored into repro.obs)
         self.jobs_submitted = 0
         self.cache_hits = 0
         self.deduped = 0
+        self.jobs_cancelled = 0
         self.scheduler.start()
 
     # ------------------------------------------------------------------
@@ -428,6 +495,7 @@ class JobService:
         self,
         spec: JobSpec,
         *,
+        options: SubmitOptions | None = None,
         priority: int = 0,
         retry: RetryPolicy | None = None,
         fault_injector: FaultInjector | None = None,
@@ -435,29 +503,47 @@ class JobService:
     ) -> JobHandle:
         """Admit one job; returns immediately with its handle.
 
+        ``options`` is the one submission-tuning surface
+        (:class:`~repro.serve.SubmitOptions`: priority, tenant, retry,
+        fault_injector, verify); the bare keywords are a deprecated
+        compatibility shim emitting one :class:`DeprecationWarning`.
+
         Order of resolution: an identical in-flight spec coalesces onto
         the existing handle; a completed cache entry resolves instantly;
-        otherwise the job must win a queue slot or
-        :class:`~repro.errors.AdmissionError` is raised.  ``priority``
-        orders queued jobs (higher first, FIFO within); ``retry`` /
-        ``fault_injector`` configure this job's private engine and touch
-        no other job.  ``verify`` guards *this* job's invariants
-        (energy/momentum/finite-state) every scheduler slice and
-        checkpoint, failing the handle with
-        :class:`~repro.errors.VerificationError` on violation; it
-        defaults to the service-wide ``verify`` setting.
+        otherwise the tenant's quotas and the queue's capacity admit or
+        shed it (:class:`~repro.errors.QuotaError` /
+        :class:`~repro.errors.AdmissionError`).  ``options.priority``
+        orders queued jobs within a tenant (higher first, FIFO within,
+        deterministic aging across waits); ``options.retry`` /
+        ``options.fault_injector`` configure this job's private engine
+        and touch no other job; ``options.verify`` guards *this* job's
+        invariants every scheduler slice and checkpoint, failing the
+        handle with :class:`~repro.errors.VerificationError` on
+        violation (default: the service-wide ``verify`` setting).
         """
+        opts = resolve_options(
+            options,
+            {
+                "priority": priority,
+                "retry": retry,
+                "fault_injector": fault_injector,
+                "verify": verify,
+            },
+            where="JobService.submit",
+        ).with_defaults(tenant=self.default_tenant)
         if not isinstance(spec, JobSpec):
             raise ServeError(
                 f"submit() takes a JobSpec, got {type(spec).__name__}"
             )
         spec_hash = spec.spec_hash()
+        tenant = opts.tenant or DEFAULT_TENANT
         with self._lock:
             if self._closed:
                 raise ServeError("service is closed")
             self.jobs_submitted += 1
             obs.inc("serve.jobs_total")
             obs.inc("serve.jobs_total", labels={"plan": spec.plan})
+            obs.inc("serve.jobs_total", labels={"tenant": tenant})
             existing = self._inflight.get(spec_hash)
             if existing is not None:
                 existing.dedup_count += 1
@@ -474,10 +560,12 @@ class JobService:
                 self.cache_hits += 1
                 obs.inc("serve.cache_hits_total")
                 handle = JobHandle(spec, spec_hash)
+                handle.tenant = tenant
                 handle._resolve(cached)
                 if self.ledger is not None:
                     run_id = self.ledger.record_submitted(
-                        source="serve", **self._spec_fields(spec, spec_hash)
+                        source="serve",
+                        **self._spec_fields(spec, spec_hash, tenant),
                     )
                     handle.run_id = run_id
                     self.ledger.record_finished(
@@ -490,35 +578,50 @@ class JobService:
                         "cache_hit", spec_hash[:12], run_id=run_id
                     )
                 return handle
+            policy = self.queue.policy_for(tenant)
+            if (
+                policy.max_inflight is not None
+                and self._tenant_inflight.get(tenant, 0) >= policy.max_inflight
+            ):
+                obs.inc("serve.rejected_total")
+                obs.inc("serve.rejected_total", labels={"tenant": tenant})
+                raise QuotaError(
+                    f"tenant {tenant!r} at max_inflight "
+                    f"({policy.max_inflight} admitted jobs); retry after "
+                    "some finish",
+                    tenant=tenant,
+                )
             handle = JobHandle(spec, spec_hash)
-            job = _Job(
-                self,
-                spec,
-                handle,
-                retry=retry,
-                fault_injector=fault_injector,
-                verify=verify,
-            )
+            handle.tenant = tenant
+            job = _Job(self, spec, handle, options=opts)
+            handle._job = job
             if self.ledger is not None:
                 job.run_id = self.ledger.record_submitted(
-                    source="serve", **self._spec_fields(spec, spec_hash)
+                    source="serve", **self._spec_fields(spec, spec_hash, tenant)
                 )
                 handle.run_id = job.run_id
             try:
-                self.queue.push(job, priority=priority)
-            except Exception:
+                self.queue.push(job, priority=opts.priority, tenant=tenant)
+            except Exception as exc:
                 obs.inc("serve.rejected_total")
+                obs.inc("serve.rejected_total", labels={"tenant": tenant})
                 if self.ledger is not None and job.run_id is not None:
                     self.ledger.record_finished(
-                        job.run_id, status="failed", error="AdmissionError: "
-                        "rejected by admission control",
+                        job.run_id, status="failed",
+                        error=f"{type(exc).__name__}: rejected by admission "
+                        "control",
                     )
                 raise
             self._inflight[spec_hash] = handle
+            self._tenant_inflight[tenant] = (
+                self._tenant_inflight.get(tenant, 0) + 1
+            )
             obs.set_gauge("serve.queue_depth", len(self.queue))
             return handle
 
-    def _spec_fields(self, spec: JobSpec, spec_hash: str) -> dict[str, Any]:
+    def _spec_fields(
+        self, spec: JobSpec, spec_hash: str, tenant: str | None = None
+    ) -> dict[str, Any]:
         """Ledger ``runs`` columns carrying the spec's identity."""
         fields: dict[str, Any] = {
             "spec_hash": spec_hash,
@@ -531,19 +634,74 @@ class JobService:
         }
         if self.shard is not None:
             fields["shard"] = self.shard
+        if tenant is not None:
+            fields["tenant"] = tenant
         return fields
 
     def submit_many(
-        self, specs: Iterable[JobSpec], *, priority: int = 0
+        self,
+        specs: Iterable[JobSpec],
+        *,
+        options: SubmitOptions | None = None,
+        priority: int = 0,
     ) -> list[JobHandle]:
         """Submit a batch; handles come back in submission order."""
-        return [self.submit(s, priority=priority) for s in specs]
+        opts = resolve_options(
+            options, {"priority": priority}, where="JobService.submit_many"
+        )
+        return [self.submit(s, options=opts) for s in specs]
 
     def run(
-        self, spec: JobSpec, *, priority: int = 0, timeout: float | None = None
+        self,
+        spec: JobSpec,
+        *,
+        options: SubmitOptions | None = None,
+        priority: int = 0,
+        timeout: float | None = None,
     ) -> JobResult:
         """Submit and block for the result."""
-        return self.submit(spec, priority=priority).result(timeout=timeout)
+        opts = resolve_options(
+            options, {"priority": priority}, where="JobService.run"
+        )
+        return self.submit(spec, options=opts).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, spec_hash: str) -> bool:
+        """Cancel an in-flight job by spec hash; returns whether it took.
+
+        A queued job is plucked from the queue and failed immediately; a
+        running job stops at its next slice boundary.  Either way the
+        handle fails with :class:`~repro.errors.JobCancelledError`, the
+        job's result-cache claim is released (no orphan claims — a later
+        identical submission starts fresh), and coalesced waiters see the
+        same cancellation.  Returns ``False`` when the hash is unknown or
+        the job already finished.
+        """
+        with self._lock:
+            handle = self._inflight.get(spec_hash)
+        if handle is None or handle.done():
+            return False
+        job = handle._job
+        if job is None:
+            return False
+        job.cancel_event.set()
+        removed = self.queue.remove(lambda item: item is job)
+        self.jobs_cancelled += 1
+        obs.inc("serve.cancelled_total")
+        obs.set_gauge("serve.queue_depth", len(self.queue))
+        if removed:
+            # Never admitted: fail it ourselves (the scheduler will
+            # never see it).
+            job.fail(
+                JobCancelledError(
+                    f"job {spec_hash[:12]} cancelled while queued"
+                )
+            )
+        # else: running (or mid-admission) — the cancel event fails it at
+        # the next slice boundary / begin() check.
+        return True
 
     # ------------------------------------------------------------------
     # scheduler callbacks
@@ -572,6 +730,46 @@ class JobService:
                 steps=job.last_slice_steps,
                 wall_s=wall_s,
             )
+        self._emit_event(
+            {
+                "type": "slice",
+                "spec_hash": job.handle.spec_hash,
+                "tenant": job.tenant,
+                "seq": job._slice_seq,
+                "steps": job.last_slice_steps,
+                "done": done,
+                "wall_s": wall_s,
+            }
+        )
+
+    # -- event listeners (gateway/SSE seam) -----------------------------
+    def add_slice_listener(self, fn: Any) -> Any:
+        """Register a callable fed slice + completion event dicts.
+
+        Listeners are pure observers: exceptions are swallowed, and
+        events fire on scheduler runner threads (bridge to your own loop
+        if you need one).  Returns a zero-argument remover.
+        """
+        with self._lock:
+            self._listeners.append(fn)
+
+        def remove() -> None:
+            with self._lock:
+                try:
+                    self._listeners.remove(fn)
+                except ValueError:
+                    pass
+
+        return remove
+
+    def _emit_event(self, event: dict[str, Any]) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for fn in listeners:
+            try:
+                fn(event)
+            except Exception:  # noqa: BLE001 - observers never raise upward
+                pass
 
     def _job_finished(
         self,
@@ -580,18 +778,35 @@ class JobService:
         result: JobResult | None = None,
         error: BaseException | None = None,
     ) -> None:
+        tenant = job.tenant
         with self._lock:
             self._inflight.pop(job.handle.spec_hash, None)
+            remaining = self._tenant_inflight.get(tenant, 0) - 1
+            if remaining > 0:
+                self._tenant_inflight[tenant] = remaining
+            else:
+                self._tenant_inflight.pop(tenant, None)
             obs.set_gauge("serve.queue_depth", len(self.queue))
         if error is not None:
             obs.inc("serve.jobs_failed_total")
+            obs.inc("serve.jobs_failed_total", labels={"tenant": tenant})
             self._ledger_finish(job, error=error)
             job.handle._reject(error)
         else:
             assert result is not None
             obs.inc("serve.jobs_completed_total")
+            obs.inc("serve.jobs_completed_total", labels={"tenant": tenant})
             self._ledger_finish(job, result=result)
             job.handle._resolve(result)
+        self._emit_event(
+            {
+                "type": "finished",
+                "spec_hash": job.handle.spec_hash,
+                "tenant": tenant,
+                "status": job.handle.status,
+                "error": None if error is None else f"{type(error).__name__}: {error}",
+            }
+        )
 
     def _ledger_finish(
         self,
@@ -659,8 +874,10 @@ class JobService:
         self.close()
 
     def describe(self) -> dict[str, Any]:
-        """Introspection snapshot (settings + counters)."""
+        """Introspection snapshot (versioned: see :mod:`repro.serve.schema`)."""
         return {
+            "describe_version": DESCRIBE_VERSION,
+            "kind": "service",
             "settings": {
                 "max_concurrent_jobs": self.settings.max_concurrent_jobs,
                 "queue_capacity": self.settings.queue_capacity,
@@ -668,10 +885,17 @@ class JobService:
             },
             "pool": self.pool.describe(),
             "queue_depth": len(self.queue),
+            "queue_depth_by_tenant": self.queue.depth_by_tenant(),
+            "tenants": {
+                name: asdict(policy)
+                for name, policy in sorted(self.queue.policies.items())
+            },
+            "default_tenant": self.default_tenant,
             "live": self.scheduler.live,
             "jobs_submitted": self.jobs_submitted,
             "cache_hits": self.cache_hits,
             "deduped": self.deduped,
+            "cancelled": self.jobs_cancelled,
             "ledger": None if self.ledger is None else str(self.ledger.path),
             "shard": self.shard,
             "resume_orphans": self.resume_orphans,
@@ -730,13 +954,15 @@ class Client:
     def submit(self, spec: JobSpec | None = None, /, **spec_kwargs: Any) -> JobHandle:
         """Submit a spec, or build one from keyword arguments.
 
-        ``priority``, ``retry``, ``fault_injector`` and ``verify``
-        keywords are routed to the service; the rest construct the
-        :class:`JobSpec` when no spec object is given.
+        ``options=SubmitOptions(...)`` is the submission-tuning surface;
+        the legacy ``priority`` / ``retry`` / ``fault_injector`` /
+        ``verify`` keywords still route through (the service's shim
+        emits one :class:`DeprecationWarning`).  The remaining keywords
+        construct the :class:`JobSpec` when no spec object is given.
         """
         submit_kwargs = {
             k: spec_kwargs.pop(k)
-            for k in ("priority", "retry", "fault_injector", "verify")
+            for k in ("options", "priority", "retry", "fault_injector", "verify")
             if k in spec_kwargs
         }
         if spec is None:
@@ -753,12 +979,21 @@ class Client:
         return self.submit(spec, **spec_kwargs).result(timeout=timeout)
 
     def map(
-        self, specs: Sequence[JobSpec], *, priority: int = 0,
+        self, specs: Sequence[JobSpec], *,
+        options: SubmitOptions | None = None,
+        priority: int = 0,
         timeout: float | None = None,
     ) -> list[JobResult]:
         """Submit a batch and wait for every result, in order."""
-        handles = [self.service.submit(s, priority=priority) for s in specs]
+        opts = resolve_options(
+            options, {"priority": priority}, where="Client.map"
+        )
+        handles = [self.service.submit(s, options=opts) for s in specs]
         return [h.result(timeout=timeout) for h in handles]
+
+    def cancel(self, spec_hash: str) -> bool:
+        """Cancel an in-flight job by spec hash (see :meth:`JobService.cancel`)."""
+        return self.service.cancel(spec_hash)
 
     def describe(self) -> dict[str, Any]:
         """The backing service's introspection snapshot."""

@@ -33,7 +33,9 @@ from typing import Any
 
 from repro import obs
 from repro.errors import ServeError
+from repro.serve.options import SubmitOptions
 from repro.serve.service import JobHandle, JobService, _internal_construction
+from repro.serve.settings import current_settings
 from repro.serve.spec import JobSpec
 from repro.serve.wire import encode_error, parse_addr, recv_msg, send_msg
 
@@ -63,6 +65,10 @@ class Worker:
         Self-exit after this long with no work claimed and none offered
         (CI workers use it to wind down after the batch drains); ``None``
         keeps the worker alive until :meth:`stop`.
+    token:
+        Shared secret for a token-protected coordinator; resolves
+        through ``configure(serve_token=)`` / ``REPRO_SERVE_TOKEN`` when
+        omitted.
     service_kwargs:
         Everything else (``max_concurrent_jobs``, ``pool_workers``,
         ``verify``, ``ledger``, ...) configures the internal
@@ -76,11 +82,13 @@ class Worker:
         *,
         cache_dir: str | Path | None = None,
         max_idle_s: float | None = None,
+        token: str | None = None,
         **service_kwargs: Any,
     ) -> None:
         self.addr = addr
         self.shard = shard
         self.max_idle_s = max_idle_s
+        self._token = current_settings(token=token).token
         with _internal_construction():
             self.service = JobService(
                 shard=shard,
@@ -185,6 +193,8 @@ class Worker:
     def _rpc(self, msg: dict[str, Any]) -> dict[str, Any]:
         if self._sock is None:
             raise ServeError("worker is not connected")
+        if self._token is not None:
+            msg = {**msg, "token": self._token}
         send_msg(self._sock, msg)
         reply = recv_msg(self._sock)
         if reply is None:
@@ -232,7 +242,12 @@ class Worker:
         if payload is None:
             return False
         spec = JobSpec.from_dict(payload["spec"])
-        handle = self.service.submit(spec)
+        wire_options = payload.get("options")
+        options = (
+            None if wire_options is None
+            else SubmitOptions.from_wire(wire_options)
+        )
+        handle = self.service.submit(spec, options=options)
         self._outstanding[payload["spec_hash"]] = (handle, spec)
         obs.inc("serve.worker.claims_total")
         return True

@@ -52,10 +52,13 @@ FACADE_EXPORTS = [
     "FaultInjector",
     "Client",
     "Coordinator",
+    "Gateway",
     "JobHandle",
     "JobResult",
     "JobService",
     "JobSpec",
+    "SubmitOptions",
+    "TenantPolicy",
     "Worker",
     "connect",
     "configure",
@@ -112,6 +115,9 @@ class TestExports:
         assert repro.connect is serve.connect
         assert repro.Coordinator is serve.Coordinator
         assert repro.Worker is serve.Worker
+        assert repro.SubmitOptions is serve.SubmitOptions
+        assert repro.TenantPolicy is serve.TenantPolicy
+        assert repro.Gateway is serve.Gateway
 
     def test_facade_rejects_unknown_attribute(self):
         with pytest.raises(AttributeError):

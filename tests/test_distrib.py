@@ -34,6 +34,7 @@ from repro.serve import (
     JobSpec,
     RemoteHandle,
     RemoteService,
+    SubmitOptions,
     Worker,
     connect,
 )
@@ -370,6 +371,137 @@ class TestConnect:
         finally:
             remote.close()
             coord.stop()
+
+
+class TestTokenAuth:
+    def test_token_mismatch_raises_clear_serve_error(self, tmp_path):
+        with Coordinator(
+            cache_dir=tmp_path, ledger=False, token="right"
+        ) as coord:
+            with connect(coord.addr, token="wrong") as client:
+                with pytest.raises(ServeError, match="authentication failed"):
+                    client.submit(small_spec(seed=60))
+
+    def test_missing_token_rejected(self, tmp_path):
+        with Coordinator(
+            cache_dir=tmp_path, ledger=False, token="right"
+        ) as coord:
+            with connect(coord.addr) as client:
+                with pytest.raises(ServeError, match="REPRO_SERVE_TOKEN"):
+                    client.describe()
+
+    def test_unauthenticated_shutdown_refused(self, tmp_path):
+        with Coordinator(
+            cache_dir=tmp_path, ledger=False, token="right"
+        ) as coord:
+            remote = RemoteService(coord.addr, token="wrong")
+            try:
+                with pytest.raises(ServeError, match="authentication failed"):
+                    remote.shutdown()
+            finally:
+                remote.close()
+            assert not coord.join(timeout=0.2)  # still running
+
+    def test_matching_token_full_round_trip(self, tmp_path):
+        spec = small_spec(seed=61)
+        with Coordinator(
+            cache_dir=tmp_path, ledger=False, token="s3cret"
+        ) as coord:
+            with Worker(
+                coord.addr, "auth-shard", cache_dir=tmp_path, ledger=False,
+                token="s3cret",
+            ):
+                with connect(coord.addr, token="s3cret") as client:
+                    result = client.run(spec, timeout=120)
+        pos, _vel, _time = solo_state(spec)
+        assert_bit_identical(result.positions, pos)
+
+    def test_token_resolves_through_settings_chain(self, tmp_path):
+        from repro.serve.settings import clear_overrides, set_overrides
+
+        set_overrides(token="from-config")
+        try:
+            with Coordinator(cache_dir=tmp_path, ledger=False) as coord:
+                assert coord.token == "from-config"
+                # connect() with no explicit token picks it up too.
+                with connect(coord.addr) as client:
+                    client.describe()  # authenticates successfully
+        finally:
+            clear_overrides()
+
+    def test_no_token_disables_auth(self, tmp_path):
+        with Coordinator(cache_dir=tmp_path, ledger=False) as coord:
+            with connect(coord.addr) as client:
+                client.describe()
+
+
+class TestRemoteCancel:
+    def test_cancel_queued_job_over_the_wire(self, tmp_path):
+        # No worker connected: everything stays queued and cancellable.
+        with Coordinator(cache_dir=tmp_path, ledger=False) as coord:
+            with connect(coord.addr) as client:
+                handle = client.submit(small_spec(seed=62))
+                assert client.cancel(handle.spec_hash) is True
+                from repro.errors import JobCancelledError
+
+                with pytest.raises(JobCancelledError):
+                    handle.result(timeout=10)
+                assert handle.status == "cancelled"
+                assert client.describe()["cancelled"] == 1
+
+    def test_cancel_done_job_reports_false(self, tmp_path):
+        spec = small_spec(seed=63)
+        with Coordinator(cache_dir=tmp_path, ledger=False) as coord:
+            with Worker(
+                coord.addr, "cancel-shard", cache_dir=tmp_path, ledger=False
+            ):
+                with connect(coord.addr) as client:
+                    handle = client.submit(spec)
+                    handle.result(timeout=120)
+                    assert client.cancel(handle.spec_hash) is False
+
+
+class TestTenantOverWire:
+    def test_tenant_reaches_worker_ledger(self, tmp_path):
+        """The tenant label survives coordinator -> worker -> ledger."""
+        spec = small_spec(seed=64)
+        ledger_dir = tmp_path / "ledger"
+        with Coordinator(
+            cache_dir=tmp_path / "cache", ledger=False
+        ) as coord:
+            with Worker(
+                coord.addr, "tenant-shard", cache_dir=tmp_path / "cache",
+                ledger=RunLedger(ledger_dir),
+            ) as worker:
+                with connect(coord.addr) as client:
+                    handle = client.submit(
+                        spec, options=SubmitOptions(tenant="acme")
+                    )
+                    handle.result(timeout=120)
+                worker.service.close(drain=True)
+        with RunLedger(ledger_dir) as led:
+            rows = led.runs(tenant="acme")
+            assert len(rows) == 1
+            assert rows[0]["tenant"] == "acme"
+            table = led.tenant_table()
+            assert [row["tenant"] for row in table] == ["acme"]
+
+    def test_coordinator_quota_rejects_over_wire(self, tmp_path):
+        from repro.errors import QuotaError
+
+        with Coordinator(
+            cache_dir=tmp_path, ledger=False,
+            tenants={"capped": {"max_queued": 1}},
+        ) as coord:
+            with connect(coord.addr) as client:
+                client.submit(
+                    small_spec(seed=65), options=SubmitOptions(tenant="capped")
+                )
+                with pytest.raises(QuotaError, match="max_queued"):
+                    client.submit(
+                        small_spec(seed=66),
+                        options=SubmitOptions(tenant="capped"),
+                    )
 
 
 class TestDeprecationShims:

@@ -141,29 +141,37 @@ class TestRunLedgerBasics:
 
 
 class TestMigrations:
-    def _make_v1(self, path):
-        """A PR-6-era (schema v1) database: current schema minus shard."""
+    def _make_old(self, path, *, version):
+        """An old-schema database: current schema minus later columns.
+
+        v1 (PR-6 era) lacks ``shard`` and ``tenant``; v2 (PR-7 era)
+        lacks only ``tenant``.
+        """
         from repro.obs.ledger import _SCHEMA
 
-        v1_schema = "\n".join(
+        dropped = {"tenant"} if version >= 2 else {"shard", "tenant"}
+        old_schema = "\n".join(
             line for line in _SCHEMA.splitlines()
-            if not line.strip().startswith("shard")
+            if line.strip().split(" ")[0] not in dropped
         )
         conn = sqlite3.connect(path)
-        conn.executescript(v1_schema)
+        conn.executescript(old_schema)
         conn.execute(
             "INSERT INTO runs (spec_hash, source, plan, status) "
             "VALUES ('c0ffee', 'serve', 'jw', 'complete')"
         )
-        conn.execute("PRAGMA user_version = 1")
+        conn.execute(f"PRAGMA user_version = {version}")
         conn.commit()
         conn.close()
+
+    def _make_v1(self, path):
+        self._make_old(path, version=1)
 
     def test_v1_database_migrates_in_place(self, tmp_path):
         db = tmp_path / "old.sqlite"
         self._make_v1(db)
         with RunLedger(db) as led:
-            assert led.user_version == LEDGER_VERSION == 2
+            assert led.user_version == LEDGER_VERSION == 3
             (row,) = led.runs()
             assert row["shard"] is None  # pre-shard rows survive unlabeled
             assert row["plan"] == "jw"
@@ -182,6 +190,19 @@ class TestMigrations:
             assert merged.merge(old) == 1
             shards = {r["shard"] for r in merged.runs()}
             assert shards == {None, "shard-b"}
+
+    def test_v2_database_migrates_to_v3(self, tmp_path):
+        db = tmp_path / "v2.sqlite"
+        self._make_old(db, version=2)
+        with RunLedger(db) as led:
+            assert led.user_version == LEDGER_VERSION == 3
+            (row,) = led.runs()
+            assert row["tenant"] is None  # pre-tenant rows survive unlabeled
+            # The migrated database accepts tenant-stamped rows.
+            run_id = led.record_submitted(plan="i", tenant="acme")
+            assert led.run(run_id)["tenant"] == "acme"
+        with RunLedger(db) as led:  # reopening is a no-op
+            assert led.user_version == LEDGER_VERSION
 
 
 class TestShardAccounting:
