@@ -1,0 +1,325 @@
+"""A/B benchmark: block timesteps vs the fixed-``dt_min`` integrator.
+
+The block-timestep claim is *work*, not accuracy: a rung-resolved run
+must integrate the same physical span as a fixed-step run at the finest
+required step while evaluating far fewer body-force rows, without
+leaving the documented invariant budgets.  This benchmark runs both
+sides on one Plummer sphere and records:
+
+* **interaction reduction** — body-rows x sources evaluated by the
+  fixed-``dt_min`` baseline over the rung-resolved total (the paper-level
+  figure of merit; the acceptance gate is >= 2x);
+* **wall-time speedup** — same advance loops, wall clock;
+* **differential oracle** — the masked active-set force pass must
+  bit-match the rows of a full evaluation at the final state, and the
+  block trajectory must sit within the documented tolerance of the
+  fixed-``dt_min`` trajectory it subsamples;
+* **invariant verdict** — the block run is guarded end to end under its
+  plan-default (per-sync-budget) policy;
+* **resume gate** — a mid-rung checkpoint/resume must reproduce the
+  uninterrupted trajectory bit for bit (run at a smaller N: the property
+  is size-independent and the gate would otherwise triple the bench).
+
+``dt_min`` is taken from the tightest body's acceleration criterion at
+t=0 — the step a fixed integrator *needs* — and ``dt_max`` is
+``dt_min * 2**(n_rungs-1)``, so both sides resolve the same worst body.
+
+The default softening is 1e-3, not the check suite's 1e-2: at n=16384
+the mean interparticle separation of the Plummer core is ~0.05, and a
+softening of 1e-2 floors the densest bodies' accelerations so hard that
+the whole population's criterion collapses to within ~1.5x of the
+tightest body — no timestep scheme, however clever, can then save work
+(the ideal reduction is the harmonic mean of ``dt_min/dt_i``).  At 1e-3
+the core resolves real close encounters and the criterion spreads over
+the hierarchy the way production runs do.
+
+This is the record behind ``BENCH_PR10.json``::
+
+    PYTHONPATH=src python -m repro.bench.blockstep_ab --output BENCH_PR10.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.bench.workloads import make_workload
+from repro.check import RunGuard, state_digest
+from repro.check.oracle import ForceTolerance, compare_arrays
+from repro.core.plans import PlanConfig, get_plan
+from repro.core.simulation import Simulation
+from repro.errors import VerificationError
+from repro.nbody.kernels import compiled_backends
+from repro.nbody.timestep import BlockTimestepSchedule, acceleration_timestep
+
+__all__ = ["blockstep_ab_bench", "main"]
+
+#: Deviation allowed between the rung-resolved trajectory and the
+#: fixed-``dt_min`` trajectory it subsamples.  This is a *physical*
+#: deviation (coarser steps for calm bodies), not a scheduling one, so
+#: the budget matches the pp-vs-direct class rather than bit-identity.
+TRAJECTORY_TOLERANCE = ForceTolerance(
+    name="blockstep-vs-fixed", rms_rel=1e-4, max_rel=1e-2
+)
+
+
+def _pick_backend(requested: str | None) -> str | None:
+    """Resolve ``auto`` to the first available compiled backend."""
+    if requested != "auto":
+        return requested
+    names = list(compiled_backends())
+    return names[0] if names else None
+
+
+def _resume_gate(
+    *, n: int, seed: int, dt_max: float, n_rungs: int, softening: float
+) -> dict[str, Any]:
+    """Mid-rung checkpoint/resume must be bit-identical (small N)."""
+    from repro.runtime import RunSession
+
+    config = PlanConfig(softening=softening, n_rungs=n_rungs)
+    particles = make_workload("plummer", n, seed=seed)
+    target, ckpt_every = 11, 5  # 5 is never aligned to a power-of-two cycle
+
+    solo = Simulation(particles.copy(), "block-i", dt=dt_max, plan_config=config)
+    solo.run(target)
+
+    with TemporaryDirectory() as tmp:
+        interrupted = Simulation(
+            particles.copy(), "block-i", dt=dt_max, plan_config=config
+        )
+        RunSession(interrupted, tmp, checkpoint_every=ckpt_every).run(ckpt_every)
+        session = RunSession.resume(tmp)
+        mid_substep = session.simulation.substep
+        session.run(target)
+        resumed = session.simulation
+
+    solo_digest = state_digest(solo.particles, solo.time)
+    resumed_digest = state_digest(resumed.particles, resumed.time)
+    return {
+        "n": n,
+        "target_steps": target,
+        "checkpoint_step": ckpt_every,
+        "resume_substep": mid_substep,
+        "mid_rung": mid_substep != 0,
+        "solo_digest": solo_digest,
+        "resumed_digest": resumed_digest,
+        "bit_identical": bool(
+            solo_digest == resumed_digest
+            and resumed.record.force_passes == solo.record.force_passes
+        ),
+    }
+
+
+def blockstep_ab_bench(
+    *,
+    n: int = 16384,
+    seed: int = 0,
+    softening: float = 1e-3,
+    n_rungs: int = 5,
+    intervals: int = 2,
+    workload: str = "plummer",
+    kernel_backend: str | None = "auto",
+    resume_n: int = 1024,
+) -> dict[str, Any]:
+    """Run the block-vs-fixed A/B; returns the JSON-able summary dict."""
+    backend = _pick_backend(kernel_backend)
+    config = PlanConfig(softening=softening, kernel_backend=backend)
+    block_config = PlanConfig(
+        softening=softening, kernel_backend=backend, n_rungs=n_rungs
+    )
+    particles = make_workload(workload, n, seed=seed)
+
+    # dt_min from the tightest body at t=0: the step a fixed-dt run needs.
+    probe = get_plan("i", config)
+    a0 = probe.accelerations(particles.positions, particles.masses)
+    dt_body = acceleration_timestep(a0, softening=softening)
+    dt_min = float(dt_body.min())
+    n_substeps = 1 << (n_rungs - 1)
+    dt_max = dt_min * n_substeps
+    steps = intervals * n_substeps
+
+    schedule = BlockTimestepSchedule(
+        dt_max=dt_max, n_rungs=n_rungs, softening=softening
+    )
+    occupancy_t0 = schedule.occupancy(schedule.assign(a0))
+
+    # -- B: fixed dt_min --------------------------------------------------
+    fixed = Simulation(particles.copy(), "i", dt=dt_min, plan_config=config)
+    t0 = time.perf_counter()
+    fixed.run(steps)
+    fixed_wall = time.perf_counter() - t0
+    fixed_interactions = (steps + 1) * n * n  # bootstrap + one pass/step
+
+    # -- A: block timesteps over the same physical span -------------------
+    block = Simulation(
+        particles.copy(), "block-i", dt=dt_max, plan_config=block_config
+    )
+    guard = RunGuard()
+    guard.prime(block)
+    evaluated_rows = n  # bootstrap evaluates every body
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        bd = block.step()
+        if bd is not None:
+            evaluated_rows += bd.meta["active_bodies"]
+    block_wall = time.perf_counter() - t0
+    block_interactions = evaluated_rows * n
+    try:
+        invariant_report = guard.check(block, where="final").to_dict()
+        invariants_ok = True
+    except VerificationError as exc:
+        invariant_report = {"error": str(exc)}
+        invariants_ok = False
+
+    # -- differential oracle ----------------------------------------------
+    # 1. masked active-set rows must bit-match a full evaluation
+    plan = block.plan
+    full = plan.accelerations(block.particles.positions, block.particles.masses)
+    active = np.arange(0, n, 3)
+    rows, _ = plan.compute_step(
+        block.particles.positions, block.particles.masses, active=active
+    )
+    mask_dev = compare_arrays(full[active], rows)
+    # 2. block trajectory vs the fixed-dt_min trajectory it subsamples
+    traj_dev = compare_arrays(
+        fixed.particles.positions, block.particles.positions
+    )
+    traj_ok = TRAJECTORY_TOLERANCE.admits(traj_dev)
+    oracle_ok = bool(mask_dev.bit_identical and traj_ok)
+
+    resume = _resume_gate(
+        n=resume_n, seed=seed, dt_max=dt_max, n_rungs=n_rungs,
+        softening=softening,
+    )
+
+    reduction = fixed_interactions / block_interactions
+    speedup = fixed_wall / block_wall
+    return {
+        "schema": 1,
+        "experiment": "blockstep-ab",
+        "workload": workload,
+        "n": n,
+        "seed": seed,
+        "softening": softening,
+        "kernel_backend": backend or "numpy",
+        "n_rungs": n_rungs,
+        "dt_min": dt_min,
+        "dt_max": dt_max,
+        "substeps_per_interval": n_substeps,
+        "intervals": intervals,
+        "steps": steps,
+        "rung_occupancy_t0": [int(c) for c in occupancy_t0],
+        "host": {"cpu_count": os.cpu_count()},
+        "fixed": {
+            "plan": "i",
+            "wall_seconds": fixed_wall,
+            "interactions": fixed_interactions,
+            "force_passes": fixed.record.force_passes,
+        },
+        "block": {
+            "plan": "block-i",
+            "wall_seconds": block_wall,
+            "interactions": block_interactions,
+            "evaluated_rows": evaluated_rows,
+            "force_passes": block.record.force_passes,
+            "rung_occupancy_final": [
+                int(c) for c in schedule.occupancy(block.rungs)
+            ],
+        },
+        "interaction_reduction": reduction,
+        "wall_speedup": speedup,
+        "oracle": {
+            "masked_rows_bit_identical": mask_dev.bit_identical,
+            "trajectory_tolerance": TRAJECTORY_TOLERANCE.to_dict(),
+            "trajectory_deviation": traj_dev.to_dict(),
+            "trajectory_ok": traj_ok,
+            "ok": oracle_ok,
+        },
+        "invariants": {"ok": invariants_ok, "report": invariant_report},
+        "resume": resume,
+        "gates": {
+            "interaction_reduction_ge_2x": bool(reduction >= 2.0),
+            "wall_speedup_gt_1": bool(speedup > 1.0),
+            "oracle_pass": oracle_ok,
+            "invariants_pass": invariants_ok,
+            "resume_bit_identical": bool(resume["bit_identical"]),
+        },
+        "pass": bool(
+            reduction >= 2.0
+            and speedup > 1.0
+            and oracle_ok
+            and invariants_ok
+            and resume["bit_identical"]
+        ),
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.blockstep_ab",
+        description="A/B block timesteps against the fixed-dt_min integrator",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_PR10.json", metavar="PATH",
+        help="where to write the JSON summary (default: BENCH_PR10.json)",
+    )
+    parser.add_argument("--n", type=int, default=16384)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--n-rungs", type=int, default=5)
+    parser.add_argument(
+        "--intervals", type=int, default=2,
+        help="sync intervals to integrate (each is 2**(n_rungs-1) substeps)",
+    )
+    parser.add_argument(
+        "--kernel-backend", default="auto", metavar="NAME",
+        help="kernel backend for both sides (auto = first available "
+        "compiled backend, 'numpy' forces the reference)",
+    )
+    args = parser.parse_args(argv)
+
+    summary = blockstep_ab_bench(
+        n=args.n,
+        seed=args.seed,
+        n_rungs=args.n_rungs,
+        intervals=args.intervals,
+        kernel_backend=args.kernel_backend,
+    )
+    Path(args.output).write_text(json.dumps(summary, indent=2) + "\n")
+
+    occ = summary["rung_occupancy_t0"]
+    print(
+        f"n={summary['n']} {summary['workload']} seed={summary['seed']} "
+        f"backend={summary['kernel_backend']}  "
+        f"dt_min={summary['dt_min']:.3e} x{summary['substeps_per_interval']} "
+        f"rungs={summary['n_rungs']} occupancy(t0)={occ}"
+    )
+    print(
+        f"fixed dt_min : {summary['fixed']['wall_seconds']:8.2f} s  "
+        f"{summary['fixed']['interactions']:>14,} interactions"
+    )
+    print(
+        f"block        : {summary['block']['wall_seconds']:8.2f} s  "
+        f"{summary['block']['interactions']:>14,} interactions"
+    )
+    print(
+        f"reduction {summary['interaction_reduction']:.2f}x  "
+        f"speedup {summary['wall_speedup']:.2f}x  "
+        f"oracle {'PASS' if summary['oracle']['ok'] else 'FAIL'}  "
+        f"invariants {'PASS' if summary['invariants']['ok'] else 'FAIL'}  "
+        f"resume {'bit-identical' if summary['resume']['bit_identical'] else 'FAIL'}"
+    )
+    print(f"verdict: {'PASS' if summary['pass'] else 'FAIL'}")
+    print(f"wrote {args.output}")
+    return 0 if summary["pass"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

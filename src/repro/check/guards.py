@@ -116,11 +116,15 @@ class RunGuard:
             plan=sim.plan.name,
             policy=self.policy.name if self.policy else "?",
         ):
+            blockstep = bool(getattr(sim, "blockstep", False))
             report = self._engine.evaluate(
                 sim.particles,
                 self.baseline,
                 step=step,
                 accelerations=sim.last_acceleration,
+                syncs=sim.sync_intervals if blockstep else None,
+                rungs=sim.rungs if blockstep else None,
+                synchronized=getattr(sim, "synchronized", True),
             )
         self.evaluations += 1
         self.last_report = report

@@ -44,6 +44,8 @@ __all__ = [
     "PP_POLICY",
     "TREE_POLICY",
     "STRICT_POLICY",
+    "BLOCK_PP_POLICY",
+    "BLOCK_TREE_POLICY",
     "policy_for",
     "InvariantBaseline",
     "InvariantResult",
@@ -59,6 +61,12 @@ class TolerancePolicy:
     Drift thresholds are *per evaluation from the run's baseline*, not
     per step — pick them for the run lengths you guard (the defaults
     hold comfortably for the paper's 100-step convention).
+
+    ``energy_drift_per_sync`` is the block-timestep budget: when set, the
+    energy threshold scales with the number of completed *sync intervals*
+    (``energy_drift_per_sync * max(1, syncs)``), overriding the flat
+    ``energy_drift`` bound — a rung-resolved run is allowed to drift
+    linearly with how many full block cycles it has integrated.
     """
 
     name: str = "custom"
@@ -70,6 +78,8 @@ class TolerancePolicy:
     require_finite: bool = True
     #: body pairs sampled for the antisymmetry spot check
     symmetry_samples: int = 8
+    #: per-sync-interval energy budget (block-timestep plans); None = flat
+    energy_drift_per_sync: float | None = None
 
     def __post_init__(self) -> None:
         for fname in (
@@ -78,6 +88,7 @@ class TolerancePolicy:
             "angular_momentum_drift",
             "net_force",
             "pair_antisymmetry",
+            "energy_drift_per_sync",
         ):
             v = getattr(self, fname)
             if v is not None and v <= 0.0:
@@ -99,6 +110,7 @@ class TolerancePolicy:
             "pair_antisymmetry": self.pair_antisymmetry,
             "require_finite": self.require_finite,
             "symmetry_samples": self.symmetry_samples,
+            "energy_drift_per_sync": self.energy_drift_per_sync,
         }
 
 
@@ -132,6 +144,28 @@ STRICT_POLICY = replace(
     net_force=None,
 )
 
+#: Block-timestep all-pairs plans: energy budgeted per sync interval;
+#: momentum conservation is limited by the rung scheme (inactive bodies
+#: coast on cached forces), not by the pairwise kernel.
+BLOCK_PP_POLICY = TolerancePolicy(
+    name="block-pp",
+    energy_drift=5e-4,
+    energy_drift_per_sync=2e-4,
+    momentum_drift=1e-4,
+    angular_momentum_drift=1e-4,
+    net_force=1e-6,
+)
+
+#: Block-timestep Barnes-Hut plans: the multipole and rung errors stack.
+BLOCK_TREE_POLICY = TolerancePolicy(
+    name="block-tree",
+    energy_drift=5e-3,
+    energy_drift_per_sync=2e-3,
+    momentum_drift=3e-3,
+    angular_momentum_drift=3e-3,
+    net_force=3e-3,
+)
+
 
 def policy_for(plan_name: str) -> TolerancePolicy:
     """The default policy for a registered plan, chosen by its method."""
@@ -141,7 +175,10 @@ def policy_for(plan_name: str) -> TolerancePolicy:
     cls = _REGISTRY.get(plan_name)
     if cls is None:
         raise ConfigurationError(f"unknown plan '{plan_name}'")
-    return TREE_POLICY if getattr(cls, "method", "pp") == "bh" else PP_POLICY
+    method = getattr(cls, "method", "pp")
+    if getattr(cls, "blockstep", False):
+        return BLOCK_TREE_POLICY if method == "bh" else BLOCK_PP_POLICY
+    return TREE_POLICY if method == "bh" else PP_POLICY
 
 
 @dataclass(frozen=True)
@@ -170,13 +207,19 @@ class InvariantBaseline:
 
 @dataclass(frozen=True)
 class InvariantResult:
-    """One invariant's verdict: measured value vs threshold."""
+    """One invariant's verdict: measured value vs threshold.
+
+    ``rung`` identifies the deepest occupied block-timestep rung when the
+    check ran (``None`` for fixed-dt runs) — a per-rung failure names the
+    rung in the JSON report and in the raised error.
+    """
 
     name: str
     ok: bool
     value: float
     threshold: float | None
     detail: str = ""
+    rung: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -185,12 +228,15 @@ class InvariantResult:
             "value": self.value,
             "threshold": self.threshold,
             **({"detail": self.detail} if self.detail else {}),
+            **({"rung": self.rung} if self.rung is not None else {}),
         }
 
     def __str__(self) -> str:
         status = "OK " if self.ok else "FAIL"
         bound = "-" if self.threshold is None else f"{self.threshold:.2e}"
         out = f"[{status}] {self.name}: {self.value:.3e} (<= {bound})"
+        if self.rung is not None:
+            out += f" [rung {self.rung}]"
         return out + (f" — {self.detail}" if self.detail else "")
 
 
@@ -280,15 +326,27 @@ class InvariantEngine:
         *,
         step: int = 0,
         accelerations: np.ndarray | None = None,
+        syncs: int | None = None,
+        rungs: np.ndarray | None = None,
+        synchronized: bool = True,
     ) -> InvariantReport:
         """Run every enabled check; returns the full report (no raise).
 
         ``accelerations`` (the integrator's trailing force pass) enables
         the net-force balance check; without it that check is skipped.
+
+        Block-timestep runs pass their rung state: ``syncs`` (completed
+        sync intervals) scales the per-sync energy budget, ``rungs``
+        labels drift results with the deepest occupied rung, and
+        ``synchronized=False`` (mid sync interval — bodies at staggered
+        kick phases) restricts the suite to the finite-state and
+        antisymmetry checks, since conserved quantities are only well
+        defined when every body's step boundary coincides.
         """
         policy = self.policy
         report = InvariantReport(policy=policy, step=step)
         add = report.results.append
+        rung = int(np.max(rungs)) if rungs is not None and np.size(rungs) else None
 
         finite = bool(
             np.isfinite(particles.positions).all()
@@ -313,18 +371,30 @@ class InvariantEngine:
         if not finite:
             # Energy/momentum of a NaN state would only add noise.
             return report
+        if not synchronized:
+            # Mid sync interval the drift checks would compare a mix of
+            # half-kicked states against a synchronised baseline.
+            if policy.pair_antisymmetry is not None and policy.symmetry_samples > 0:
+                add(self._antisymmetry_check(particles, step))
+            return report
 
-        if policy.energy_drift is not None:
+        energy_threshold = policy.energy_drift
+        if policy.energy_drift_per_sync is not None:
+            energy_threshold = policy.energy_drift_per_sync * max(
+                1, syncs if syncs is not None else 1
+            )
+        if energy_threshold is not None:
             energy = total_energy(particles, softening=self.softening, G=self.G)
             scale = max(abs(baseline.energy), np.finfo(np.float64).tiny)
             drift = abs(energy - baseline.energy) / scale
             add(
                 InvariantResult(
                     name="energy_drift",
-                    ok=drift <= policy.energy_drift,
+                    ok=drift <= energy_threshold,
                     value=drift,
-                    threshold=policy.energy_drift,
+                    threshold=energy_threshold,
                     detail=f"E0={baseline.energy:.6g} E={energy:.6g}",
+                    rung=rung,
                 )
             )
         if policy.momentum_drift is not None:
@@ -338,6 +408,7 @@ class InvariantEngine:
                     ok=drift <= policy.momentum_drift,
                     value=drift,
                     threshold=policy.momentum_drift,
+                    rung=rung,
                 )
             )
         if policy.angular_momentum_drift is not None:
@@ -353,6 +424,7 @@ class InvariantEngine:
                     ok=drift <= policy.angular_momentum_drift,
                     value=drift,
                     threshold=policy.angular_momentum_drift,
+                    rung=rung,
                 )
             )
         if policy.net_force is not None and accelerations is not None:

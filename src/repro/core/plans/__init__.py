@@ -21,6 +21,11 @@ from repro.core.plans.tree_base import TreePlanBase
 from repro.core.plans.w_parallel import WParallelPlan
 from repro.core.plans.jw_parallel import DEFAULT_PIPELINE_BATCHES, JwParallelPlan
 from repro.core.plans.multi_jw import MultiDeviceJwPlan
+from repro.core.plans.blockstep import (
+    BlockDirectPlan,
+    BlockTimestepPlan,
+    BlockTreePlan,
+)
 
 __all__ = [
     "Plan",
@@ -33,6 +38,9 @@ __all__ = [
     "WParallelPlan",
     "JwParallelPlan",
     "MultiDeviceJwPlan",
+    "BlockTimestepPlan",
+    "BlockDirectPlan",
+    "BlockTreePlan",
     "DEFAULT_PIPELINE_BATCHES",
     "available_plans",
     "get_plan",

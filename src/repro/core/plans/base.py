@@ -43,7 +43,8 @@ class PlanConfig:
     (``None`` follows the process-wide selection — see
     :mod:`repro.nbody.kernels`); it must be a *registered* name, while
     availability is resolved per force pass so configs stay portable
-    across hosts.
+    across hosts.  ``n_rungs`` and ``step_eta`` only affect block-timestep
+    plans (``None`` means their defaults: 4 rungs, eta 0.025).
     """
 
     device: DeviceSpec = RADEON_HD_5850
@@ -54,6 +55,8 @@ class PlanConfig:
     theta: float = 0.6
     leaf_size: int = 32
     kernel_backend: str | None = None
+    n_rungs: int | None = None
+    step_eta: float | None = None
 
     def __post_init__(self) -> None:
         self.device.validate_workgroup(self.wg_size)
@@ -63,6 +66,10 @@ class PlanConfig:
             raise ConfigurationError(f"theta must be positive, got {self.theta}")
         if self.leaf_size < 1:
             raise ConfigurationError(f"leaf_size must be >= 1, got {self.leaf_size}")
+        if self.n_rungs is not None and not (1 <= self.n_rungs <= 16):
+            raise ConfigurationError(f"n_rungs must be in [1, 16], got {self.n_rungs}")
+        if self.step_eta is not None and self.step_eta <= 0.0:
+            raise ConfigurationError(f"step_eta must be positive, got {self.step_eta}")
         if self.kernel_backend is not None:
             from repro.nbody.kernels import get_backend
 

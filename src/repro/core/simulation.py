@@ -26,7 +26,7 @@ from repro import obs
 from repro.core.plans.base import Plan, PlanConfig, StepBreakdown
 from repro.core.plans.registry import resolve_plan
 from repro.errors import ConfigurationError, StateError
-from repro.nbody.integrators import LeapfrogKDK
+from repro.nbody.integrators import LeapfrogKDK, block_substep
 from repro.nbody.particles import ParticleSet
 
 __all__ = ["Simulation", "SimulationRecord"]
@@ -161,6 +161,11 @@ class Simulation:
         self.record = SimulationRecord()
         self._integrator = LeapfrogKDK()
         self._last_acc: np.ndarray | None = None
+        #: block-timestep state (rung-driven plans only)
+        self._blockstep = bool(getattr(self.plan, "blockstep", False))
+        self._schedule = self.plan.make_schedule(dt) if self._blockstep else None
+        self._rungs: np.ndarray | None = None
+        self._substep = 0
 
     def _force(self) -> tuple[np.ndarray, StepBreakdown]:
         with obs.span("force_pass", plan=self.plan.name, n=len(self.particles)):
@@ -212,13 +217,124 @@ class Simulation:
         self._last_acc = acc
 
     def invalidate_forces(self) -> None:
-        """Drop the cached trailing acceleration.
+        """Drop the cached trailing acceleration (and any rung state).
 
         Call after mutating :attr:`particles` externally (positions,
         masses, or the set itself) — the next :meth:`step` then performs a
-        fresh bootstrap force pass instead of reusing a stale cache.
+        fresh bootstrap force pass (block mode: at a sync point, with
+        fresh rung assignment) instead of reusing a stale cache.
         """
         self._last_acc = None
+        self._rungs = None
+        self._substep = 0
+
+    # -- block-timestep state ------------------------------------------------
+    @property
+    def blockstep(self) -> bool:
+        """Whether the plan drives hierarchical block timesteps."""
+        return self._blockstep
+
+    @property
+    def block_schedule(self):
+        """The :class:`~repro.nbody.timestep.BlockTimestepSchedule` (or None)."""
+        return self._schedule
+
+    @property
+    def rungs(self) -> np.ndarray | None:
+        """Current per-body rung assignment (``None`` before bootstrap)."""
+        return self._rungs
+
+    @property
+    def substep(self) -> int:
+        """Position within the current sync interval (0 = synchronised)."""
+        return self._substep
+
+    @property
+    def synchronized(self) -> bool:
+        """Whether every body's step boundary coincides right now.
+
+        Fixed-step runs are always synchronised; a block run is only at
+        sync points (``substep == 0``), where global invariants (energy,
+        momentum drift) are well defined.
+        """
+        return (not self._blockstep) or self._substep == 0
+
+    @property
+    def sync_intervals(self) -> int:
+        """Completed sync intervals (block mode) or steps (fixed dt)."""
+        if not self._blockstep:
+            return self.record.steps
+        return self.record.steps // self._schedule.n_substeps
+
+    def seed_rungs(self, rungs: np.ndarray, substep: int = 0) -> None:
+        """Restore block-timestep state (the inverse of :attr:`rungs`).
+
+        Used with :meth:`seed_forces` when rebuilding a block-timestep
+        simulation from a checkpoint, so a mid-rung resume replays the
+        exact substep sequence without a bootstrap pass.
+        """
+        if not self._blockstep:
+            raise StateError("seed_rungs() requires a block-timestep plan")
+        rungs = np.ascontiguousarray(rungs, dtype=np.int64)
+        if rungs.shape != (len(self.particles),):
+            raise ConfigurationError(
+                f"rungs shape {rungs.shape} does not match particle count "
+                f"{len(self.particles)}"
+            )
+        sched = self._schedule
+        if rungs.size and (rungs.min() < 0 or rungs.max() >= sched.n_rungs):
+            raise ConfigurationError(
+                f"rungs must lie in [0, {sched.n_rungs}), got "
+                f"[{rungs.min()}, {rungs.max()}]"
+            )
+        if not 0 <= substep < sched.n_substeps:
+            raise ConfigurationError(
+                f"substep must be in [0, {sched.n_substeps}), got {substep}"
+            )
+        self._rungs = rungs
+        self._substep = int(substep)
+
+    def _block_step(self) -> StepBreakdown | None:
+        """One rung-resolved block advance of ``schedule.dt_min``.
+
+        Bootstraps at a sync point with a full force pass (assigning
+        rungs), then only the bodies whose step closes at the substep
+        boundary pay for a masked force pass.  Substeps whose active set
+        is empty perform no force work and return ``None``.
+        """
+        p = self.particles
+        sched = self._schedule
+        if self._last_acc is None or self._rungs is None:
+            a0, b0 = self._force()
+            self._account(b0)
+            self._last_acc = np.ascontiguousarray(a0, dtype=np.float64)
+            self._rungs = sched.assign(self._last_acc)
+            self._substep = 0
+
+        def force(active: np.ndarray) -> tuple[np.ndarray, StepBreakdown | None]:
+            if active.size == 0:
+                return np.zeros((0, 3), dtype=np.float64), None
+            with obs.span(
+                "force_pass", plan=self.plan.name, n=len(p), n_active=active.size
+            ):
+                acc_rows, bd = self.plan.compute_step(
+                    p.positions, p.masses, active=active
+                )
+            if bd is not None:
+                self._account(bd)
+            return acc_rows, bd
+
+        self._rungs, self._substep, payload = block_substep(
+            p,
+            rungs=self._rungs,
+            substep=self._substep,
+            schedule=sched,
+            last_acc=self._last_acc,
+            force=force,
+        )
+        self.time += sched.dt_min
+        self.record.add_step()
+        return payload
 
     def step(self) -> StepBreakdown:
         """Advance one leapfrog step; returns the step's timing breakdown.
@@ -227,11 +343,19 @@ class Simulation:
         every later step one.  Both are accounted as force passes, but
         ``record.steps`` — and the ``step`` span's ``index`` — count
         leapfrog steps.
+
+        Under a block-timestep plan a "step" is one rung-resolved block
+        advance of ``dt / 2**(n_rungs - 1)``: only the rungs whose step
+        closes at the substep boundary pay for a (masked) force pass, so
+        ``force_passes`` grows by at most one per step and the return
+        value is ``None`` for substeps whose active set is empty.
         """
         p = self.particles
         with obs.span(
             "step", plan=self.plan.name, n=len(p), index=self.record.steps
         ):
+            if self._blockstep:
+                return self._block_step()
             if self._last_acc is None:
                 a0, b0 = self._force()
                 self._account(b0)

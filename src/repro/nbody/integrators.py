@@ -13,11 +13,14 @@ can be plugged in.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Any, Callable, Protocol, TYPE_CHECKING
 
 import numpy as np
 
 from repro.nbody.particles import ParticleSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nbody.timestep import BlockTimestepSchedule
 
 __all__ = [
     "AccelFn",
@@ -27,6 +30,7 @@ __all__ = [
     "LeapfrogKDK",
     "VelocityVerlet",
     "integrate",
+    "block_substep",
 ]
 
 AccelFn = Callable[[np.ndarray], np.ndarray]
@@ -107,6 +111,51 @@ class VelocityVerlet:
         p.positions += dt * p.velocities + 0.5 * dt * dt * a0
         a1 = accel(p.positions)
         p.velocities += 0.5 * dt * (a0 + a1)
+
+
+def block_substep(
+    p: ParticleSet,
+    *,
+    rungs: np.ndarray,
+    substep: int,
+    schedule: "BlockTimestepSchedule",
+    last_acc: np.ndarray,
+    force: Callable[[np.ndarray], tuple[np.ndarray, Any]],
+) -> tuple[np.ndarray, int, Any]:
+    """One rung-resolved block advance of ``schedule.dt_min``.
+
+    The hierarchical kick-drift-kick scheme: bodies whose own step
+    *begins* at ``substep`` receive their opening half-kick from the
+    acceleration cached at their last force evaluation (``last_acc``),
+    every body drifts by ``dt_min`` (positions stay globally
+    synchronised), and bodies whose step *closes* at the next boundary —
+    the *active* set — get a fresh force evaluation, their closing
+    half-kick, and a rung re-assignment under the block alignment rule.
+
+    ``force(active_indices)`` must return ``((len(active), 3)``
+    accelerations for the active bodies, payload)``; the payload (e.g. a
+    timing breakdown) is passed through untouched.  ``p``, ``last_acc``
+    are mutated in place; ``rungs`` is not.
+
+    Returns ``(new_rungs, next_substep, payload)`` with ``next_substep``
+    wrapped into ``[0, schedule.n_substeps)`` — ``0`` means the advance
+    landed on a sync boundary and the system is fully synchronised.
+    With ``n_rungs == 1`` this reduces exactly (bit-for-bit) to one
+    fixed-step KDK leapfrog step of ``dt_max``.
+    """
+    dt_body = schedule.rung_dt(rungs)
+    begins = schedule.begins(rungs, substep)
+    p.velocities[begins] += 0.5 * dt_body[begins, np.newaxis] * last_acc[begins]
+    p.positions += schedule.dt_min * p.velocities
+    boundary = substep + 1
+    closes = schedule.closes(rungs, boundary)
+    active = np.flatnonzero(closes)
+    acc_rows, payload = force(active)
+    last_acc[active] = acc_rows
+    p.velocities[active] += 0.5 * dt_body[active, np.newaxis] * acc_rows
+    next_substep = boundary % schedule.n_substeps
+    new_rungs = schedule.update(rungs, acc_rows, active, next_substep)
+    return new_rungs, next_substep, payload
 
 
 def integrate(

@@ -17,7 +17,7 @@ import numpy as np
 from repro.errors import WorkloadError
 from repro.nbody.particles import ParticleSet
 
-__all__ = ["save_snapshot", "load_snapshot", "SnapshotSeries"]
+__all__ = ["save_snapshot", "load_snapshot", "snapshot_extras", "SnapshotSeries"]
 
 #: Format tag embedded in every snapshot for forward compatibility.
 FORMAT_VERSION = 1
@@ -29,11 +29,15 @@ def save_snapshot(
     *,
     time: float = 0.0,
     metadata: dict[str, Any] | None = None,
+    extra: dict[str, np.ndarray] | None = None,
 ) -> Path:
     """Write a particle snapshot to ``path`` (``.npz`` appended if missing).
 
     ``metadata`` must be JSON-serialisable; it round-trips through
-    :func:`load_snapshot`.
+    :func:`load_snapshot`.  ``extra`` arrays (e.g. block-timestep rung
+    state) are stored under ``extra_<name>`` keys and recovered with
+    :func:`snapshot_extras`; old snapshots simply have none, so the
+    format version is unchanged.
     """
     path = Path(path)
     if path.suffix != ".npz":
@@ -43,6 +47,11 @@ def save_snapshot(
         meta_json = json.dumps(meta)
     except TypeError as exc:
         raise WorkloadError(f"snapshot metadata is not JSON-serialisable: {exc}") from exc
+    extras = {}
+    for name, arr in (extra or {}).items():
+        if not name.isidentifier():
+            raise WorkloadError(f"extra array name {name!r} is not an identifier")
+        extras[f"extra_{name}"] = np.asarray(arr)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(
         path,
@@ -52,6 +61,7 @@ def save_snapshot(
         velocities=particles.velocities,
         masses=particles.masses,
         metadata=np.bytes_(meta_json.encode("utf-8")),
+        **extras,
     )
     return path
 
@@ -73,6 +83,21 @@ def load_snapshot(path: str | Path) -> tuple[ParticleSet, float, dict[str, Any]]
         time = float(data["time"])
         metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
     return particles, time, metadata
+
+
+def snapshot_extras(path: str | Path) -> dict[str, np.ndarray]:
+    """Extra arrays stored in a snapshot (``{}`` for snapshots without any)."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"snapshot not found: {path}")
+    out: dict[str, np.ndarray] = {}
+    with np.load(path) as data:
+        if "format_version" not in data:
+            raise WorkloadError(f"{path} is not a repro snapshot")
+        for key in data.files:
+            if key.startswith("extra_"):
+                out[key[len("extra_"):]] = np.array(data[key])
+    return out
 
 
 class SnapshotSeries:

@@ -35,7 +35,7 @@ from repro.core.hostmodel import PENTIUM_E5300, HostCpuModel
 from repro.core.plans.base import PlanConfig
 from repro.errors import CheckpointError
 from repro.gpu.device import RADEON_HD_5850, DeviceSpec
-from repro.nbody.io import load_snapshot, save_snapshot
+from repro.nbody.io import load_snapshot, save_snapshot, snapshot_extras
 from repro.nbody.particles import ParticleSet
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "plan_config_from_dict",
     "write_checkpoint",
     "read_checkpoint",
+    "read_block_state",
 ]
 
 MANIFEST_NAME = "manifest.json"
@@ -74,9 +75,13 @@ def plan_config_to_dict(config: PlanConfig) -> dict[str, Any]:
         "leaf_size": config.leaf_size,
     }
     # Only serialized when pinned, so manifests and job-spec content hashes
-    # of default-config runs are unchanged from before the field existed.
+    # of default-config runs are unchanged from before the fields existed.
     if config.kernel_backend is not None:
         data["kernel_backend"] = config.kernel_backend
+    if config.n_rungs is not None:
+        data["n_rungs"] = config.n_rungs
+    if config.step_eta is not None:
+        data["step_eta"] = config.step_eta
     return data
 
 
@@ -99,6 +104,8 @@ def plan_config_from_dict(data: dict[str, Any]) -> PlanConfig:
             "pass plan= explicitly when resuming"
         ) from None
     kernel_backend = data.get("kernel_backend")
+    n_rungs = data.get("n_rungs")
+    step_eta = data.get("step_eta")
     return PlanConfig(
         device=device,
         host=host,
@@ -108,6 +115,8 @@ def plan_config_from_dict(data: dict[str, Any]) -> PlanConfig:
         theta=float(data["theta"]),
         leaf_size=int(data["leaf_size"]),
         kernel_backend=None if kernel_backend is None else str(kernel_backend),
+        n_rungs=None if n_rungs is None else int(n_rungs),
+        step_eta=None if step_eta is None else float(step_eta),
     )
 
 
@@ -226,20 +235,33 @@ def write_checkpoint(
     plan_name: str,
     record: dict[str, Any],
     last_acceleration: np.ndarray | None,
+    rungs: np.ndarray | None = None,
+    substep: int = 0,
 ) -> Path:
-    """Write one complete checkpoint directory (state + cache + record)."""
+    """Write one complete checkpoint directory (state + cache + record).
+
+    Block-timestep runs pass their rung state: ``rungs`` rides inside
+    ``state.npz`` (as an extra array) and ``substep`` in its metadata, so
+    a mid-sync-interval checkpoint resumes bit-identically.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    metadata = {
+        "plan": plan_name,
+        "steps": record["steps"],
+        "force_passes": record["force_passes"],
+        "simulated_seconds": record["simulated_seconds"],
+    }
+    extra = None
+    if rungs is not None:
+        extra = {"rungs": np.asarray(rungs, dtype=np.int64)}
+        metadata["substep"] = int(substep)
     save_snapshot(
         directory / "state",
         particles,
         time=time,
-        metadata={
-            "plan": plan_name,
-            "steps": record["steps"],
-            "force_passes": record["force_passes"],
-            "simulated_seconds": record["simulated_seconds"],
-        },
+        metadata=metadata,
+        extra=extra,
     )
     if last_acceleration is not None:
         np.save(directory / "last_acc.npy", last_acceleration)
@@ -261,3 +283,21 @@ def read_checkpoint(
     acc_path = directory / "last_acc.npy"
     last_acc = np.load(acc_path) if acc_path.exists() else None
     return particles, time, record, last_acc
+
+
+def read_block_state(directory: str | Path) -> tuple[np.ndarray | None, int]:
+    """Block-timestep state of a checkpoint: ``(rungs, substep)``.
+
+    Fixed-dt checkpoints (no rung state in ``state.npz``) return
+    ``(None, 0)``, so callers can treat every checkpoint uniformly.
+    """
+    directory = Path(directory)
+    state = directory / "state.npz"
+    if not state.exists():
+        raise CheckpointError(f"incomplete checkpoint at {directory}")
+    extras = snapshot_extras(state)
+    rungs = extras.get("rungs")
+    if rungs is None:
+        return None, 0
+    _particles, _time, meta = load_snapshot(state)
+    return np.asarray(rungs, dtype=np.int64), int(meta.get("substep", 0))

@@ -66,6 +66,7 @@ from repro.runtime.checkpoint import (
     RunManifest,
     plan_config_from_dict,
     plan_config_to_dict,
+    read_block_state,
     read_checkpoint,
     write_checkpoint,
 )
@@ -404,6 +405,8 @@ class RunSession:
                 plan_name=sim.plan.name,
                 record=sim.record.to_dict(),
                 last_acceleration=sim.last_acceleration,
+                rungs=sim.rungs if sim.blockstep else None,
+                substep=sim.substep if sim.blockstep else 0,
             )
             if not any(c.step == step for c in self.manifest.checkpoints):
                 self.manifest.checkpoints.append(
@@ -483,6 +486,11 @@ class RunSession:
         sim.record = SimulationRecord.from_dict(record)
         if last_acc is not None:
             sim.seed_forces(last_acc)
+        rungs, substep = read_block_state(directory / info.path)
+        if rungs is not None and sim.blockstep:
+            # Mid-sync-interval state: the resumed run replays the exact
+            # substep/rung sequence (bit-identical to uninterrupted).
+            sim.seed_rungs(rungs, substep)
         obs.instant(
             "runtime.resume",
             step=sim.record.steps,

@@ -38,7 +38,7 @@ from repro.runtime import RunSession
 
 class TestRegistry:
     def test_builtin_plans_registered(self):
-        assert available_plans() == ("i", "j", "jw", "w")
+        assert available_plans() == ("block-i", "block-jw", "i", "j", "jw", "w")
 
     def test_get_plan_by_name(self):
         assert isinstance(get_plan("jw"), JwParallelPlan)
